@@ -1,0 +1,141 @@
+//! The fluid (LP-relaxation) limit of the Section 4 solution space.
+//!
+//! As the number of objects grows, the 0/1 knapsack optimum converges to
+//! the fractional optimum: sort objects by profit density and take the
+//! prefix that fits, splitting one object at the boundary. The Average
+//! Score curve of Figures 4–6 is therefore, in the fluid limit, the
+//! running integral of the density-sorted benefit mass — which explains
+//! the figures' shapes directly: positive size×recency correlation puts
+//! high-density (small, stale) objects first, so the curve leaps and
+//! levels off; negative correlation spreads density flat, so it climbs
+//! linearly.
+
+use basecache_knapsack::{fractional_upper_bound, Instance, Item};
+
+/// Per-object inputs of a fluid curve: size, request count, cached score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidObject {
+    /// Object size in data units.
+    pub size: u64,
+    /// Number of requesting clients.
+    pub clients: u64,
+    /// Cached copy's average score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// The fluid-limit Average Score at each budget: the fractional-knapsack
+/// optimum of the paper's profit mapping, converted through
+/// `(base + value) / clients`.
+///
+/// # Panics
+///
+/// Panics if any score is outside `[0, 1]` or there are no clients.
+pub fn fluid_average_score_curve(objects: &[FluidObject], budgets: &[u64]) -> Vec<(f64, f64)> {
+    let total_clients: u64 = objects.iter().map(|o| o.clients).sum();
+    assert!(total_clients > 0, "fluid curve needs at least one client");
+    let mut base = 0.0;
+    let items: Vec<Item> = objects
+        .iter()
+        .map(|o| {
+            assert!(
+                (0.0..=1.0).contains(&o.score),
+                "score {} out of range",
+                o.score
+            );
+            base += o.clients as f64 * o.score;
+            Item::new(o.size, o.clients as f64 * (1.0 - o.score))
+        })
+        .collect();
+    let instance = Instance::new(items).expect("profits are valid by construction");
+    budgets
+        .iter()
+        .map(|&b| {
+            let frac = fractional_upper_bound(&instance, b);
+            (b as f64, (base + frac.profit) / total_clients as f64)
+        })
+        .collect()
+}
+
+/// Upper bound on the absolute gap between the fluid curve and the true
+/// 0/1 optimum at any budget: one object's worth of benefit,
+/// `max_i profit_i / total_clients`.
+pub fn integrality_gap_bound(objects: &[FluidObject]) -> f64 {
+    let total_clients: u64 = objects.iter().map(|o| o.clients).sum();
+    if total_clients == 0 {
+        return 0.0;
+    }
+    objects
+        .iter()
+        .map(|o| o.clients as f64 * (1.0 - o.score))
+        .fold(0.0f64, f64::max)
+        / total_clients as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basecache_knapsack::{DpByCapacity, Solver};
+
+    fn objects() -> Vec<FluidObject> {
+        (0..50)
+            .map(|i| FluidObject {
+                size: 1 + (i % 7) as u64,
+                clients: 1 + (i % 5) as u64,
+                score: 0.1 + 0.8 * (i as f64 / 50.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fluid_curve_is_monotone_and_hits_one() {
+        let objs = objects();
+        let total: u64 = objs.iter().map(|o| o.size).sum();
+        let budgets: Vec<u64> = (0..=total).step_by(10).chain(Some(total)).collect();
+        let curve = fluid_average_score_curve(&objs, &budgets);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fluid_upper_bounds_dp_within_integrality_gap() {
+        let objs = objects();
+        let total_clients: u64 = objs.iter().map(|o| o.clients).sum();
+        let mut base = 0.0;
+        let items: Vec<Item> = objs
+            .iter()
+            .map(|o| {
+                base += o.clients as f64 * o.score;
+                Item::new(o.size, o.clients as f64 * (1.0 - o.score))
+            })
+            .collect();
+        let inst = Instance::new(items).unwrap();
+        let gap = integrality_gap_bound(&objs);
+        let total: u64 = objs.iter().map(|o| o.size).sum();
+        let budgets: Vec<u64> = (0..=total).step_by(17).collect();
+        let fluid = fluid_average_score_curve(&objs, &budgets);
+        for &(b, fluid_score) in &fluid {
+            let dp = DpByCapacity.solve(&inst, b as u64);
+            let dp_score = (base + dp.total_profit()) / total_clients as f64;
+            assert!(
+                fluid_score >= dp_score - 1e-9,
+                "fluid must upper-bound the 0/1 optimum at b={b}"
+            );
+            assert!(
+                fluid_score - dp_score <= gap + 1e-9,
+                "gap at b={b}: {} > bound {gap}",
+                fluid_score - dp_score
+            );
+        }
+    }
+
+    #[test]
+    fn gap_bound_shrinks_with_population_scale() {
+        // Duplicating every object halves each object's share of the
+        // client mass, halving the bound — the fluid limit.
+        let objs = objects();
+        let doubled: Vec<FluidObject> = objs.iter().chain(objs.iter()).copied().collect();
+        assert!(integrality_gap_bound(&doubled) < integrality_gap_bound(&objs) * 0.51);
+    }
+}

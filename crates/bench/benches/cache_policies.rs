@@ -1,0 +1,95 @@
+//! Bounded-cache ablation (the paper's future-work direction): replace-
+//! ment policies under Zipf churn, measuring throughput and — via the
+//! summary printed by the `policy_hit_ratios` bench — hit ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use basecache_cache::{
+    CacheStore, GreedyDualSize, Lfu, Lru, ProfitAware, ReplacementPolicy, SizeAware,
+};
+use basecache_net::{ObjectId, Version};
+use basecache_sim::{RngStreams, SimTime};
+use basecache_workload::Popularity;
+
+type PolicyCtor = fn() -> Box<dyn ReplacementPolicy + Send>;
+
+fn policies() -> Vec<(&'static str, PolicyCtor)> {
+    vec![
+        ("lru", || Box::new(Lru::new())),
+        ("lfu", || Box::new(Lfu::new())),
+        ("size_aware", || Box::new(SizeAware::new())),
+        ("profit_aware", || Box::new(ProfitAware::new())),
+        ("gds1", || Box::new(GreedyDualSize::uniform())),
+    ]
+}
+
+/// Drive a bounded cache with a Zipf access stream; objects are looked
+/// up first and inserted on miss (sizes deterministic per object).
+fn churn(cache: &mut CacheStore, accesses: &[u32]) -> u64 {
+    let mut hits = 0u64;
+    for (i, &obj) in accesses.iter().enumerate() {
+        let id = ObjectId(obj);
+        if cache.get(id).is_some() {
+            hits += 1;
+        } else {
+            let size = u64::from(obj % 9 + 1);
+            let _ = cache.insert(id, size, Version(0), SimTime::from_ticks(i as u64));
+            // Profit-aware gets popularity-proportional weights: hotter
+            // (lower-ranked) objects are worth keeping.
+            cache.set_weight(id, 1.0 / f64::from(obj + 1));
+        }
+    }
+    hits
+}
+
+fn zipf_accesses(n_objects: usize, n_accesses: usize) -> Vec<u32> {
+    let dist = Popularity::ZIPF1.build(n_objects);
+    let mut rng = RngStreams::new(555).stream("bench/cache");
+    (0..n_accesses)
+        .map(|_| dist.sample(&mut rng) as u32)
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let accesses = zipf_accesses(2000, 50_000);
+    let mut group = c.benchmark_group("cache/churn_50k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, make) in policies() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let mut cache = CacheStore::bounded(1500, make());
+                black_box(churn(&mut cache, &accesses))
+            })
+        });
+    }
+    group.finish();
+
+    // Print the ablation table once (hit ratios per policy) so `cargo
+    // bench` output doubles as the ablation report.
+    println!("\ncache policy ablation (2000 objects, capacity 1500 units, 50k Zipf accesses):");
+    for (name, make) in policies() {
+        let mut cache = CacheStore::bounded(1500, make());
+        let hits = churn(&mut cache, &accesses);
+        println!(
+            "  {name:>13}: hit ratio {:.4}  evictions {}",
+            hits as f64 / accesses.len() as f64,
+            cache.stats().evictions
+        );
+    }
+}
+
+fn bench_unbounded_baseline(c: &mut Criterion) {
+    let accesses = zipf_accesses(2000, 50_000);
+    c.bench_function("cache/unbounded_churn_50k", |b| {
+        b.iter(|| {
+            let mut cache = CacheStore::unbounded();
+            black_box(churn(&mut cache, &accesses))
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_unbounded_baseline);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Planner benchmarks: the full per-round pipeline (batch → profit
+//! mapping → knapsack → plan) across solver back-ends and scales, plus
+//! the profit-mapping and budget-bound stages in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use basecache_bench::planning_round;
+use basecache_core::bound::{budget_for_fraction, knee_budget};
+use basecache_core::planner::{LowestRecencyFirst, OnDemandPlanner, SolverChoice};
+use basecache_core::profit::build_instance;
+use basecache_core::recency::ScoringFunction;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+}
+
+fn bench_plan_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/solvers");
+    configure(&mut group);
+    let (batch, catalog, recency) = planning_round(500, 5000, 77);
+    let budget = catalog.total_size() / 2;
+    let solvers: [(&str, SolverChoice); 4] = [
+        ("exact_dp", SolverChoice::ExactDp),
+        ("greedy", SolverChoice::Greedy),
+        ("fptas_0.25", SolverChoice::Fptas { epsilon: 0.25 }),
+        ("branch_bound", SolverChoice::BranchAndBound),
+    ];
+    for (name, choice) in solvers {
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, choice);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(planner.plan(&batch, &catalog, &recency, budget)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/scale");
+    configure(&mut group);
+    for &(objects, requests) in &[(100usize, 1000usize), (500, 5000), (2000, 20000)] {
+        let (batch, catalog, recency) = planning_round(objects, requests, 78);
+        let budget = catalog.total_size() / 2;
+        let planner = OnDemandPlanner::paper_default();
+        group.bench_with_input(BenchmarkId::new("exact_dp", objects), &objects, |b, _| {
+            b.iter(|| black_box(planner.plan(&batch, &catalog, &recency, budget)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profit_mapping(c: &mut Criterion) {
+    let (batch, catalog, recency) = planning_round(500, 5000, 79);
+    c.bench_function("planner/profit_mapping", |b| {
+        b.iter(|| {
+            black_box(build_instance(
+                &batch,
+                &catalog,
+                &recency,
+                ScoringFunction::InverseRatio,
+            ))
+        })
+    });
+}
+
+fn bench_budget_bound_selection(c: &mut Criterion) {
+    let (batch, catalog, recency) = planning_round(500, 5000, 80);
+    let planner = OnDemandPlanner::paper_default();
+    let (_, _, trace) = planner.plan_with_trace(&batch, &catalog, &recency, catalog.total_size());
+    c.bench_function("planner/budget_bound_selection", |b| {
+        b.iter(|| {
+            (
+                black_box(knee_budget(&trace, 25, 0.01)),
+                black_box(budget_for_fraction(&trace, 0.95)),
+            )
+        })
+    });
+}
+
+fn bench_lowest_recency_first(c: &mut Criterion) {
+    let (batch, _catalog, recency) = planning_round(500, 5000, 81);
+    c.bench_function("planner/lowest_recency_first", |b| {
+        b.iter(|| black_box(LowestRecencyFirst.select(&batch, &recency, 100)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_plan_solvers,
+    bench_plan_scale,
+    bench_profit_mapping,
+    bench_budget_bound_selection,
+    bench_lowest_recency_first
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Shared fixtures for the Criterion benches: deterministic instances,
+//! populations and request batches at paper scale.
+
+use basecache_core::request::RequestBatch;
+use basecache_knapsack::{Instance, Item};
+use basecache_net::{Catalog, ObjectId};
+use basecache_sim::RngStreams;
+use basecache_workload::{
+    Correlation, NumRequestsMode, Popularity, RequestGenerator, Table1Spec, TargetRecency,
+};
+use rand::RngExt;
+
+/// A deterministic knapsack instance with `n` items, sizes `U[1, 20]`,
+/// profits `U(0, 20]`.
+pub fn knapsack_instance(n: usize, seed: u64) -> Instance {
+    let mut rng = RngStreams::new(seed).stream("bench/knapsack");
+    let items = (0..n)
+        .map(|_| {
+            Item::new(
+                rng.random_range(1..=20u64),
+                rng.random_range(0.01..=20.0f64),
+            )
+        })
+        .collect();
+    Instance::new(items).expect("generated profits are valid")
+}
+
+/// The paper's Table 1 population (skewed variant).
+pub fn table1_population() -> basecache_workload::Table1Population {
+    Table1Spec {
+        num_requests: NumRequestsMode::UniformInt { lo: 1, hi: 20 },
+        size_num_requests: Correlation::Negative,
+        size_recency: Correlation::Positive,
+        ..Table1Spec::paper_default()
+    }
+    .generate(12345)
+}
+
+/// A live planning round at roughly paper scale: catalog, cache recency
+/// and a request batch.
+pub fn planning_round(
+    objects: usize,
+    requests: usize,
+    seed: u64,
+) -> (RequestBatch, Catalog, Vec<f64>) {
+    let streams = RngStreams::new(seed);
+    let sizes: Vec<u64> = {
+        let mut rng = streams.stream("bench/sizes");
+        (0..objects).map(|_| rng.random_range(1..=20)).collect()
+    };
+    let catalog = Catalog::from_sizes(&sizes);
+    let recency: Vec<f64> = {
+        let mut rng = streams.stream("bench/recency");
+        (0..objects).map(|_| rng.random_range(0.1..=1.0)).collect()
+    };
+    let generator = RequestGenerator::new(
+        Popularity::ZIPF1.build(objects),
+        requests,
+        TargetRecency::Uniform { lo: 0.3, hi: 1.0 },
+    );
+    let batch =
+        RequestBatch::from_generated(&generator.batch(&mut streams.stream("bench/requests")));
+    (batch, catalog, recency)
+}
+
+/// Dense object-id list for cache-churn benches.
+pub fn churn_ids(n: u32) -> Vec<ObjectId> {
+    (0..n).map(ObjectId).collect()
+}

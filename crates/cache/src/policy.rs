@@ -1,0 +1,301 @@
+//! Replacement policies for the bounded cache.
+//!
+//! A policy sees residency changes (`on_insert` / `on_remove`), accesses
+//! (`on_access`) and optional external weights (`set_weight`), and must
+//! name a victim on demand. Policies hold no entry data themselves — the
+//! [`crate::CacheStore`] owns the entries — so each one is a small,
+//! independently testable ordering structure.
+
+use std::collections::{BTreeSet, HashMap};
+
+use basecache_net::ObjectId;
+
+/// A cache replacement policy.
+///
+/// The store guarantees `on_insert` is called exactly once per resident
+/// object, `on_remove` exactly once when it leaves, and never asks for a
+/// victim while empty.
+pub trait ReplacementPolicy: std::fmt::Debug {
+    /// An object became resident.
+    fn on_insert(&mut self, id: ObjectId, size: u64);
+    /// A resident object was served from the cache.
+    fn on_access(&mut self, id: ObjectId);
+    /// A resident object left the cache (eviction or explicit removal).
+    fn on_remove(&mut self, id: ObjectId);
+    /// Update the external weight of a resident object (only
+    /// weight-driven policies react; default is a no-op).
+    fn set_weight(&mut self, _id: ObjectId, _weight: f64) {}
+    /// Choose the next eviction victim among resident objects.
+    fn victim(&mut self) -> Option<ObjectId>;
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Least-recently-used: evicts the object whose last access is oldest.
+#[derive(Debug, Default)]
+pub struct Lru {
+    clock: u64,
+    by_id: HashMap<ObjectId, u64>,
+    by_age: BTreeSet<(u64, ObjectId)>,
+}
+
+impl Lru {
+    /// An empty LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, id: ObjectId) {
+        if let Some(&old) = self.by_id.get(&id) {
+            self.by_age.remove(&(old, id));
+        }
+        self.clock += 1;
+        self.by_id.insert(id, self.clock);
+        self.by_age.insert((self.clock, id));
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn on_insert(&mut self, id: ObjectId, _size: u64) {
+        self.touch(id);
+    }
+    fn on_access(&mut self, id: ObjectId) {
+        self.touch(id);
+    }
+    fn on_remove(&mut self, id: ObjectId) {
+        if let Some(old) = self.by_id.remove(&id) {
+            self.by_age.remove(&(old, id));
+        }
+    }
+    fn victim(&mut self) -> Option<ObjectId> {
+        self.by_age.first().map(|&(_, id)| id)
+    }
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// Least-frequently-used with FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub struct Lfu {
+    clock: u64,
+    by_id: HashMap<ObjectId, (u64, u64)>, // (frequency, insertion order)
+    ordered: BTreeSet<(u64, u64, ObjectId)>, // (frequency, order, id)
+}
+
+impl Lfu {
+    /// An empty LFU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for Lfu {
+    fn on_insert(&mut self, id: ObjectId, _size: u64) {
+        self.clock += 1;
+        self.by_id.insert(id, (0, self.clock));
+        self.ordered.insert((0, self.clock, id));
+    }
+    fn on_access(&mut self, id: ObjectId) {
+        if let Some(&(freq, order)) = self.by_id.get(&id) {
+            self.ordered.remove(&(freq, order, id));
+            self.by_id.insert(id, (freq + 1, order));
+            self.ordered.insert((freq + 1, order, id));
+        }
+    }
+    fn on_remove(&mut self, id: ObjectId) {
+        if let Some((freq, order)) = self.by_id.remove(&id) {
+            self.ordered.remove(&(freq, order, id));
+        }
+    }
+    fn victim(&mut self) -> Option<ObjectId> {
+        self.ordered.first().map(|&(_, _, id)| id)
+    }
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+}
+
+/// Size-aware: evicts the largest resident object first, freeing the most
+/// space per eviction (ties broken by id for determinism).
+#[derive(Debug, Default)]
+pub struct SizeAware {
+    by_id: HashMap<ObjectId, u64>,
+    ordered: BTreeSet<(u64, ObjectId)>, // (size, id), evict max
+}
+
+impl SizeAware {
+    /// An empty size-aware policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for SizeAware {
+    fn on_insert(&mut self, id: ObjectId, size: u64) {
+        self.by_id.insert(id, size);
+        self.ordered.insert((size, id));
+    }
+    fn on_access(&mut self, _id: ObjectId) {}
+    fn on_remove(&mut self, id: ObjectId) {
+        if let Some(size) = self.by_id.remove(&id) {
+            self.ordered.remove(&(size, id));
+        }
+    }
+    fn victim(&mut self) -> Option<ObjectId> {
+        self.ordered.last().map(|&(_, id)| id)
+    }
+    fn name(&self) -> &'static str {
+        "size-aware"
+    }
+}
+
+/// Profit-aware (the paper's future-work direction): evicts the resident
+/// object with the **lowest external weight**. The planner supplies the
+/// weight — e.g. the object's aggregate download benefit per size unit —
+/// so the cache keeps exactly the copies whose loss would cost clients
+/// the most recency.
+#[derive(Debug, Default)]
+pub struct ProfitAware {
+    by_id: HashMap<ObjectId, u64>, // weight as ordered bits
+    ordered: BTreeSet<(u64, ObjectId)>,
+}
+
+/// Map a non-negative finite f64 to ordered u64 bits (IEEE-754 trick for
+/// non-negative values: the bit pattern is order-preserving).
+fn weight_bits(w: f64) -> u64 {
+    assert!(
+        w.is_finite() && w >= 0.0,
+        "weights must be finite and non-negative, got {w}"
+    );
+    w.to_bits()
+}
+
+impl ProfitAware {
+    /// An empty profit-aware policy. New entries start at weight 0 until
+    /// the planner supplies one.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for ProfitAware {
+    fn on_insert(&mut self, id: ObjectId, _size: u64) {
+        self.by_id.insert(id, 0);
+        self.ordered.insert((0, id));
+    }
+    fn on_access(&mut self, _id: ObjectId) {}
+    fn on_remove(&mut self, id: ObjectId) {
+        if let Some(bits) = self.by_id.remove(&id) {
+            self.ordered.remove(&(bits, id));
+        }
+    }
+    fn set_weight(&mut self, id: ObjectId, weight: f64) {
+        if let Some(&old) = self.by_id.get(&id) {
+            let bits = weight_bits(weight);
+            self.ordered.remove(&(old, id));
+            self.by_id.insert(id, bits);
+            self.ordered.insert((bits, id));
+        }
+    }
+    fn victim(&mut self) -> Option<ObjectId> {
+        self.ordered.first().map(|&(_, id)| id)
+    }
+    fn name(&self) -> &'static str {
+        "profit-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = Lru::new();
+        p.on_insert(o(0), 1);
+        p.on_insert(o(1), 1);
+        p.on_insert(o(2), 1);
+        p.on_access(o(0)); // 1 is now the LRU
+        assert_eq!(p.victim(), Some(o(1)));
+        p.on_remove(o(1));
+        assert_eq!(p.victim(), Some(o(2)));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent_with_fifo_ties() {
+        let mut p = Lfu::new();
+        p.on_insert(o(0), 1);
+        p.on_insert(o(1), 1);
+        p.on_access(o(0));
+        assert_eq!(p.victim(), Some(o(1)));
+        p.on_access(o(1));
+        p.on_access(o(1));
+        assert_eq!(p.victim(), Some(o(0)));
+        // Tie at equal frequency: earliest insertion evicted first.
+        let mut q = Lfu::new();
+        q.on_insert(o(5), 1);
+        q.on_insert(o(3), 1);
+        assert_eq!(q.victim(), Some(o(5)));
+    }
+
+    #[test]
+    fn size_aware_evicts_largest() {
+        let mut p = SizeAware::new();
+        p.on_insert(o(0), 3);
+        p.on_insert(o(1), 9);
+        p.on_insert(o(2), 5);
+        assert_eq!(p.victim(), Some(o(1)));
+        p.on_remove(o(1));
+        assert_eq!(p.victim(), Some(o(2)));
+    }
+
+    #[test]
+    fn profit_aware_evicts_lowest_weight() {
+        let mut p = ProfitAware::new();
+        p.on_insert(o(0), 1);
+        p.on_insert(o(1), 1);
+        p.on_insert(o(2), 1);
+        p.set_weight(o(0), 5.0);
+        p.set_weight(o(1), 0.5);
+        p.set_weight(o(2), 2.0);
+        assert_eq!(p.victim(), Some(o(1)));
+        p.set_weight(o(1), 10.0);
+        assert_eq!(p.victim(), Some(o(2)));
+    }
+
+    #[test]
+    fn profit_aware_ignores_weights_for_non_resident() {
+        let mut p = ProfitAware::new();
+        p.set_weight(o(9), 3.0); // not resident: ignored
+        assert_eq!(p.victim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn profit_aware_rejects_nan_weight() {
+        let mut p = ProfitAware::new();
+        p.on_insert(o(0), 1);
+        p.set_weight(o(0), f64::NAN);
+    }
+
+    #[test]
+    fn removal_is_idempotent_across_policies() {
+        let mut policies: Vec<Box<dyn ReplacementPolicy>> = vec![
+            Box::new(Lru::new()),
+            Box::new(Lfu::new()),
+            Box::new(SizeAware::new()),
+            Box::new(ProfitAware::new()),
+        ];
+        for p in &mut policies {
+            p.on_insert(o(0), 2);
+            p.on_remove(o(0));
+            p.on_remove(o(0));
+            assert_eq!(p.victim(), None, "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+/// Running statistics of a [`crate::CacheStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a resident copy (any version).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// New objects inserted.
+    pub insertions: u64,
+    /// Existing entries refreshed to a newer version.
+    pub refreshes: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries explicitly removed.
+    pub removals: u64,
+    /// Data units served from cache (sum of hit sizes).
+    pub units_served: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups, or `None` before any lookup.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_empty_and_counts() {
+        let mut s = CacheStats::default();
+        assert!(s.hit_ratio().is_none());
+        s.hits = 3;
+        s.misses = 1;
+        assert_eq!(s.hit_ratio(), Some(0.75));
+    }
+}

@@ -1,0 +1,305 @@
+use std::collections::HashMap;
+
+use basecache_net::{ObjectId, Version};
+use basecache_sim::SimTime;
+
+use crate::entry::CacheEntry;
+use crate::policy::ReplacementPolicy;
+use crate::stats::CacheStats;
+
+/// The base station's object cache.
+///
+/// Unbounded by default (the paper's Section 2 assumption); give it a
+/// size budget and a [`ReplacementPolicy`] to study the bounded-cache
+/// regime the paper defers to future work.
+#[derive(Debug)]
+pub struct CacheStore {
+    entries: HashMap<ObjectId, CacheEntry>,
+    capacity: Option<u64>,
+    used: u64,
+    policy: Option<Box<dyn ReplacementPolicy + Send>>,
+    stats: CacheStats,
+}
+
+impl CacheStore {
+    /// An unbounded cache — every inserted object stays resident.
+    pub fn unbounded() -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity: None,
+            used: 0,
+            policy: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache bounded to `capacity` total data units, evicting with
+    /// `policy` when an insertion would overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: u64, policy: Box<dyn ReplacementPolicy + Send>) -> Self {
+        assert!(capacity > 0, "bounded cache capacity must be positive");
+        Self {
+            entries: HashMap::new(),
+            capacity: Some(capacity),
+            used: 0,
+            policy: Some(policy),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up an object, counting a hit or miss and notifying the policy.
+    pub fn get(&mut self, id: ObjectId) -> Option<CacheEntry> {
+        match self.entries.get(&id) {
+            Some(&entry) => {
+                self.stats.hits += 1;
+                self.stats.units_served += entry.size;
+                if let Some(p) = &mut self.policy {
+                    p.on_access(id);
+                }
+                Some(entry)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inspect an entry without touching statistics or policy state
+    /// (used by planners scoring the whole cache).
+    pub fn peek(&self, id: ObjectId) -> Option<&CacheEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Whether a copy of `id` is resident.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Insert a freshly downloaded copy, refreshing in place if an entry
+    /// already exists (same size) or evicting as needed to fit a new one.
+    ///
+    /// Returns the entries evicted to make room (empty for unbounded
+    /// caches and refreshes). Objects larger than the whole cache are
+    /// refused and returned as an error.
+    pub fn insert(
+        &mut self,
+        id: ObjectId,
+        size: u64,
+        version: Version,
+        now: SimTime,
+    ) -> Result<Vec<CacheEntry>, CacheEntry> {
+        let entry = CacheEntry::new(id, size, version, now);
+        if let Some(existing) = self.entries.get_mut(&id) {
+            debug_assert_eq!(
+                existing.size, size,
+                "object size is immutable in the catalog"
+            );
+            *existing = entry;
+            self.stats.refreshes += 1;
+            if let Some(p) = &mut self.policy {
+                p.on_access(id);
+            }
+            return Ok(Vec::new());
+        }
+        if let Some(cap) = self.capacity {
+            if size > cap {
+                return Err(entry);
+            }
+        }
+        let mut evicted = Vec::new();
+        if let Some(cap) = self.capacity {
+            while self.used + size > cap {
+                let victim = self
+                    .policy
+                    .as_mut()
+                    .and_then(|p| p.victim())
+                    .expect("bounded cache over capacity must have a victim");
+                let removed = self
+                    .entries
+                    .remove(&victim)
+                    .expect("policy victims are always resident");
+                self.used -= removed.size;
+                if let Some(p) = &mut self.policy {
+                    p.on_remove(victim);
+                }
+                self.stats.evictions += 1;
+                evicted.push(removed);
+            }
+        }
+        self.used += size;
+        self.entries.insert(id, entry);
+        if let Some(p) = &mut self.policy {
+            p.on_insert(id, size);
+        }
+        self.stats.insertions += 1;
+        Ok(evicted)
+    }
+
+    /// Explicitly drop an entry (e.g. on server invalidation).
+    pub fn remove(&mut self, id: ObjectId) -> Option<CacheEntry> {
+        let removed = self.entries.remove(&id)?;
+        self.used -= removed.size;
+        if let Some(p) = &mut self.policy {
+            p.on_remove(id);
+        }
+        self.stats.removals += 1;
+        Some(removed)
+    }
+
+    /// Supply an external weight for `id` to weight-driven policies.
+    pub fn set_weight(&mut self, id: ObjectId, weight: f64) {
+        if let Some(p) = &mut self.policy {
+            p.set_weight(id, weight);
+        }
+    }
+
+    /// Data units currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Iterate over resident entries in unspecified order.
+    pub fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Lru, SizeAware};
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut c = CacheStore::unbounded();
+        for i in 0..1000 {
+            assert!(c.insert(o(i), 10, Version(0), t(0)).unwrap().is_empty());
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.used(), 10_000);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn get_counts_hits_and_misses() {
+        let mut c = CacheStore::unbounded();
+        c.insert(o(0), 5, Version(1), t(2)).unwrap();
+        assert!(c.get(o(0)).is_some());
+        assert!(c.get(o(1)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.units_served), (1, 1, 5));
+        assert_eq!(c.stats().hit_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn refresh_updates_version_in_place() {
+        let mut c = CacheStore::unbounded();
+        c.insert(o(0), 5, Version(1), t(1)).unwrap();
+        c.insert(o(0), 5, Version(3), t(9)).unwrap();
+        let e = c.peek(o(0)).unwrap();
+        assert_eq!(e.version, Version(3));
+        assert_eq!(e.fetched_at, t(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 5);
+        assert_eq!(c.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_until_fit() {
+        let mut c = CacheStore::bounded(10, Box::new(Lru::new()));
+        c.insert(o(0), 4, Version(0), t(0)).unwrap();
+        c.insert(o(1), 4, Version(0), t(1)).unwrap();
+        c.get(o(0)); // o(1) becomes LRU
+        let evicted = c.insert(o(2), 6, Version(0), t(2)).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].object, o(1));
+        assert!(c.contains(o(0)) && c.contains(o(2)));
+        assert!(c.used() <= 10);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn bounded_cache_may_evict_multiple() {
+        let mut c = CacheStore::bounded(10, Box::new(SizeAware::new()));
+        c.insert(o(0), 3, Version(0), t(0)).unwrap();
+        c.insert(o(1), 3, Version(0), t(0)).unwrap();
+        c.insert(o(2), 3, Version(0), t(0)).unwrap();
+        let evicted = c.insert(o(3), 8, Version(0), t(1)).unwrap();
+        assert_eq!(evicted.len(), 3, "needs 8 units: evicts 3+3+3");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn object_larger_than_cache_is_refused() {
+        let mut c = CacheStore::bounded(5, Box::new(Lru::new()));
+        c.insert(o(0), 3, Version(0), t(0)).unwrap();
+        let refused = c.insert(o(1), 6, Version(0), t(1)).unwrap_err();
+        assert_eq!(refused.object, o(1));
+        assert!(c.contains(o(0)), "refusal must not disturb residents");
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = CacheStore::bounded(6, Box::new(Lru::new()));
+        c.insert(o(0), 6, Version(0), t(0)).unwrap();
+        assert!(c.remove(o(0)).is_some());
+        assert!(c.remove(o(0)).is_none());
+        assert_eq!(c.used(), 0);
+        assert!(c.insert(o(1), 6, Version(0), t(1)).unwrap().is_empty());
+        assert_eq!(c.stats().removals, 1);
+    }
+
+    #[test]
+    fn size_accounting_invariant_under_churn() {
+        let mut c = CacheStore::bounded(50, Box::new(Lru::new()));
+        for round in 0u32..200 {
+            let id = o(round % 23);
+            if round % 7 == 3 {
+                c.remove(id);
+            } else {
+                // Size is a deterministic function of the id: the catalog
+                // fixes each object's size.
+                let _ = c.insert(
+                    id,
+                    u64::from(id.0 % 9 + 1),
+                    Version(u64::from(round)),
+                    t(u64::from(round)),
+                );
+            }
+            let recount: u64 = c.entries().map(|e| e.size).sum();
+            assert_eq!(recount, c.used(), "round {round}");
+            assert!(c.used() <= 50);
+        }
+    }
+}

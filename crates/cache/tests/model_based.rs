@@ -1,0 +1,131 @@
+//! Model-based property tests: `CacheStore` with each policy against a
+//! naive reference model under random operation sequences.
+
+use basecache_cache::{
+    CacheStore, GreedyDualSize, Lfu, Lru, ProfitAware, ReplacementPolicy, SizeAware,
+};
+use basecache_net::{ObjectId, Version};
+use basecache_sim::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u32),
+    Insert(u32),
+    Remove(u32),
+    SetWeight(u32, u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..24).prop_map(Op::Get),
+            (0u32..24).prop_map(Op::Insert),
+            (0u32..24).prop_map(Op::Remove),
+            ((0u32..24), any::<u8>()).prop_map(|(o, w)| Op::SetWeight(o, w)),
+        ],
+        0..200,
+    )
+}
+
+/// Size is a pure function of the id (the catalog fixes object sizes).
+fn size_of(id: u32) -> u64 {
+    u64::from(id % 7 + 1)
+}
+
+fn policies() -> Vec<Box<dyn ReplacementPolicy + Send>> {
+    vec![
+        Box::new(Lru::new()),
+        Box::new(Lfu::new()),
+        Box::new(SizeAware::new()),
+        Box::new(ProfitAware::new()),
+        Box::new(GreedyDualSize::uniform()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any operation sequence and any policy, the store never
+    /// exceeds capacity, its size accounting matches a recount, every
+    /// resident entry is retrievable, and statistics are consistent.
+    #[test]
+    fn store_invariants_hold_under_random_churn(ops in arb_ops(), capacity in 5u64..40) {
+        for policy in policies() {
+            let name = policy.name();
+            let mut cache = CacheStore::bounded(capacity, policy);
+            let mut tick = 0u64;
+            for op in &ops {
+                tick += 1;
+                match *op {
+                    Op::Get(id) => {
+                        let _ = cache.get(ObjectId(id));
+                    }
+                    Op::Insert(id) => {
+                        let size = size_of(id);
+                        let result = cache.insert(
+                            ObjectId(id), size, Version(tick), SimTime::from_ticks(tick));
+                        if size > capacity {
+                            prop_assert!(result.is_err(), "{name}: oversized must be refused");
+                        }
+                    }
+                    Op::Remove(id) => {
+                        let had = cache.contains(ObjectId(id));
+                        let removed = cache.remove(ObjectId(id));
+                        prop_assert_eq!(had, removed.is_some(), "{}", name);
+                    }
+                    Op::SetWeight(id, w) => {
+                        cache.set_weight(ObjectId(id), f64::from(w));
+                    }
+                }
+                // Invariants after every operation.
+                let recount: u64 = cache.entries().map(|e| e.size).sum();
+                prop_assert_eq!(recount, cache.used(), "{}: size accounting", name);
+                prop_assert!(cache.used() <= capacity, "{name}: capacity respected");
+                prop_assert_eq!(cache.entries().count(), cache.len(), "{}", name);
+            }
+            // Every resident object answers a peek with its own id/size.
+            let resident: Vec<_> = cache.entries().map(|e| (e.object, e.size)).collect();
+            for (id, size) in resident {
+                let e = cache.peek(id).expect("resident object must peek");
+                prop_assert_eq!(e.object, id);
+                prop_assert_eq!(e.size, size_of(id.0));
+                prop_assert_eq!(e.size, size);
+            }
+            let stats = cache.stats();
+            prop_assert!(stats.insertions >= stats.evictions,
+                "{name}: cannot evict more than was inserted");
+        }
+    }
+
+    /// The unbounded store is a plain map: after any sequence, residency
+    /// equals "inserted and not removed since".
+    #[test]
+    fn unbounded_store_matches_a_map(ops in arb_ops()) {
+        let mut cache = CacheStore::unbounded();
+        let mut model = std::collections::HashMap::<u32, u64>::new();
+        let mut tick = 0u64;
+        for op in &ops {
+            tick += 1;
+            match *op {
+                Op::Get(id) => {
+                    prop_assert_eq!(cache.get(ObjectId(id)).is_some(), model.contains_key(&id));
+                }
+                Op::Insert(id) => {
+                    cache.insert(ObjectId(id), size_of(id), Version(tick), SimTime::from_ticks(tick))
+                        .expect("unbounded never refuses");
+                    model.insert(id, tick);
+                }
+                Op::Remove(id) => {
+                    prop_assert_eq!(cache.remove(ObjectId(id)).is_some(), model.remove(&id).is_some());
+                }
+                Op::SetWeight(..) => {}
+            }
+        }
+        prop_assert_eq!(cache.len(), model.len());
+        for (&id, &tick) in &model {
+            let e = cache.peek(ObjectId(id)).expect("model says resident");
+            prop_assert_eq!(e.version, Version(tick), "latest insert wins");
+        }
+    }
+}

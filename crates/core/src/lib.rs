@@ -1,0 +1,71 @@
+//! The paper's contribution: recency-aware on-demand remote data access
+//! for a base station serving mobile clients.
+//!
+//! Given a batch of client requests (each with a target recency), the
+//! recency of the cached copies, and an upper bound on how much data may
+//! be downloaded this round, [`OnDemandPlanner`] decides which objects to
+//! fetch from the remote servers and which to answer from the (possibly
+//! stale) base-station cache, maximizing the average client recency
+//! score. The decision maps to 0/1 knapsack (`basecache-knapsack`)
+//! exactly as in the paper's Section 2.
+//!
+//! Module map:
+//!
+//! * [`recency`] — scoring functions `f_C(x)` and the per-update decay
+//!   model `x' = C·x/(1+x)`.
+//! * [`request`] — client request batches aggregated per object.
+//! * [`profit`] — the knapsack mapping: `profit(u) = Σ_clients 1 − score`.
+//! * [`planner`] — [`OnDemandPlanner`] (exact DP / greedy / FPTAS) and
+//!   [`LowestRecencyFirst`] (the Section 3.2 unit-size policy).
+//! * [`asynch`] — the asynchronous round-robin refresh baseline.
+//! * [`bound`] — download-budget selection from the DP solution-space
+//!   trace (the paper's Section 6 future work).
+//! * [`station`] — [`BaseStationSim`]: the time-stepped base-station
+//!   simulation gluing cache, server, policy and downlink together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use basecache_core::planner::{OnDemandPlanner, SolverChoice};
+//! use basecache_core::recency::ScoringFunction;
+//! use basecache_core::request::RequestBatch;
+//! use basecache_net::{Catalog, ObjectId};
+//!
+//! // Three objects; the cache holds copies with varying recency.
+//! let catalog = Catalog::from_sizes(&[4, 2, 6]);
+//! let recency = [0.9, 0.2, 0.5];
+//!
+//! // Five clients ask for objects; each wants fully fresh data.
+//! let mut batch = RequestBatch::new();
+//! for id in [0u32, 0, 1, 1, 2] {
+//!     batch.push(ObjectId(id), 1.0);
+//! }
+//!
+//! // With budget for 6 units the planner downloads the objects whose
+//! // staleness hurts clients most per unit downloaded.
+//! let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+//! let plan = planner.plan(&batch, &catalog, &recency, 6);
+//! assert!(plan.download_size() <= 6);
+//! assert!(plan.average_score(&batch, &recency) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asynch;
+pub mod bound;
+pub mod estimator;
+pub mod pipeline;
+pub mod planner;
+pub mod profit;
+pub mod recency;
+pub mod request;
+pub mod station;
+
+pub use asynch::AsyncRefresher;
+pub use estimator::{RateEstimator, RecencyEstimator, ReportEstimator, TtlEstimator};
+pub use pipeline::{LatencyAwareSim, LatencyStats, LatencyStepOutcome};
+pub use planner::{DownloadPlan, LowestRecencyFirst, OnDemandPlanner, SolverChoice};
+pub use recency::{DecayModel, ScoringFunction};
+pub use request::RequestBatch;
+pub use station::{BaseStationSim, Estimation, Policy, StepOutcome};

@@ -1,0 +1,504 @@
+//! The on-demand download planner — the paper's central mechanism.
+//!
+//! Per scheduling round the base station receives a [`RequestBatch`],
+//! knows the recency of every cached copy, and may download at most
+//! `budget` data units. [`OnDemandPlanner`] maps the round to 0/1
+//! knapsack ([`crate::profit`]) and solves it with a configurable solver;
+//! objects not selected are answered from the cache.
+//!
+//! [`LowestRecencyFirst`] is the simpler policy of Section 3.2 (unit-size
+//! objects: "the k requested objects with the lowest recency in the cache
+//! were selected to be downloaded"), kept as a separate, cheaper planner.
+
+use basecache_knapsack::{BranchAndBound, DpByCapacity, DpTrace, Fptas, GreedyDensity, Solver};
+use basecache_net::{Catalog, ObjectId};
+
+use crate::profit::{build_instance, MappedInstance};
+use crate::recency::ScoringFunction;
+use crate::request::RequestBatch;
+
+/// Which knapsack solver the planner runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverChoice {
+    /// Exact capacity DP — the paper's choice; pseudo-polynomial `O(n·B)`.
+    ExactDp,
+    /// Density greedy, 2-approximate, `O(n log n)` — for tight deadlines.
+    Greedy,
+    /// FPTAS with the given `epsilon ∈ (0, 1)` — `(1−ε)`-approximate,
+    /// capacity-independent runtime.
+    Fptas {
+        /// Approximation parameter.
+        epsilon: f64,
+    },
+    /// Exact branch and bound with fractional pruning.
+    BranchAndBound,
+}
+
+impl SolverChoice {
+    fn solve(self, mapped: &MappedInstance, budget: u64) -> basecache_knapsack::Solution {
+        match self {
+            SolverChoice::ExactDp => DpByCapacity.solve(mapped.instance(), budget),
+            SolverChoice::Greedy => GreedyDensity.solve(mapped.instance(), budget),
+            SolverChoice::Fptas { epsilon } => Fptas::new(epsilon).solve(mapped.instance(), budget),
+            SolverChoice::BranchAndBound => {
+                BranchAndBound::default().solve(mapped.instance(), budget)
+            }
+        }
+    }
+}
+
+/// The on-demand planner: scoring function + solver choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnDemandPlanner {
+    scoring: ScoringFunction,
+    solver: SolverChoice,
+}
+
+impl OnDemandPlanner {
+    /// Create a planner.
+    pub fn new(scoring: ScoringFunction, solver: SolverChoice) -> Self {
+        Self { scoring, solver }
+    }
+
+    /// The paper's configuration: inverse-ratio scoring, exact DP.
+    pub fn paper_default() -> Self {
+        Self::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp)
+    }
+
+    /// The scoring function in use.
+    pub fn scoring(&self) -> ScoringFunction {
+        self.scoring
+    }
+
+    /// Decide which objects to download.
+    ///
+    /// `recency[i]` is the recency of object `i`'s cached copy (0 when
+    /// absent). The returned plan downloads at most `budget` data units.
+    pub fn plan(
+        &self,
+        batch: &RequestBatch,
+        catalog: &Catalog,
+        recency: &[f64],
+        budget: u64,
+    ) -> DownloadPlan {
+        let mapped = build_instance(batch, catalog, recency, self.scoring);
+        let solution = self.solver.solve(&mapped, budget);
+        let mut download = mapped.selected_objects(&solution);
+        download.sort_unstable();
+        DownloadPlan {
+            download,
+            download_size: solution.total_size(),
+            achieved_value: solution.total_profit(),
+            budget,
+            scoring: self.scoring,
+        }
+    }
+
+    /// Like [`Self::plan`], but also return the exact DP's full
+    /// solution-space trace (forces the exact solver). This is what the
+    /// Section 4 analyses and the budget-bound selection read.
+    pub fn plan_with_trace(
+        &self,
+        batch: &RequestBatch,
+        catalog: &Catalog,
+        recency: &[f64],
+        budget: u64,
+    ) -> (DownloadPlan, MappedInstance, DpTrace) {
+        let mapped = build_instance(batch, catalog, recency, self.scoring);
+        let trace = DpByCapacity.solve_trace(mapped.instance(), budget);
+        let solution = trace.solution_at(mapped.instance(), budget);
+        let mut download = mapped.selected_objects(&solution);
+        download.sort_unstable();
+        let plan = DownloadPlan {
+            download,
+            download_size: solution.total_size(),
+            achieved_value: solution.total_profit(),
+            budget,
+            scoring: self.scoring,
+        };
+        (plan, mapped, trace)
+    }
+}
+
+/// A round's download decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DownloadPlan {
+    download: Vec<ObjectId>,
+    download_size: u64,
+    achieved_value: f64,
+    budget: u64,
+    scoring: ScoringFunction,
+}
+
+impl DownloadPlan {
+    /// Objects to fetch remotely, ascending.
+    pub fn downloads(&self) -> &[ObjectId] {
+        &self.download
+    }
+
+    /// Whether `object` is fetched remotely this round.
+    pub fn is_download(&self, object: ObjectId) -> bool {
+        self.download.binary_search(&object).is_ok()
+    }
+
+    /// Total data units downloaded (≤ budget).
+    pub fn download_size(&self) -> u64 {
+        self.download_size
+    }
+
+    /// The knapsack value achieved (total client benefit recovered).
+    pub fn achieved_value(&self) -> f64 {
+        self.achieved_value
+    }
+
+    /// The budget the plan was computed under.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Requested objects that will be served from the cache.
+    pub fn from_cache<'a>(
+        &'a self,
+        batch: &'a RequestBatch,
+    ) -> impl Iterator<Item = ObjectId> + 'a {
+        batch.objects().filter(|&o| !self.is_download(o))
+    }
+
+    /// The paper's `Average Score` this plan delivers: downloaded objects
+    /// score 1.0 for every requesting client, cached objects score
+    /// `f_C(x)` per client. An empty batch scores 1.0.
+    pub fn average_score(&self, batch: &RequestBatch, recency: &[f64]) -> f64 {
+        if batch.total_requests() == 0 {
+            return 1.0;
+        }
+        let mut sum = 0.0;
+        for (object, targets) in batch.iter() {
+            if self.is_download(object) {
+                sum += targets.len() as f64;
+            } else {
+                let x = recency[object.index()];
+                for &t in targets {
+                    sum += self.scoring.score(x, t);
+                }
+            }
+        }
+        sum / batch.total_requests() as f64
+    }
+}
+
+/// A plan computed under a hard coherence floor (quasi-copies, Alonso et
+/// al. — the paper's reference \[7\]): cached copies below the floor are
+/// *not acceptable* to serve, so their objects are mandatory downloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstrainedPlan {
+    /// The combined plan (mandatory + optimized downloads).
+    pub plan: DownloadPlan,
+    /// Mandatory objects that were downloaded.
+    pub mandatory: Vec<ObjectId>,
+    /// Mandatory objects the budget could not cover — these requests
+    /// cannot be served within the caller's coherence condition and must
+    /// be rejected or deferred.
+    pub unmet: Vec<ObjectId>,
+}
+
+impl OnDemandPlanner {
+    /// Plan under a hard recency floor: every requested object whose
+    /// cached recency is below `floor` must be downloaded (quasi-copy
+    /// coherence); the remaining budget is optimized over the rest as
+    /// usual.
+    ///
+    /// Mandatory objects are admitted in profit-density order (most
+    /// client benefit per unit first) until the budget runs out; the
+    /// ones that do not fit are reported in
+    /// [`ConstrainedPlan::unmet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `floor ∈ [0, 1]`.
+    pub fn plan_with_floor(
+        &self,
+        batch: &RequestBatch,
+        catalog: &Catalog,
+        recency: &[f64],
+        budget: u64,
+        floor: f64,
+    ) -> ConstrainedPlan {
+        assert!(
+            (0.0..=1.0).contains(&floor),
+            "coherence floor must be in [0, 1]"
+        );
+
+        // Partition the batch: mandatory (below floor) vs optional.
+        let mut mandatory_batch = RequestBatch::new();
+        let mut optional_batch = RequestBatch::new();
+        for (object, targets) in batch.iter() {
+            let bucket = if recency[object.index()] < floor {
+                &mut mandatory_batch
+            } else {
+                &mut optional_batch
+            };
+            for &t in targets {
+                bucket.push(object, t);
+            }
+        }
+
+        // Admit mandatory objects by profit density.
+        let mut candidates: Vec<(f64, ObjectId)> = mandatory_batch
+            .iter()
+            .map(|(object, targets)| {
+                let x = recency[object.index()];
+                let profit: f64 = targets.iter().map(|&t| self.scoring.benefit(x, t)).sum();
+                (profit / catalog.size_of(object).max(1) as f64, object)
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("profits are never NaN")
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        let mut remaining = budget;
+        let mut mandatory = Vec::new();
+        let mut unmet = Vec::new();
+        for (_, object) in candidates {
+            let size = catalog.size_of(object);
+            if size <= remaining {
+                remaining -= size;
+                mandatory.push(object);
+            } else {
+                unmet.push(object);
+            }
+        }
+        mandatory.sort_unstable();
+        unmet.sort_unstable();
+
+        // Optimize the leftover budget over the optional objects.
+        let optional_plan = self.plan(&optional_batch, catalog, recency, remaining);
+
+        let mut download: Vec<ObjectId> = mandatory
+            .iter()
+            .copied()
+            .chain(optional_plan.downloads().iter().copied())
+            .collect();
+        download.sort_unstable();
+        let download_size: u64 = download.iter().map(|&o| catalog.size_of(o)).sum();
+        let mandatory_value: f64 = mandatory
+            .iter()
+            .map(|&o| {
+                let x = recency[o.index()];
+                batch
+                    .targets_for(o)
+                    .iter()
+                    .map(|&t| self.scoring.benefit(x, t))
+                    .sum::<f64>()
+            })
+            .sum();
+        let plan = DownloadPlan {
+            download,
+            download_size,
+            achieved_value: optional_plan.achieved_value() + mandatory_value,
+            budget,
+            scoring: self.scoring,
+        };
+        ConstrainedPlan {
+            plan,
+            mandatory,
+            unmet,
+        }
+    }
+}
+
+/// The Section 3.2 policy for unit-size objects: download the `k`
+/// requested objects with the lowest cached recency; serve the rest from
+/// the cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowestRecencyFirst;
+
+impl LowestRecencyFirst {
+    /// Select at most `k` of the batch's objects, lowest recency first
+    /// (ties by object id for determinism). Objects already fully fresh
+    /// (`recency == 1.0`) are never selected — downloading them cannot
+    /// improve anything.
+    pub fn select(&self, batch: &RequestBatch, recency: &[f64], k: usize) -> Vec<ObjectId> {
+        let mut candidates: Vec<ObjectId> = batch
+            .objects()
+            .filter(|o| recency[o.index()] < 1.0)
+            .collect();
+        candidates.sort_by(|a, b| {
+            recency[a.index()]
+                .partial_cmp(&recency[b.index()])
+                .expect("recency values are never NaN")
+                .then_with(|| a.cmp(b))
+        });
+        candidates.truncate(k);
+        candidates.sort_unstable();
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (RequestBatch, Catalog, Vec<f64>) {
+        let catalog = Catalog::from_sizes(&[4, 2, 6, 1]);
+        let recency = vec![0.9, 0.2, 0.5, 0.1];
+        let mut batch = RequestBatch::new();
+        for (obj, n) in [(0u32, 2), (1, 3), (2, 1), (3, 4)] {
+            for _ in 0..n {
+                batch.push(ObjectId(obj), 1.0);
+            }
+        }
+        (batch, catalog, recency)
+    }
+
+    #[test]
+    fn plan_respects_budget_and_prefers_stale_popular_objects() {
+        let (batch, catalog, recency) = setup();
+        let planner = OnDemandPlanner::paper_default();
+        let plan = planner.plan(&batch, &catalog, &recency, 3);
+        assert!(plan.download_size() <= 3);
+        // Objects 1 (size 2, 3 stale clients) and 3 (size 1, 4 very stale
+        // clients) fit the budget and carry the most benefit.
+        assert_eq!(plan.downloads(), &[ObjectId(1), ObjectId(3)]);
+        assert!(plan.is_download(ObjectId(3)));
+        assert!(!plan.is_download(ObjectId(0)));
+    }
+
+    #[test]
+    fn zero_budget_serves_everything_from_cache() {
+        let (batch, catalog, recency) = setup();
+        let plan = OnDemandPlanner::paper_default().plan(&batch, &catalog, &recency, 0);
+        assert!(plan.downloads().is_empty());
+        let cached: Vec<_> = plan.from_cache(&batch).collect();
+        assert_eq!(cached.len(), 4);
+    }
+
+    #[test]
+    fn unlimited_budget_downloads_all_stale_requested_objects() {
+        let (batch, catalog, recency) = setup();
+        let plan = OnDemandPlanner::paper_default().plan(&batch, &catalog, &recency, 10_000);
+        // Object 0 has recency 0.9 < 1.0 so it still has positive profit.
+        assert_eq!(plan.downloads().len(), 4);
+        assert!((plan.average_score(&batch, &recency) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_score_grows_with_budget() {
+        let (batch, catalog, recency) = setup();
+        let planner = OnDemandPlanner::paper_default();
+        let mut prev = -1.0;
+        for budget in [0u64, 1, 2, 4, 8, 13] {
+            let score = planner
+                .plan(&batch, &catalog, &recency, budget)
+                .average_score(&batch, &recency);
+            assert!(score >= prev - 1e-12, "budget {budget}: {score} < {prev}");
+            prev = score;
+        }
+    }
+
+    #[test]
+    fn average_score_matches_mapped_value_identity() {
+        // average_score computed from per-request scoring must equal
+        // (base + value)/clients computed from the knapsack mapping.
+        let (batch, catalog, recency) = setup();
+        let planner = OnDemandPlanner::paper_default();
+        let (plan, mapped, _) = planner.plan_with_trace(&batch, &catalog, &recency, 5);
+        let direct = plan.average_score(&batch, &recency);
+        let via_value = mapped.average_score_for_value(plan.achieved_value());
+        assert!((direct - via_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_solvers_produce_feasible_plans() {
+        let (batch, catalog, recency) = setup();
+        for solver in [
+            SolverChoice::ExactDp,
+            SolverChoice::Greedy,
+            SolverChoice::Fptas { epsilon: 0.1 },
+            SolverChoice::BranchAndBound,
+        ] {
+            let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, solver);
+            let plan = planner.plan(&batch, &catalog, &recency, 6);
+            assert!(plan.download_size() <= 6, "{solver:?}");
+            let sum: u64 = plan.downloads().iter().map(|&o| catalog.size_of(o)).sum();
+            assert_eq!(sum, plan.download_size(), "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn exact_solvers_agree_on_value() {
+        let (batch, catalog, recency) = setup();
+        let dp = OnDemandPlanner::new(ScoringFunction::Exponential, SolverChoice::ExactDp)
+            .plan(&batch, &catalog, &recency, 7);
+        let bb = OnDemandPlanner::new(ScoringFunction::Exponential, SolverChoice::BranchAndBound)
+            .plan(&batch, &catalog, &recency, 7);
+        assert!((dp.achieved_value() - bb.achieved_value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coherence_floor_forces_mandatory_downloads() {
+        // Objects 1 (recency 0.2) and 3 (0.1) sit below floor 0.3: both
+        // are mandatory downloads regardless of the knapsack's ranking.
+        let (batch, catalog, recency) = setup();
+        let planner = OnDemandPlanner::paper_default();
+        let constrained = planner.plan_with_floor(&batch, &catalog, &recency, 3, 0.3);
+        assert_eq!(constrained.mandatory, vec![ObjectId(1), ObjectId(3)]);
+        assert!(constrained.unmet.is_empty());
+        assert!(constrained.plan.is_download(ObjectId(3)));
+        assert!(constrained.plan.download_size() <= 3);
+    }
+
+    #[test]
+    fn coherence_floor_reports_unmet_when_budget_is_too_small() {
+        let catalog = Catalog::from_sizes(&[5, 5]);
+        let recency = [0.0, 0.0];
+        let mut batch = RequestBatch::new();
+        batch.push(ObjectId(0), 1.0);
+        batch.push(ObjectId(0), 1.0); // hotter: admitted first
+        batch.push(ObjectId(1), 1.0);
+        let constrained =
+            OnDemandPlanner::paper_default().plan_with_floor(&batch, &catalog, &recency, 5, 0.5);
+        assert_eq!(
+            constrained.mandatory,
+            vec![ObjectId(0)],
+            "denser mandatory object first"
+        );
+        assert_eq!(constrained.unmet, vec![ObjectId(1)]);
+        assert_eq!(constrained.plan.download_size(), 5);
+    }
+
+    #[test]
+    fn zero_floor_reduces_to_the_unconstrained_plan() {
+        let (batch, catalog, recency) = setup();
+        let planner = OnDemandPlanner::paper_default();
+        let constrained = planner.plan_with_floor(&batch, &catalog, &recency, 6, 0.0);
+        let plain = planner.plan(&batch, &catalog, &recency, 6);
+        assert!(constrained.mandatory.is_empty());
+        assert_eq!(constrained.plan.downloads(), plain.downloads());
+        assert!((constrained.plan.achieved_value() - plain.achieved_value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowest_recency_first_selects_stalest() {
+        let (batch, _catalog, recency) = setup();
+        let sel = LowestRecencyFirst.select(&batch, &recency, 2);
+        // Recencies: obj3=0.1, obj1=0.2 are the two stalest.
+        assert_eq!(sel, vec![ObjectId(1), ObjectId(3)]);
+        let all = LowestRecencyFirst.select(&batch, &recency, 10);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn lowest_recency_first_skips_fresh_copies() {
+        let mut batch = RequestBatch::new();
+        batch.push(ObjectId(0), 1.0);
+        batch.push(ObjectId(1), 1.0);
+        let recency = vec![1.0, 0.4];
+        let sel = LowestRecencyFirst.select(&batch, &recency, 5);
+        assert_eq!(
+            sel,
+            vec![ObjectId(1)],
+            "fresh object 0 must not be downloaded"
+        );
+    }
+}

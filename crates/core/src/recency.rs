@@ -1,0 +1,234 @@
+//! The recency model: how stale a cached copy is, and how much a client
+//! with target recency `C` values it.
+//!
+//! Recency `x ∈ (0, 1]` is a per-copy freshness measure: `1.0` for an
+//! up-to-date copy, decaying every time the remote object updates while
+//! the copy stays cached. A client request carries a target `C ∈ (0, 1]`;
+//! the copy's *score* for that client is `1.0` when `x ≥ C` and decays
+//! towards 0 as `x` falls away from `C`, via one of the paper's scoring
+//! functions. A remotely downloaded copy always scores `1.0`.
+
+/// The client-facing scoring functions of Section 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoringFunction {
+    /// `f_C(x) = 1 / (1 + |x/C − 1|)` — the paper's first example.
+    InverseRatio,
+    /// `f_C(x) = exp(−|x/C − 1|)` — the paper's second example.
+    Exponential,
+    /// All-or-nothing: `1` if `x ≥ C`, else `0`. Not in the paper, but a
+    /// useful limiting case (clients that strictly refuse staler data).
+    Step,
+}
+
+impl ScoringFunction {
+    /// Score a cached copy of recency `x` against target recency `target`.
+    ///
+    /// Always returns `1.0` when `x >= target` ("if the recency score of
+    /// the cached copy meets or exceeds C, the object gets a score of
+    /// 1.0"); otherwise applies the function. The result is in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x ∈ [0, 1]` and `target ∈ (0, 1]`.
+    pub fn score(self, x: f64, target: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&x),
+            "recency x must be in [0, 1], got {x}"
+        );
+        assert!(
+            target > 0.0 && target <= 1.0,
+            "target recency must be in (0, 1], got {target}"
+        );
+        if x >= target {
+            return 1.0;
+        }
+        let deviation = (x / target - 1.0).abs();
+        match self {
+            ScoringFunction::InverseRatio => 1.0 / (1.0 + deviation),
+            ScoringFunction::Exponential => (-deviation).exp(),
+            ScoringFunction::Step => 0.0,
+        }
+    }
+
+    /// The benefit to a client of downloading a fresh copy instead of
+    /// serving the cached one: `1.0 − score`. This is the paper's
+    /// `benefit(i)`; it "increases as C_i is more recent and when the
+    /// cached object is older".
+    pub fn benefit(self, x: f64, target: f64) -> f64 {
+        1.0 - self.score(x, target)
+    }
+}
+
+/// The per-update recency decay of Section 3.2: each time the remote
+/// object updates while a copy sits in the cache, the copy's recency
+/// decays as `x' = C·x/(1 + x)` (the paper writes the algebraically
+/// identical `x' = C/(1/x + 1)`), with constant `C = 1` by default. With
+/// `C = 1` a fresh copy decays through the harmonic sequence
+/// `1, 1/2, 1/3, …` as updates accumulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayModel {
+    c: f64,
+}
+
+impl Default for DecayModel {
+    fn default() -> Self {
+        Self::new(1.0)
+    }
+}
+
+impl DecayModel {
+    /// A decay model with constant `c ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c ∈ (0, 1]` — a larger constant would let recency
+    /// grow without a download, which is meaningless.
+    pub fn new(c: f64) -> Self {
+        assert!(
+            c > 0.0 && c <= 1.0,
+            "decay constant must be in (0, 1], got {c}"
+        );
+        Self { c }
+    }
+
+    /// The decay constant.
+    pub fn constant(&self) -> f64 {
+        self.c
+    }
+
+    /// One decay step: the recency after one more missed update.
+    pub fn decay(&self, x: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&x),
+            "recency must be in [0, 1], got {x}"
+        );
+        self.c * x / (1.0 + x)
+    }
+
+    /// Recency of a copy that was fresh (`x = 1`) and has since missed
+    /// `lag` updates. With `c = 1` this is exactly `1 / (lag + 1)`.
+    pub fn recency_for_lag(&self, lag: u64) -> f64 {
+        if self.c == 1.0 {
+            // Closed form for the harmonic decay; avoids iteration for
+            // the hot path (every cached object, every tick).
+            return 1.0 / (lag as f64 + 1.0);
+        }
+        let mut x = 1.0;
+        for _ in 0..lag {
+            x = self.decay(x);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meeting_target_scores_one() {
+        for f in [
+            ScoringFunction::InverseRatio,
+            ScoringFunction::Exponential,
+            ScoringFunction::Step,
+        ] {
+            assert_eq!(f.score(0.8, 0.8), 1.0);
+            assert_eq!(f.score(0.9, 0.8), 1.0);
+            assert_eq!(f.score(1.0, 1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn inverse_ratio_matches_formula() {
+        // x = 0.5, C = 1.0: deviation 0.5, score 1/1.5.
+        let s = ScoringFunction::InverseRatio.score(0.5, 1.0);
+        assert!((s - 2.0 / 3.0).abs() < 1e-12);
+        // x = 0.25, C = 0.5: deviation 0.5 as well.
+        let s2 = ScoringFunction::InverseRatio.score(0.25, 0.5);
+        assert!((s - s2).abs() < 1e-12, "score depends on x/C only");
+    }
+
+    #[test]
+    fn exponential_matches_formula() {
+        let s = ScoringFunction::Exponential.score(0.5, 1.0);
+        assert!((s - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_is_all_or_nothing() {
+        assert_eq!(ScoringFunction::Step.score(0.799, 0.8), 0.0);
+        assert_eq!(ScoringFunction::Step.score(0.8, 0.8), 1.0);
+    }
+
+    #[test]
+    fn scores_decrease_as_copies_get_staler() {
+        for f in [ScoringFunction::InverseRatio, ScoringFunction::Exponential] {
+            let mut prev = f.score(0.9, 1.0);
+            for x in [0.7, 0.5, 0.3, 0.1, 0.0] {
+                let s = f.score(x, 1.0);
+                assert!(s < prev, "{f:?} not monotone at x={x}");
+                assert!((0.0..1.0).contains(&s));
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn benefit_complements_score() {
+        let f = ScoringFunction::InverseRatio;
+        let x = 0.4;
+        assert!((f.benefit(x, 1.0) + f.score(x, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(
+            f.benefit(1.0, 1.0),
+            0.0,
+            "fresh copies leave nothing to gain"
+        );
+    }
+
+    #[test]
+    fn benefit_grows_with_demand_and_staleness() {
+        let f = ScoringFunction::InverseRatio;
+        // Staler cached copy → larger benefit.
+        assert!(f.benefit(0.2, 1.0) > f.benefit(0.6, 1.0));
+        // More demanding client (larger C) → larger benefit at same x.
+        assert!(f.benefit(0.5, 1.0) > f.benefit(0.5, 0.6));
+    }
+
+    #[test]
+    fn harmonic_decay_closed_form() {
+        let d = DecayModel::default();
+        assert_eq!(d.recency_for_lag(0), 1.0);
+        assert!((d.recency_for_lag(1) - 0.5).abs() < 1e-12);
+        assert!((d.recency_for_lag(4) - 0.2).abs() < 1e-12);
+        // Closed form agrees with explicit iteration.
+        let mut x = 1.0;
+        for _ in 0..7 {
+            x = d.decay(x);
+        }
+        assert!((d.recency_for_lag(7) - x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_constant_decays_monotonically() {
+        let d = DecayModel::new(0.8);
+        let mut x = 1.0;
+        for lag in 1..20 {
+            let next = d.recency_for_lag(lag);
+            assert!(next < x, "decay must be strictly decreasing");
+            assert!(next > 0.0);
+            x = next;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "decay constant")]
+    fn rejects_bad_constant() {
+        let _ = DecayModel::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "target recency")]
+    fn rejects_zero_target() {
+        let _ = ScoringFunction::InverseRatio.score(0.5, 0.0);
+    }
+}

@@ -1,0 +1,673 @@
+//! The time-stepped base-station simulation.
+//!
+//! [`BaseStationSim`] glues the substrates together exactly as the
+//! paper's analyses do: a versioned [`RemoteServer`], the base-station
+//! [`CacheStore`], a download policy, and per-tick client request
+//! batches. Each simulated time unit the station (1) receives a batch,
+//! (2) decides what to download under the policy, (3) refreshes the cache
+//! with the downloaded copies, and (4) serves every request, recording
+//! the recency and score delivered to each client.
+//!
+//! The driver (experiment harness or example) owns the clock: it calls
+//! [`BaseStationSim::apply_update_wave`] (or per-object updates) whenever
+//! the remote objects change, and [`BaseStationSim::step`] once per time
+//! unit.
+
+use basecache_cache::CacheStore;
+use basecache_net::{Catalog, InvalidationReport, ObjectId, RemoteServer};
+use basecache_sim::metrics::Welford;
+use basecache_sim::SimTime;
+use basecache_workload::GeneratedRequest;
+
+use crate::asynch::AsyncRefresher;
+use crate::estimator::RecencyEstimator;
+use crate::planner::{LowestRecencyFirst, OnDemandPlanner};
+use crate::recency::{DecayModel, ScoringFunction};
+use crate::request::RequestBatch;
+
+/// How the station learns the recency of its cached copies when making
+/// download decisions. Delivered-quality *measurements* always use the
+/// true staleness, so estimator error shows up as policy degradation —
+/// exactly what the estimator experiments quantify.
+#[derive(Debug)]
+pub enum Estimation {
+    /// The paper's assumption: the station knows the exact version lag.
+    Oracle,
+    /// A pluggable estimator (TTL aging, invalidation reports, …).
+    Estimator(Box<dyn RecencyEstimator + Send>),
+}
+
+/// The download policy the base station runs each time unit.
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// The paper's on-demand knapsack planner under a per-tick unit
+    /// budget.
+    OnDemand {
+        /// The planner (scoring function + solver).
+        planner: OnDemandPlanner,
+        /// Download budget per time unit, in data units.
+        budget_units: u64,
+    },
+    /// Section 3.2's unit-size on-demand policy: the `k` requested
+    /// objects with the lowest cached recency.
+    OnDemandLowestRecency {
+        /// Objects downloaded per time unit.
+        k_objects: usize,
+    },
+    /// The asynchronous baseline: round-robin refresh of `k` objects per
+    /// time unit, independent of requests.
+    AsyncRoundRobin {
+        /// Objects refreshed per time unit.
+        k_objects: usize,
+    },
+    /// Push–pull hybrid (extension; cf. Acharya et al.'s "balancing push
+    /// and pull"): run the on-demand planner first, then spend whatever
+    /// budget it left over on background refresh of the stalest cached
+    /// objects, requested or not.
+    Hybrid {
+        /// The on-demand planner for the pull half.
+        planner: OnDemandPlanner,
+        /// Total download budget per time unit, in data units.
+        budget_units: u64,
+    },
+    /// Adaptive budget (the paper's Section 6 future work, closed-loop):
+    /// each round, read the DP solution-space trace and spend only up to
+    /// the knee — the budget where the marginal recency gain per unit
+    /// drops below `threshold` over the next `window` units.
+    OnDemandAdaptive {
+        /// The on-demand planner (knee selection forces the exact DP).
+        planner: OnDemandPlanner,
+        /// Hard ceiling on the per-tick budget, in data units.
+        max_budget: u64,
+        /// Averaging window for the marginal gain, in data units.
+        window: u64,
+        /// Minimum acceptable marginal gain per data unit.
+        threshold: f64,
+    },
+}
+
+/// What one simulated time unit produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The time unit just simulated (0-based).
+    pub tick: u64,
+    /// Objects downloaded/refreshed this tick, ascending.
+    pub downloaded: Vec<ObjectId>,
+    /// Data units downloaded this tick.
+    pub units_downloaded: u64,
+    /// Average recency delivered to this tick's clients (1.0 when the
+    /// batch was empty).
+    pub average_recency: f64,
+    /// Average client score delivered this tick (1.0 when empty).
+    pub average_score: f64,
+    /// Number of client requests served.
+    pub served: usize,
+}
+
+/// Accumulated measurements since construction or the last
+/// [`BaseStationSim::reset_stats`].
+#[derive(Debug, Clone, Default)]
+pub struct StationStats {
+    /// Total data units downloaded from remote servers.
+    pub units_downloaded: u64,
+    /// Total objects downloaded (downloads of the same object on
+    /// different ticks count separately).
+    pub objects_downloaded: u64,
+    /// Total client requests served.
+    pub requests_served: u64,
+    /// Distribution of per-request delivered recency.
+    pub recency: Welford,
+    /// Distribution of per-request delivered score.
+    pub score: Welford,
+}
+
+/// The base-station simulation.
+#[derive(Debug)]
+pub struct BaseStationSim {
+    catalog: Catalog,
+    server: RemoteServer,
+    cache: CacheStore,
+    policy: Policy,
+    refresher: AsyncRefresher,
+    decay: DecayModel,
+    scoring: ScoringFunction,
+    estimation: Estimation,
+    tick: u64,
+    stats: StationStats,
+}
+
+impl BaseStationSim {
+    /// Build a station over `catalog` with the given policy. The cache
+    /// starts empty ("we started with an empty cache"); the server starts
+    /// with every object at version 0.
+    pub fn new(catalog: Catalog, policy: Policy) -> Self {
+        let server = RemoteServer::new(&catalog);
+        let refresher = AsyncRefresher::new(&catalog);
+        Self {
+            catalog,
+            server,
+            cache: CacheStore::unbounded(),
+            policy,
+            refresher,
+            decay: DecayModel::default(),
+            scoring: ScoringFunction::InverseRatio,
+            estimation: Estimation::Oracle,
+            tick: 0,
+            stats: StationStats::default(),
+        }
+    }
+
+    /// Replace the recency estimation used for *planning* (default:
+    /// oracle). Measurements always use the true staleness.
+    pub fn with_estimation(mut self, estimation: Estimation) -> Self {
+        self.estimation = estimation;
+        self
+    }
+
+    /// Replace the decay model (default: `x' = x/(1+x)`).
+    pub fn with_decay(mut self, decay: DecayModel) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// Replace the scoring function (default: inverse-ratio).
+    pub fn with_scoring(mut self, scoring: ScoringFunction) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// The current time unit (number of steps taken).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The catalog the station serves.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The authoritative remote server (for drivers applying per-object
+    /// updates).
+    pub fn server_mut(&mut self) -> &mut RemoteServer {
+        &mut self.server
+    }
+
+    /// The cache (inspection).
+    pub fn cache(&self) -> &CacheStore {
+        &self.cache
+    }
+
+    /// Accumulated stats.
+    pub fn stats(&self) -> &StationStats {
+        &self.stats
+    }
+
+    /// Forget accumulated stats (end of warm-up: the paper warms the
+    /// cache for 50–100 time units before measuring).
+    pub fn reset_stats(&mut self) {
+        self.stats = StationStats::default();
+    }
+
+    /// Update every remote object simultaneously (the paper's update
+    /// waves at t = 0, 5, 10, …).
+    pub fn apply_update_wave(&mut self) {
+        self.server
+            .apply_simultaneous_update(SimTime::from_ticks(self.tick));
+    }
+
+    /// True current recency of every object's cached copy: decayed once
+    /// per missed server update; 0.0 when the object is not cached.
+    pub fn recency_vec(&self) -> Vec<f64> {
+        self.catalog
+            .ids()
+            .map(|id| match self.cache.peek(id) {
+                Some(entry) => self
+                    .decay
+                    .recency_for_lag(entry.lag(self.server.version_of(id))),
+                None => 0.0,
+            })
+            .collect()
+    }
+
+    /// The recency vector the *planner* sees: the truth under
+    /// [`Estimation::Oracle`], the estimator's belief otherwise.
+    pub fn estimated_recency_vec(&self) -> Vec<f64> {
+        match &self.estimation {
+            Estimation::Oracle => self.recency_vec(),
+            Estimation::Estimator(est) => {
+                let now = SimTime::from_ticks(self.tick);
+                self.catalog
+                    .ids()
+                    .map(|id| match self.cache.peek(id) {
+                        Some(entry) => est.estimate(id, entry, now),
+                        None => 0.0,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Deliver a server invalidation report to the station's estimator
+    /// (ignored under [`Estimation::Oracle`]).
+    pub fn deliver_report(&mut self, report: &InvalidationReport) {
+        if let Estimation::Estimator(est) = &mut self.estimation {
+            est.ingest_report(report);
+        }
+    }
+
+    /// Simulate one time unit over the given client requests.
+    pub fn step(&mut self, requests: &[GeneratedRequest]) -> StepOutcome {
+        let batch = RequestBatch::from_generated(requests);
+        let recency = self.estimated_recency_vec();
+
+        let downloaded: Vec<ObjectId> = match &self.policy {
+            Policy::OnDemand {
+                planner,
+                budget_units,
+            } => {
+                let plan = planner.plan(&batch, &self.catalog, &recency, *budget_units);
+                plan.downloads().to_vec()
+            }
+            Policy::OnDemandLowestRecency { k_objects } => {
+                LowestRecencyFirst.select(&batch, &recency, *k_objects)
+            }
+            Policy::AsyncRoundRobin { k_objects } => self.refresher.next_batch(*k_objects),
+            Policy::OnDemandAdaptive {
+                planner,
+                max_budget,
+                window,
+                threshold,
+            } => {
+                let (_, mapped, trace) =
+                    planner.plan_with_trace(&batch, &self.catalog, &recency, *max_budget);
+                let budget = crate::bound::knee_budget(&trace, *window, *threshold);
+                let solution = trace.solution_at(mapped.instance(), budget);
+                let mut chosen = mapped.selected_objects(&solution);
+                chosen.sort_unstable();
+                chosen
+            }
+            Policy::Hybrid {
+                planner,
+                budget_units,
+            } => {
+                let plan = planner.plan(&batch, &self.catalog, &recency, *budget_units);
+                let mut chosen = plan.downloads().to_vec();
+                let mut leftover = budget_units.saturating_sub(plan.download_size());
+                // Spend the leftover pushing fresh copies of the stalest
+                // cached objects (requested or not).
+                let mut background: Vec<ObjectId> = self
+                    .catalog
+                    .ids()
+                    .filter(|&id| recency[id.index()] < 1.0 && !chosen.contains(&id))
+                    .collect();
+                background.sort_by(|a, b| {
+                    recency[a.index()]
+                        .partial_cmp(&recency[b.index()])
+                        .expect("recency values are never NaN")
+                        .then_with(|| a.cmp(b))
+                });
+                for id in background {
+                    let size = self.catalog.size_of(id);
+                    if size <= leftover {
+                        leftover -= size;
+                        chosen.push(id);
+                    }
+                    if leftover == 0 {
+                        break;
+                    }
+                }
+                chosen.sort_unstable();
+                chosen
+            }
+        };
+
+        let now = SimTime::from_ticks(self.tick);
+        let mut units = 0u64;
+        for &id in &downloaded {
+            let size = self.catalog.size_of(id);
+            self.cache
+                .insert(id, size, self.server.version_of(id), now)
+                .expect("unbounded cache never refuses");
+            if let Estimation::Estimator(est) = &mut self.estimation {
+                est.on_refresh(id, now);
+            }
+            units += size;
+        }
+
+        // Serve every request from the (possibly just refreshed) cache.
+        let mut recency_acc = Welford::new();
+        let mut score_acc = Welford::new();
+        for r in requests {
+            let x = match self.cache.peek(r.object) {
+                Some(entry) => self
+                    .decay
+                    .recency_for_lag(entry.lag(self.server.version_of(r.object))),
+                None => 0.0,
+            };
+            let score = self.scoring.score(x, r.target_recency);
+            recency_acc.push(x);
+            score_acc.push(score);
+            self.stats.recency.push(x);
+            self.stats.score.push(score);
+        }
+
+        self.stats.units_downloaded += units;
+        self.stats.objects_downloaded += downloaded.len() as u64;
+        self.stats.requests_served += requests.len() as u64;
+
+        let outcome = StepOutcome {
+            tick: self.tick,
+            downloaded,
+            units_downloaded: units,
+            average_recency: recency_acc.mean().unwrap_or(1.0),
+            average_score: score_acc.mean().unwrap_or(1.0),
+            served: requests.len(),
+        };
+        self.tick += 1;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::SolverChoice;
+
+    fn req(id: u32) -> GeneratedRequest {
+        GeneratedRequest {
+            object: ObjectId(id),
+            target_recency: 1.0,
+        }
+    }
+
+    fn on_demand_station(n: usize, budget: u64) -> BaseStationSim {
+        BaseStationSim::new(
+            Catalog::uniform_unit(n),
+            Policy::OnDemand {
+                planner: OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp),
+                budget_units: budget,
+            },
+        )
+    }
+
+    #[test]
+    fn uncached_requested_objects_are_downloaded_and_score_one() {
+        let mut s = on_demand_station(10, 100);
+        let out = s.step(&[req(0), req(1), req(1)]);
+        assert_eq!(out.downloaded, vec![ObjectId(0), ObjectId(1)]);
+        assert_eq!(out.units_downloaded, 2);
+        assert_eq!(out.average_score, 1.0);
+        assert_eq!(out.average_recency, 1.0);
+        assert_eq!(out.served, 3);
+    }
+
+    #[test]
+    fn fresh_cached_objects_are_not_redownloaded() {
+        let mut s = on_demand_station(5, 100);
+        s.step(&[req(2)]);
+        let out = s.step(&[req(2)]);
+        assert!(
+            out.downloaded.is_empty(),
+            "no update happened: cache copy is fresh"
+        );
+        assert_eq!(out.average_score, 1.0);
+    }
+
+    #[test]
+    fn update_wave_makes_copies_stale_and_triggers_redownload() {
+        let mut s = on_demand_station(5, 100);
+        s.step(&[req(2)]);
+        s.apply_update_wave();
+        let recency = s.recency_vec();
+        assert!((recency[2] - 0.5).abs() < 1e-12, "one missed update → 1/2");
+        assert_eq!(recency[0], 0.0, "never cached");
+        let out = s.step(&[req(2)]);
+        assert_eq!(out.downloaded, vec![ObjectId(2)]);
+        assert_eq!(out.average_score, 1.0);
+    }
+
+    #[test]
+    fn zero_budget_serves_stale_data() {
+        let mut s = on_demand_station(5, 0);
+        // Nothing can ever be downloaded: scores reflect pure staleness.
+        let out = s.step(&[req(0)]);
+        assert!(out.downloaded.is_empty());
+        assert!(out.average_score < 1.0);
+        assert_eq!(out.average_recency, 0.0);
+    }
+
+    #[test]
+    fn budget_limits_per_tick_downloads() {
+        let mut s = on_demand_station(10, 3);
+        let reqs: Vec<_> = (0..8).map(req).collect();
+        let out = s.step(&reqs);
+        assert_eq!(out.units_downloaded, 3);
+        assert_eq!(out.downloaded.len(), 3);
+    }
+
+    #[test]
+    fn async_policy_ignores_requests() {
+        let mut s = BaseStationSim::new(
+            Catalog::uniform_unit(6),
+            Policy::AsyncRoundRobin { k_objects: 2 },
+        );
+        let out = s.step(&[req(5)]);
+        assert_eq!(
+            out.downloaded,
+            vec![ObjectId(0), ObjectId(1)],
+            "round robin, not demand"
+        );
+        assert_eq!(
+            out.average_score, 0.5,
+            "request for 5 served with nothing cached"
+        );
+        let out = s.step(&[]);
+        assert_eq!(out.downloaded, vec![ObjectId(2), ObjectId(3)]);
+        assert_eq!(out.average_score, 1.0, "empty batch scores 1 by convention");
+    }
+
+    #[test]
+    fn lowest_recency_policy_picks_stalest_requested() {
+        let mut s = BaseStationSim::new(
+            Catalog::uniform_unit(4),
+            Policy::OnDemandLowestRecency { k_objects: 1 },
+        );
+        // Cache 0 and 1; object 1 then misses two waves, 0 misses one.
+        s.step(&[req(1)]);
+        s.apply_update_wave();
+        s.step(&[req(0)]);
+        s.apply_update_wave();
+        // Both requested; 1 has lag 2 (recency 1/3), 0 has lag 1 (1/2).
+        let out = s.step(&[req(0), req(1)]);
+        assert_eq!(out.downloaded, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut s = on_demand_station(5, 100);
+        s.step(&[req(0), req(1)]);
+        s.step(&[req(0)]);
+        let st = s.stats();
+        assert_eq!(st.requests_served, 3);
+        assert_eq!(st.units_downloaded, 2);
+        assert_eq!(st.recency.count(), 3);
+        s.reset_stats();
+        assert_eq!(s.stats().requests_served, 0);
+        assert_eq!(s.tick(), 2, "reset keeps the clock");
+    }
+
+    #[test]
+    fn adaptive_budget_downloads_high_gain_objects_only() {
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        // Sizes: one cheap object, one expensive one.
+        let mut s = BaseStationSim::new(
+            Catalog::from_sizes(&[1, 30]),
+            Policy::OnDemandAdaptive {
+                planner,
+                max_budget: 100,
+                window: 2,
+                threshold: 0.05,
+            },
+        );
+        // Warm both, then stale them.
+        let both = [req(0), req(1)];
+        s.step(&both);
+        s.step(&both);
+        s.apply_update_wave();
+        // One client wants each. The cheap stale object yields ~0.33
+        // benefit for 1 unit (~0.17/unit over the 2-unit window); the
+        // big one yields ~0.33 for 30 units (~0.011/unit, under the
+        // 0.05 threshold): the adaptive budget stops after the cheap
+        // download. (The window must match the object-size scale — a
+        // window much wider than the cheap object dilutes its spike.)
+        let out = s.step(&both);
+        assert_eq!(out.downloaded, vec![ObjectId(0)]);
+        assert_eq!(out.units_downloaded, 1);
+    }
+
+    #[test]
+    fn adaptive_with_zero_threshold_downloads_everything_stale() {
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let mut s = BaseStationSim::new(
+            Catalog::from_sizes(&[1, 30]),
+            Policy::OnDemandAdaptive {
+                planner,
+                max_budget: 100,
+                window: 10,
+                threshold: 0.0,
+            },
+        );
+        let both = [req(0), req(1)];
+        s.step(&both);
+        s.step(&both);
+        s.apply_update_wave();
+        let out = s.step(&both);
+        assert_eq!(out.downloaded, vec![ObjectId(0), ObjectId(1)]);
+    }
+
+    #[test]
+    fn hybrid_spends_leftover_budget_on_background_refresh() {
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let mut s = BaseStationSim::new(
+            Catalog::uniform_unit(6),
+            Policy::Hybrid {
+                planner,
+                budget_units: 4,
+            },
+        );
+        // Warm the cache with everything (two rounds: the 4-unit budget
+        // caches 4 objects per round), then make it all stale.
+        let all: Vec<_> = (0..6).map(req).collect();
+        s.step(&all);
+        s.step(&all);
+        assert_eq!(s.cache().len(), 6, "cache fully warmed");
+        s.apply_update_wave();
+        // Only object 0 is requested (1 unit); 3 units remain for the
+        // stalest cached objects 1, 2, 3.
+        let out = s.step(&[req(0)]);
+        assert_eq!(out.units_downloaded, 4, "full budget spent");
+        assert_eq!(
+            out.downloaded,
+            vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
+    }
+
+    #[test]
+    fn hybrid_with_no_leftover_reduces_to_on_demand() {
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let mut hybrid = BaseStationSim::new(
+            Catalog::uniform_unit(8),
+            Policy::Hybrid {
+                planner,
+                budget_units: 3,
+            },
+        );
+        let mut pure = BaseStationSim::new(
+            Catalog::uniform_unit(8),
+            Policy::OnDemand {
+                planner,
+                budget_units: 3,
+            },
+        );
+        // More stale demand than budget: the planner consumes everything.
+        let reqs: Vec<_> = (0..8).map(req).collect();
+        let a = hybrid.step(&reqs);
+        let b = pure.step(&reqs);
+        assert_eq!(a.downloaded, b.downloaded);
+    }
+
+    #[test]
+    fn ttl_estimation_drives_planning_but_not_measurement() {
+        use crate::estimator::TtlEstimator;
+        use crate::recency::DecayModel;
+
+        // TTL assumes updates every 1000 ticks: the estimator believes
+        // everything stays fresh, so after the real update wave the
+        // planner downloads nothing — and the *measured* score honestly
+        // reports the resulting staleness.
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let mut s = BaseStationSim::new(
+            Catalog::uniform_unit(4),
+            Policy::OnDemand {
+                planner,
+                budget_units: 100,
+            },
+        )
+        .with_estimation(Estimation::Estimator(Box::new(TtlEstimator::new(
+            1000,
+            DecayModel::default(),
+        ))));
+        s.step(&[req(0)]);
+        s.apply_update_wave();
+        let out = s.step(&[req(0)]);
+        assert!(
+            out.downloaded.is_empty(),
+            "optimistic TTL sees no staleness"
+        );
+        assert!(out.average_score < 1.0, "measurement uses the truth");
+    }
+
+    #[test]
+    fn report_estimation_restores_oracle_behaviour_when_complete() {
+        use crate::estimator::ReportEstimator;
+        use crate::recency::DecayModel;
+        use basecache_net::ReportLog;
+
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let catalog = Catalog::uniform_unit(4);
+        let mut log = ReportLog::new(&catalog);
+        let mut s = BaseStationSim::new(
+            catalog,
+            Policy::OnDemand {
+                planner,
+                budget_units: 100,
+            },
+        )
+        .with_estimation(Estimation::Estimator(Box::new(ReportEstimator::new(
+            4,
+            DecayModel::default(),
+        ))));
+        s.step(&[req(0)]);
+        // Server updates; the report reaches the station.
+        s.apply_update_wave();
+        log.record_wave();
+        let report = log.cut_report(SimTime::from_ticks(1));
+        s.deliver_report(&report);
+        let out = s.step(&[req(0)]);
+        assert_eq!(
+            out.downloaded,
+            vec![ObjectId(0)],
+            "report reveals the staleness"
+        );
+        assert_eq!(out.average_score, 1.0);
+    }
+
+    #[test]
+    fn score_when_served_stale_matches_scoring_function() {
+        let mut s = on_demand_station(3, 0);
+        s.server_mut().apply_update(ObjectId(0), SimTime::ZERO);
+        let out = s.step(&[req(0)]);
+        // Not cached: x = 0 → deviation 1 → score 1/2.
+        assert!((out.average_score - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Extension experiment — closed-loop adaptive budgets (the paper's
+//! Section 6 future work, in the loop).
+//!
+//! "In future work, we will develop techniques to determine how much
+//! data the base station should download to satisfy a set of requests.
+//! ... Our analysis shows that under some circumstances there is not a
+//! great benefit to downloading large amounts of data. In these cases
+//! the techniques will choose a smaller upper bound." We sweep fixed
+//! per-tick budgets to map the score-vs-bandwidth frontier, then run the
+//! adaptive policy (per-round knee of the DP solution-space trace) and
+//! place its operating point on the same axes. A good adaptive policy
+//! sits on the frontier's knee: near-maximal score at a fraction of the
+//! bandwidth.
+
+use basecache_core::planner::OnDemandPlanner;
+use basecache_core::Policy;
+use basecache_workload::Popularity;
+
+use crate::report::{Figure, Series};
+use crate::runner::{parallel_sweep, record_trace, run_policy, RunConfig, RunResult};
+
+/// Parameters of the adaptive-budget experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of unit-size objects.
+    pub objects: usize,
+    /// Requests per time unit.
+    pub requests_per_tick: usize,
+    /// Update period in ticks.
+    pub update_period: u64,
+    /// Warm-up ticks.
+    pub warmup_ticks: u64,
+    /// Measured ticks.
+    pub measure_ticks: u64,
+    /// Fixed per-tick budgets to sweep.
+    pub fixed_budgets: Vec<u64>,
+    /// Adaptive policy: marginal-gain window (units).
+    pub window: u64,
+    /// Adaptive policy: marginal-gain threshold (benefit per unit).
+    pub threshold: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full-fidelity setup.
+    pub fn paper() -> Self {
+        Self {
+            objects: 500,
+            requests_per_tick: 100,
+            update_period: 5,
+            warmup_ticks: 50,
+            measure_ticks: 200,
+            fixed_budgets: vec![5, 10, 20, 40, 80, 160, 320],
+            window: 10,
+            threshold: 0.08,
+            seed: 12_000,
+        }
+    }
+
+    /// CI-sized setup.
+    pub fn quick() -> Self {
+        Self {
+            objects: 100,
+            requests_per_tick: 25,
+            warmup_ticks: 15,
+            measure_ticks: 80,
+            fixed_budgets: vec![2, 5, 10, 25, 60],
+            ..Self::paper()
+        }
+    }
+
+    fn config(&self) -> RunConfig {
+        RunConfig {
+            objects: self.objects,
+            requests_per_tick: self.requests_per_tick,
+            update_period: self.update_period,
+            warmup_ticks: self.warmup_ticks,
+            measure_ticks: self.measure_ticks,
+            popularity: Popularity::ZIPF1,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A point on the score-vs-bandwidth plane.
+fn point(result: &RunResult, measure_ticks: u64) -> (f64, f64) {
+    (
+        result.units_downloaded as f64 / measure_ticks as f64,
+        result.mean_score.expect("requests served"),
+    )
+}
+
+/// Run the experiment: the fixed-budget frontier plus the adaptive
+/// operating point, on (units downloaded per tick, average score) axes.
+pub fn run(params: &Params) -> Figure {
+    let config = params.config();
+    let planner = OnDemandPlanner::paper_default();
+
+    let fixed = parallel_sweep(params.fixed_budgets.clone(), |&budget| {
+        let trace = record_trace(&config);
+        let r = run_policy(
+            &config,
+            Policy::OnDemand {
+                planner,
+                budget_units: budget,
+            },
+            &trace,
+        );
+        point(&r, config.measure_ticks)
+    });
+
+    let trace = record_trace(&config);
+    let adaptive_result = run_policy(
+        &config,
+        Policy::OnDemandAdaptive {
+            planner,
+            max_budget: params.objects as u64,
+            window: params.window,
+            threshold: params.threshold,
+        },
+        &trace,
+    );
+    let adaptive = point(&adaptive_result, config.measure_ticks);
+
+    Figure::new(
+        "Extension: adaptive download budget vs fixed-budget frontier",
+        "units downloaded per time unit (consumed)",
+        "average delivered score",
+        vec![
+            Series::new("fixed budgets", fixed),
+            Series::new("adaptive (knee of DP trace)", vec![adaptive]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_sits_near_the_frontier_knee() {
+        let fig = run(&Params::quick());
+        let fixed = &fig.series[0];
+        let (adaptive_units, adaptive_score) = fig.series[1].points[0];
+
+        let max_fixed_score = fixed
+            .points
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::MIN, f64::max);
+        let max_fixed_units = fixed
+            .points
+            .iter()
+            .map(|&(u, _)| u)
+            .fold(f64::MIN, f64::max);
+
+        // Near-maximal quality…
+        assert!(
+            adaptive_score > 0.93 * max_fixed_score,
+            "adaptive score {adaptive_score} too far below best fixed {max_fixed_score}"
+        );
+        // …at materially less bandwidth than the biggest fixed budget's
+        // actual consumption.
+        assert!(
+            adaptive_units < 0.9 * max_fixed_units,
+            "adaptive consumed {adaptive_units}/tick, frontier max {max_fixed_units}/tick"
+        );
+        assert!(adaptive_units > 0.0, "adaptive must download something");
+    }
+
+    #[test]
+    fn fixed_frontier_is_monotone_in_consumption() {
+        let fig = run(&Params::quick());
+        let fixed = &fig.series[0];
+        for w in fixed.points.windows(2) {
+            assert!(w[1].0 >= w[0].0 - 1e-9, "consumption grows with budget");
+            assert!(w[1].1 >= w[0].1 - 0.02, "score ~grows with budget");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Extension experiment — how recency-estimation quality degrades the
+//! on-demand planner.
+//!
+//! The paper assumes the base station knows each cached copy's recency.
+//! Here the planner runs on (a) that oracle, (b) invalidation-report
+//! counting with configurable report loss, and (c) TTL aging with a
+//! mis-specified assumed period. Delivered quality is always measured
+//! against the truth, so estimator error shows up directly as lost
+//! average score.
+
+use basecache_core::estimator::{ReportEstimator, TtlEstimator};
+use basecache_core::planner::OnDemandPlanner;
+use basecache_core::recency::DecayModel;
+use basecache_core::{BaseStationSim, Estimation, Policy};
+use basecache_net::{Catalog, ReportLog};
+use basecache_sim::{RngStreams, SimTime};
+use basecache_workload::Popularity;
+use rand::RngExt;
+
+use crate::report::{Figure, Series};
+use crate::runner::{parallel_sweep, record_trace, RunConfig};
+
+/// Parameters of the estimator comparison.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of unit-size objects.
+    pub objects: usize,
+    /// Requests per time unit.
+    pub requests_per_tick: usize,
+    /// True update period in ticks.
+    pub update_period: u64,
+    /// The TTL estimator's (wrong) assumed period.
+    pub ttl_assumed_period: u64,
+    /// Probability an invalidation report is lost in transit.
+    pub report_loss: f64,
+    /// Warm-up ticks.
+    pub warmup_ticks: u64,
+    /// Measured ticks.
+    pub measure_ticks: u64,
+    /// Per-tick budgets (data units) to sweep.
+    pub budgets: Vec<u64>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full-fidelity setup: updates every 5 ticks, TTL believes 15,
+    /// 30% of reports lost.
+    pub fn paper() -> Self {
+        Self {
+            objects: 500,
+            requests_per_tick: 100,
+            update_period: 5,
+            ttl_assumed_period: 15,
+            report_loss: 0.3,
+            warmup_ticks: 50,
+            measure_ticks: 200,
+            budgets: vec![5, 10, 20, 40, 80],
+            seed: 9000,
+        }
+    }
+
+    /// CI-sized setup.
+    pub fn quick() -> Self {
+        Self {
+            objects: 100,
+            requests_per_tick: 25,
+            warmup_ticks: 15,
+            measure_ticks: 60,
+            budgets: vec![2, 5, 10, 20],
+            ..Self::paper()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Variant {
+    Oracle,
+    Reports,
+    Ttl,
+}
+
+fn run_variant(params: &Params, budget: u64, variant: Variant) -> f64 {
+    let config = RunConfig {
+        objects: params.objects,
+        requests_per_tick: params.requests_per_tick,
+        update_period: params.update_period,
+        warmup_ticks: params.warmup_ticks,
+        measure_ticks: params.measure_ticks,
+        popularity: Popularity::Uniform,
+        seed: params.seed,
+    };
+    let trace = record_trace(&config);
+    let catalog = Catalog::uniform_unit(params.objects);
+    let planner = OnDemandPlanner::paper_default();
+    let estimation = match variant {
+        Variant::Oracle => Estimation::Oracle,
+        Variant::Reports => Estimation::Estimator(Box::new(ReportEstimator::new(
+            params.objects,
+            DecayModel::default(),
+        ))),
+        Variant::Ttl => Estimation::Estimator(Box::new(TtlEstimator::new(
+            params.ttl_assumed_period,
+            DecayModel::default(),
+        ))),
+    };
+    let mut station = BaseStationSim::new(
+        catalog.clone(),
+        Policy::OnDemand {
+            planner,
+            budget_units: budget,
+        },
+    )
+    .with_estimation(estimation);
+    let mut log = ReportLog::new(&catalog);
+    let mut loss_rng = RngStreams::new(params.seed).stream("est/report-loss");
+
+    let total = params.warmup_ticks + params.measure_ticks;
+    for t in 0..total {
+        if t % params.update_period == 0 {
+            station.apply_update_wave();
+            log.record_wave();
+            // One report per wave, subject to loss.
+            let report = log.cut_report(SimTime::from_ticks(t));
+            if loss_rng.random::<f64>() >= params.report_loss {
+                station.deliver_report(&report);
+            }
+        }
+        if t == params.warmup_ticks {
+            station.reset_stats();
+        }
+        let batch = trace.batch(t as usize).expect("trace covers run");
+        station.step(batch);
+    }
+    station.stats().score.mean().expect("requests served")
+}
+
+/// Run the estimator comparison: true delivered score vs budget under
+/// each estimation regime.
+pub fn run(params: &Params) -> Figure {
+    let mut jobs = Vec::new();
+    for &variant in &[Variant::Oracle, Variant::Reports, Variant::Ttl] {
+        for &budget in &params.budgets {
+            jobs.push((variant, budget));
+        }
+    }
+    let results = parallel_sweep(jobs, |&(variant, budget)| {
+        run_variant(params, budget, variant)
+    });
+
+    let xs: Vec<f64> = params.budgets.iter().map(|&b| b as f64).collect();
+    let labels = [
+        "oracle (paper's assumption)",
+        "invalidation reports (lossy)",
+        "ttl (mis-specified)",
+    ];
+    let mut series = Vec::new();
+    let mut it = results.into_iter();
+    for label in labels {
+        let points: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| (x, it.next().expect("one result per job")))
+            .collect();
+        series.push(Series::new(label, points));
+    }
+    Figure::new(
+        "Extension: recency estimation quality vs planner performance",
+        "download budget per time unit (units)",
+        "average delivered score (truth)",
+        series,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_dominates_and_reports_beat_misspecified_ttl() {
+        let fig = run(&Params::quick());
+        let oracle = &fig.series[0];
+        let reports = &fig.series[1];
+        let ttl = &fig.series[2];
+        let mut reports_beat_ttl = 0usize;
+        for ((&(b, o), &(_, r)), &(_, t)) in
+            oracle.points.iter().zip(&reports.points).zip(&ttl.points)
+        {
+            assert!(
+                o >= r - 0.01,
+                "oracle ({o}) must ~dominate reports ({r}) at budget {b}"
+            );
+            assert!(
+                o >= t - 0.01,
+                "oracle ({o}) must ~dominate ttl ({t}) at budget {b}"
+            );
+            if r > t {
+                reports_beat_ttl += 1;
+            }
+        }
+        assert!(
+            reports_beat_ttl * 2 >= oracle.points.len(),
+            "lossy reports should usually beat a 3x-mis-specified TTL"
+        );
+    }
+}

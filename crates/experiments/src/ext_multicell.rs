@@ -1,0 +1,205 @@
+//! Extension experiment — multiple cells contending on one fixed-network
+//! backbone.
+//!
+//! The paper scopes to a single cell: "We do not consider the workload
+//! on servers from clients in other cells." This experiment lifts that
+//! assumption: `N` base stations, each serving its own cell's demand,
+//! download over one shared fluid backbone. As cells are added, each
+//! station's misses queue behind everyone else's traffic — mean waits
+//! grow superlinearly once the backbone saturates, which is exactly the
+//! "bandwidth contention" the paper's introduction warns about.
+
+use basecache_core::pipeline::LatencyAwareSim;
+use basecache_core::planner::OnDemandPlanner;
+use basecache_net::{Catalog, Downlink, Link, SharedLink};
+use basecache_sim::{RngStreams, SimDuration};
+use basecache_workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
+
+use crate::report::{Figure, Series};
+
+/// Parameters of the multi-cell contention sweep.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Objects per catalog (each cell serves the same catalog).
+    pub objects: usize,
+    /// Requests per time unit per cell.
+    pub requests_per_tick: usize,
+    /// Update period in ticks.
+    pub update_period: u64,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Backbone bandwidth in units/tick (shared by all cells).
+    pub backbone_bandwidth: u64,
+    /// Backbone propagation latency in ticks.
+    pub backbone_latency: u64,
+    /// Per-cell per-tick refresh budget in units.
+    pub refresh_budget: u64,
+    /// Cell counts to sweep.
+    pub cell_counts: Vec<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full-fidelity setup.
+    pub fn paper() -> Self {
+        Self {
+            objects: 300,
+            requests_per_tick: 50,
+            update_period: 5,
+            ticks: 250,
+            backbone_bandwidth: 40,
+            backbone_latency: 2,
+            refresh_budget: 15,
+            cell_counts: vec![1, 2, 4, 8],
+            seed: 15_000,
+        }
+    }
+
+    /// CI-sized setup.
+    pub fn quick() -> Self {
+        Self {
+            objects: 80,
+            requests_per_tick: 15,
+            ticks: 80,
+            backbone_bandwidth: 12,
+            refresh_budget: 6,
+            cell_counts: vec![1, 3, 6],
+            ..Self::paper()
+        }
+    }
+}
+
+/// One sweep point: (mean wait of queued requests, mean delivered score,
+/// backbone utilization) averaged over the cells.
+pub fn run_point(params: &Params, cells: usize) -> (f64, f64, f64) {
+    let backbone = SharedLink::new(Link::new(
+        params.backbone_bandwidth,
+        SimDuration::from_ticks(params.backbone_latency),
+    ));
+    let streams = RngStreams::new(params.seed);
+
+    let mut stations: Vec<LatencyAwareSim> = (0..cells)
+        .map(|_| {
+            LatencyAwareSim::with_backbone(
+                Catalog::uniform_unit(params.objects),
+                OnDemandPlanner::paper_default(),
+                params.refresh_budget,
+                backbone.clone(),
+                Downlink::new(params.requests_per_tick as u64 * 2, SimDuration::ZERO),
+            )
+        })
+        .collect();
+    let traces: Vec<RequestTrace> = (0..cells)
+        .map(|c| {
+            let generator = RequestGenerator::new(
+                Popularity::ZIPF1.build(params.objects),
+                params.requests_per_tick,
+                TargetRecency::AlwaysFresh,
+            );
+            let mut rng = streams.stream_indexed("multicell/requests", c as u64);
+            RequestTrace::record(&generator, params.ticks as usize, &mut rng)
+        })
+        .collect();
+
+    for t in 0..params.ticks {
+        for (station, trace) in stations.iter_mut().zip(&traces) {
+            if t % params.update_period == 0 {
+                station.apply_update_wave();
+            }
+            station.step(trace.batch(t as usize).expect("trace covers run"));
+        }
+    }
+    // Drain.
+    let drain = params.backbone_latency
+        + cells as u64 * params.objects as u64 / params.backbone_bandwidth.max(1)
+        + 10;
+    for _ in 0..drain {
+        for station in &mut stations {
+            station.step(&[]);
+        }
+    }
+
+    let mut wait_sum = 0.0;
+    let mut score_sum = 0.0;
+    for station in &stations {
+        wait_sum += station.stats().wait_ticks.mean().unwrap_or(0.0);
+        score_sum += station.stats().score.mean().unwrap_or(1.0);
+    }
+    let utilization = stations[0]
+        .fixed_net()
+        .utilization(basecache_sim::SimTime::from_ticks(params.ticks + drain));
+    (
+        wait_sum / cells as f64,
+        score_sum / cells as f64,
+        utilization,
+    )
+}
+
+/// Run the sweep: per-cell mean wait, score and backbone utilization vs
+/// number of cells.
+pub fn run(params: &Params) -> Figure {
+    // Stations within a point share a mutex-guarded backbone, so points
+    // run sequentially; the sweep itself is small.
+    let results: Vec<(f64, f64, f64)> = params
+        .cell_counts
+        .iter()
+        .map(|&c| run_point(params, c))
+        .collect();
+    let xs: Vec<f64> = params.cell_counts.iter().map(|&c| c as f64).collect();
+    Figure::new(
+        "Extension: cells contending on one fixed-network backbone",
+        "number of cells",
+        "mixed units (see series)",
+        vec![
+            Series::new(
+                "mean wait of cache misses (ticks)",
+                xs.iter().zip(&results).map(|(&x, r)| (x, r.0)).collect(),
+            ),
+            Series::new(
+                "average delivered score",
+                xs.iter().zip(&results).map(|(&x, r)| (x, r.1)).collect(),
+            ),
+            Series::new(
+                "backbone utilization",
+                xs.iter().zip(&results).map(|(&x, r)| (x, r.2)).collect(),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_grows_with_cell_count() {
+        let fig = run(&Params::quick());
+        let waits = &fig.series[0];
+        let scores = &fig.series[1];
+        let util = &fig.series[2];
+
+        for w in waits.points.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "per-cell waits must grow with contention: {waits:?}"
+            );
+        }
+        let first_wait = waits.points.first().unwrap().1;
+        let last_wait = waits.last_y().unwrap();
+        assert!(
+            last_wait > 2.0 * first_wait.max(0.5),
+            "saturated backbone should hurt substantially ({first_wait} -> {last_wait})"
+        );
+        // Scores do not improve with contention.
+        let first_score = scores.points.first().unwrap().1;
+        let last_score = scores.last_y().unwrap();
+        assert!(last_score <= first_score + 1e-9);
+        // More cells load the backbone harder (until it saturates, where
+        // utilization plateaus — the drain tail keeps it below 1.0).
+        let first_util = util.points.first().unwrap().1;
+        let last_util = util.last_y().unwrap();
+        assert!(last_util > first_util, "backbone load must grow: {util:?}");
+        assert!(last_util <= 1.0 + 1e-9);
+    }
+}

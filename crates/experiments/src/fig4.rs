@@ -1,0 +1,134 @@
+//! Figure 4 — effect of correlations between Object Size and
+//! Cache_Recency_Score when all objects are requested equally.
+//!
+//! Setup (paper §4.2): Table 1 population with constant Num_Requests
+//! (uniform access), sweeping the correlation between object size and
+//! cached recency over {positive, negative, none}. When large objects
+//! hold the freshest copies (positive), downloading a few small stale
+//! objects fixes almost everything and the curve "increases rapidly and
+//! then levels off"; when large objects are the stalest (negative), the
+//! score "increases gradually" all the way out.
+
+use basecache_workload::{Correlation, NumRequestsMode, Table1Spec};
+
+use crate::report::{Figure, Series};
+use crate::solution_space::{averaged_curve, budget_grid};
+
+/// Parameters of the Figure 4 reproduction.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// The base Table 1 specification (objects, clients, totals).
+    pub base: Table1Spec,
+    /// Budget sampling step in data units.
+    pub budget_step: u64,
+    /// Seeds averaged per curve.
+    pub seeds: Vec<u64>,
+}
+
+impl Params {
+    /// The paper's setup (uniform access = constant 10 requests/object).
+    pub fn paper() -> Self {
+        Self {
+            base: Table1Spec {
+                num_requests: NumRequestsMode::Constant(10),
+                ..Table1Spec::paper_default()
+            },
+            budget_step: 100,
+            seeds: vec![41, 42, 43, 44, 45],
+        }
+    }
+
+    /// CI-sized: fewer seeds, coarser grid (population size unchanged —
+    /// the DP is cheap).
+    pub fn quick() -> Self {
+        Self {
+            budget_step: 500,
+            seeds: vec![41],
+            ..Self::paper()
+        }
+    }
+}
+
+/// The three correlation settings and their legend labels.
+pub const CURVES: [(&str, Correlation); 3] = [
+    ("large objs high scores", Correlation::Positive),
+    ("large objs low scores", Correlation::Negative),
+    ("no correlation", Correlation::None),
+];
+
+/// Run Figure 4.
+pub fn run(params: &Params) -> Figure {
+    let total = params.base.total_size.unwrap_or(5000);
+    let budgets = budget_grid(total, params.budget_step);
+    let series = CURVES
+        .iter()
+        .map(|&(label, corr)| {
+            let spec = Table1Spec {
+                size_recency: corr,
+                ..params.base
+            };
+            let mut s = averaged_curve(&spec, &params.seeds, &budgets);
+            s.label = label.to_string();
+            s
+        })
+        .collect();
+    Figure::new(
+        "Figure 4: size x recency correlations, uniform access",
+        "units of data downloaded (upper bound)",
+        "Average Score",
+        series,
+    )
+}
+
+/// Area under an average-score curve (trapezoid): a scalar for "how fast
+/// the curve rises" used in shape assertions.
+pub fn area_under(series: &Series) -> f64 {
+    series
+        .points
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_figure_shape() {
+        let fig = run(&Params::quick());
+        assert_eq!(fig.series.len(), 3);
+        let positive = &fig.series[0];
+        let negative = &fig.series[1];
+        let none = &fig.series[2];
+
+        // All curves end at 1.0 (everything downloaded).
+        for s in [positive, negative, none] {
+            let last = s.last_y().unwrap();
+            assert!((last - 1.0).abs() < 1e-9, "{}: {last}", s.label);
+            for w in s.points.windows(2) {
+                assert!(
+                    w[1].1 >= w[0].1 - 1e-12,
+                    "{} must be non-decreasing",
+                    s.label
+                );
+            }
+        }
+
+        // Positive correlation rises fastest, negative slowest, with the
+        // uncorrelated case in between ("lies in between these two").
+        let (ap, an, a0) = (area_under(positive), area_under(negative), area_under(none));
+        assert!(ap > a0, "positive ({ap}) must dominate uncorrelated ({a0})");
+        assert!(a0 > an, "uncorrelated ({a0}) must dominate negative ({an})");
+
+        // Early-budget ordering is the visually obvious part of Fig 4:
+        // at 1000 of 5000 units, positive is clearly ahead of negative.
+        let early = 1000.0;
+        let p = positive.y_at(early).unwrap();
+        let n = negative.y_at(early).unwrap();
+        assert!(
+            p > n + 0.02,
+            "at {early} units: positive {p} vs negative {n}"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduction harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig2`] | Figure 2 — data downloaded, async vs on-demand, by skew |
+//! | [`fig3`] | Figure 3 — average recency vs download budget, two update frequencies |
+//! | [`table1`] | Table 1 — parameter audit of the generated populations |
+//! | [`fig4`] | Figure 4 — uniform access, size×recency correlations |
+//! | [`fig5`] | Figure 5 — skewed access (small/large objects hot) |
+//! | [`fig6`] | Figure 6 — recency correlations under access skew |
+//!
+//! Each module exposes a `Params` struct with `paper()` (full fidelity)
+//! and `quick()` (CI-sized) presets, a typed `run(...)` returning the
+//! figure's series, and formatting through [`report`].
+//!
+//! Run everything from the CLI:
+//!
+//! ```text
+//! cargo run -p basecache-experiments --release -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ext_adaptive;
+pub mod ext_bounded_cache;
+pub mod ext_broadcast;
+pub mod ext_estimators;
+pub mod ext_hybrid;
+pub mod ext_latency;
+pub mod ext_multicell;
+pub mod ext_poisson;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod report;
+pub mod runner;
+pub mod solution_space;
+pub mod table1;

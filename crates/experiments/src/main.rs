@@ -1,0 +1,242 @@
+//! Experiment CLI: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [all|fig2|fig3|fig4|fig5a|fig5b|fig6a|fig6b|table1] [--quick] [--csv DIR]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use basecache_experiments::{
+    ext_adaptive, ext_bounded_cache, ext_broadcast, ext_estimators, ext_hybrid, ext_latency,
+    ext_multicell, ext_poisson, fig2, fig3, fig4, fig5, fig6, report::Figure, table1,
+};
+use basecache_workload::Correlation;
+
+#[derive(Debug)]
+struct Options {
+    targets: Vec<String>,
+    quick: bool,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut targets = Vec::new();
+    let mut quick = false;
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                let dir = args.next().ok_or("--csv needs a directory argument")?;
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err(usage());
+            }
+            t if !t.starts_with('-') => targets.push(t.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Ok(Options {
+        targets,
+        quick,
+        csv_dir,
+    })
+}
+
+fn usage() -> String {
+    "usage: experiments [all|fig2|fig3|fig4|fig5a|fig5b|fig6a|fig6b|table1|\
+     ext-adaptive|ext-hybrid|ext-estimators|ext-latency|ext-poisson|ext-multicell|\
+     ext-broadcast|ext-bounded-cache]... [--quick] [--csv DIR]"
+        .to_string()
+}
+
+fn emit(fig: &Figure, opts: &Options, file: &str) {
+    print!("{}", fig.to_table());
+    println!();
+    if let Some(dir) = &opts.csv_dir {
+        match fig.write_csv(dir, file) {
+            Ok(()) => println!("  (csv written to {}/{file})", dir.display()),
+            Err(e) => eprintln!("  csv write failed: {e}"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let all = opts.targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || opts.targets.iter().any(|t| t == name);
+    let mut matched = false;
+
+    if want("table1") {
+        matched = true;
+        print!("{}", table1::run(4).to_table());
+        println!();
+    }
+    if want("fig2") {
+        matched = true;
+        let p = if opts.quick {
+            fig2::Params::quick()
+        } else {
+            fig2::Params::paper()
+        };
+        emit(&fig2::run(&p), &opts, "fig2.csv");
+    }
+    if want("fig3") {
+        matched = true;
+        let p = if opts.quick {
+            fig3::Params::quick()
+        } else {
+            fig3::Params::paper()
+        };
+        let (low, high) = fig3::run(&p);
+        emit(&low, &opts, "fig3_low.csv");
+        emit(&high, &opts, "fig3_high.csv");
+    }
+    if want("fig4") {
+        matched = true;
+        let p = if opts.quick {
+            fig4::Params::quick()
+        } else {
+            fig4::Params::paper()
+        };
+        emit(&fig4::run(&p), &opts, "fig4.csv");
+    }
+    if want("fig5a") || want("fig5b") {
+        let p = if opts.quick {
+            fig5::Params::quick()
+        } else {
+            fig5::Params::paper()
+        };
+        if want("fig5a") {
+            matched = true;
+            emit(
+                &fig5::run_panel(&p, Correlation::Negative, "a: small objects hot"),
+                &opts,
+                "fig5a.csv",
+            );
+        }
+        if want("fig5b") {
+            matched = true;
+            emit(
+                &fig5::run_panel(&p, Correlation::Positive, "b: large objects hot"),
+                &opts,
+                "fig5b.csv",
+            );
+        }
+    }
+    if want("fig6a") || want("fig6b") {
+        let p = if opts.quick {
+            fig6::Params::quick()
+        } else {
+            fig6::Params::paper()
+        };
+        if want("fig6a") {
+            matched = true;
+            emit(
+                &fig6::run_panel(&p, Correlation::Negative, "a: small objects freshest"),
+                &opts,
+                "fig6a.csv",
+            );
+        }
+        if want("fig6b") {
+            matched = true;
+            emit(
+                &fig6::run_panel(&p, Correlation::Positive, "b: large objects freshest"),
+                &opts,
+                "fig6b.csv",
+            );
+        }
+    }
+
+    if want("ext-adaptive") {
+        matched = true;
+        let p = if opts.quick {
+            ext_adaptive::Params::quick()
+        } else {
+            ext_adaptive::Params::paper()
+        };
+        emit(&ext_adaptive::run(&p), &opts, "ext_adaptive.csv");
+    }
+    if want("ext-hybrid") {
+        matched = true;
+        let p = if opts.quick {
+            ext_hybrid::Params::quick()
+        } else {
+            ext_hybrid::Params::paper()
+        };
+        emit(&ext_hybrid::run(&p), &opts, "ext_hybrid.csv");
+    }
+    if want("ext-estimators") {
+        matched = true;
+        let p = if opts.quick {
+            ext_estimators::Params::quick()
+        } else {
+            ext_estimators::Params::paper()
+        };
+        emit(&ext_estimators::run(&p), &opts, "ext_estimators.csv");
+    }
+    if want("ext-latency") {
+        matched = true;
+        let p = if opts.quick {
+            ext_latency::Params::quick()
+        } else {
+            ext_latency::Params::paper()
+        };
+        emit(&ext_latency::run(&p), &opts, "ext_latency.csv");
+    }
+    if want("ext-multicell") {
+        matched = true;
+        let p = if opts.quick {
+            ext_multicell::Params::quick()
+        } else {
+            ext_multicell::Params::paper()
+        };
+        emit(&ext_multicell::run(&p), &opts, "ext_multicell.csv");
+    }
+    if want("ext-poisson") {
+        matched = true;
+        let p = if opts.quick {
+            ext_poisson::Params::quick()
+        } else {
+            ext_poisson::Params::paper()
+        };
+        emit(&ext_poisson::run(&p), &opts, "ext_poisson.csv");
+    }
+    if want("ext-broadcast") {
+        matched = true;
+        let p = if opts.quick {
+            ext_broadcast::Params::quick()
+        } else {
+            ext_broadcast::Params::paper()
+        };
+        emit(&ext_broadcast::run(&p), &opts, "ext_broadcast.csv");
+    }
+    if want("ext-bounded-cache") {
+        matched = true;
+        let p = if opts.quick {
+            ext_bounded_cache::Params::quick()
+        } else {
+            ext_bounded_cache::Params::paper()
+        };
+        emit(&ext_bounded_cache::run(&p), &opts, "ext_bounded_cache.csv");
+    }
+
+    if !matched {
+        eprintln!("no experiment matched {:?}\n{}", opts.targets, usage());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,222 @@
+//! Shared simulation drivers: warm-up/measure phases, periodic update
+//! waves, paired traces, and a crossbeam-based parallel sweep.
+
+use basecache_core::{BaseStationSim, Policy};
+use basecache_net::Catalog;
+use basecache_sim::RngStreams;
+use basecache_workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
+
+/// Configuration of one time-stepped run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of unit-size objects.
+    pub objects: usize,
+    /// Client requests per time unit.
+    pub requests_per_tick: usize,
+    /// Simultaneous update waves every this many time units (waves fire
+    /// at t = 0, p, 2p, …).
+    pub update_period: u64,
+    /// Warm-up time units (cache warms, stats discarded).
+    pub warmup_ticks: u64,
+    /// Measured time units.
+    pub measure_ticks: u64,
+    /// Access pattern.
+    pub popularity: Popularity,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+/// Result of one run: the station's post-measurement statistics.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Data units downloaded during the measured phase.
+    pub units_downloaded: u64,
+    /// Objects downloaded during the measured phase.
+    pub objects_downloaded: u64,
+    /// Mean recency delivered to clients during the measured phase
+    /// (`None` if no requests were served).
+    pub mean_recency: Option<f64>,
+    /// Mean client score delivered during the measured phase.
+    pub mean_score: Option<f64>,
+    /// Requests served during the measured phase.
+    pub requests_served: u64,
+}
+
+/// Record the full request trace for a config (warm-up + measurement),
+/// so multiple policies replay identical demand — the paper's paired
+/// set-up in Section 3.2.
+pub fn record_trace(config: &RunConfig) -> RequestTrace {
+    let generator = RequestGenerator::new(
+        config.popularity.build(config.objects),
+        config.requests_per_tick,
+        TargetRecency::AlwaysFresh,
+    );
+    let mut rng = RngStreams::new(config.seed).stream("runner/requests");
+    RequestTrace::record(
+        &generator,
+        (config.warmup_ticks + config.measure_ticks) as usize,
+        &mut rng,
+    )
+}
+
+/// Drive one policy over a recorded trace under the config's update
+/// schedule, returning measured-phase statistics.
+pub fn run_policy(config: &RunConfig, policy: Policy, trace: &RequestTrace) -> RunResult {
+    let mut station = BaseStationSim::new(Catalog::uniform_unit(config.objects), policy);
+    let total = config.warmup_ticks + config.measure_ticks;
+    for t in 0..total {
+        if config.update_period > 0 && t % config.update_period == 0 {
+            station.apply_update_wave();
+        }
+        if t == config.warmup_ticks {
+            station.reset_stats();
+        }
+        let batch = trace.batch(t as usize).expect("trace covers the whole run");
+        station.step(batch);
+    }
+    let stats = station.stats();
+    RunResult {
+        units_downloaded: stats.units_downloaded,
+        objects_downloaded: stats.objects_downloaded,
+        mean_recency: stats.recency.mean(),
+        mean_score: stats.score.mean(),
+        requests_served: stats.requests_served,
+    }
+}
+
+/// Map `inputs` to outputs in parallel worker threads (order-preserving).
+///
+/// The experiment sweeps are embarrassingly parallel over parameter
+/// points; this fans them out over `std::thread::available_parallelism`
+/// workers fed through crossbeam channels.
+pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let (in_tx, in_rx) = crossbeam::channel::unbounded::<(usize, I)>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, O)>();
+    for item in inputs.into_iter().enumerate() {
+        in_tx.send(item).expect("queueing sweep inputs cannot fail");
+    }
+    drop(in_tx);
+
+    let mut outputs: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let in_rx = in_rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, input)) = in_rx.recv() {
+                    let _ = out_tx.send((i, f(&input)));
+                }
+            });
+        }
+        drop(out_tx);
+        while let Ok((i, out)) = out_rx.recv() {
+            outputs[i] = Some(out);
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|o| o.expect("every sweep input produces an output"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basecache_core::planner::{OnDemandPlanner, SolverChoice};
+    use basecache_core::recency::ScoringFunction;
+
+    fn tiny_config() -> RunConfig {
+        RunConfig {
+            objects: 20,
+            requests_per_tick: 10,
+            update_period: 5,
+            warmup_ticks: 10,
+            measure_ticks: 20,
+            popularity: Popularity::Uniform,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn trace_covers_warmup_plus_measurement() {
+        let c = tiny_config();
+        let t = record_trace(&c);
+        assert_eq!(t.len(), 30);
+        assert_eq!(t.total_requests(), 300);
+    }
+
+    #[test]
+    fn on_demand_downloads_at_most_async_ceiling() {
+        let c = tiny_config();
+        let trace = record_trace(&c);
+        let od = run_policy(
+            &c,
+            Policy::OnDemandLowestRecency {
+                k_objects: usize::MAX,
+            },
+            &trace,
+        );
+        // Async ceiling: every object at every wave during measurement.
+        // Waves at t in [10, 30) multiples of 5: t=10,15,20,25 → 4 waves.
+        let ceiling = 20u64 * 4;
+        assert!(
+            od.units_downloaded <= ceiling,
+            "{} > {ceiling}",
+            od.units_downloaded
+        );
+        assert_eq!(od.requests_served, 200);
+        assert_eq!(
+            od.mean_recency,
+            Some(1.0),
+            "unbounded on-demand always serves fresh"
+        );
+    }
+
+    #[test]
+    fn paired_runs_replay_identical_demand() {
+        let c = tiny_config();
+        let trace = record_trace(&c);
+        let a = run_policy(&c, Policy::AsyncRoundRobin { k_objects: 2 }, &trace);
+        let b = run_policy(&c, Policy::AsyncRoundRobin { k_objects: 2 }, &trace);
+        assert_eq!(a.units_downloaded, b.units_downloaded);
+        assert_eq!(a.mean_recency, b.mean_recency);
+    }
+
+    #[test]
+    fn knapsack_policy_runs_under_budget() {
+        let c = tiny_config();
+        let trace = record_trace(&c);
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let r = run_policy(
+            &c,
+            Policy::OnDemand {
+                planner,
+                budget_units: 3,
+            },
+            &trace,
+        );
+        assert!(r.units_downloaded <= 3 * 30);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let out = parallel_sweep((0..100).collect(), |&i: &i32| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        let empty: Vec<i32> = parallel_sweep(Vec::<i32>::new(), |&i| i);
+        assert!(empty.is_empty());
+    }
+}

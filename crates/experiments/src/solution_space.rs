@@ -1,0 +1,119 @@
+//! Shared machinery for the Section 4 solution-space analyses
+//! (Figures 4–6): generate a Table 1 population, map it to knapsack,
+//! run the exact DP once, and read `Average Score` at every download
+//! bound from the solution-space trace.
+
+use basecache_core::profit::build_instance_from_scores;
+use basecache_knapsack::DpByCapacity;
+use basecache_workload::Table1Spec;
+
+use crate::report::Series;
+
+/// Budget sample points for the solution-space curves.
+pub fn budget_grid(total_size: u64, step: u64) -> Vec<u64> {
+    let mut grid: Vec<u64> = (0..=total_size).step_by(step as usize).collect();
+    if *grid.last().expect("grid is never empty") != total_size {
+        grid.push(total_size);
+    }
+    grid
+}
+
+/// Average Score at each budget in `budgets`, for the population drawn
+/// from `spec` with `seed`.
+pub fn average_score_curve(spec: &Table1Spec, seed: u64, budgets: &[u64]) -> Vec<(f64, f64)> {
+    let population = spec.generate(seed);
+    let mapped = build_instance_from_scores(&population);
+    let max_budget = *budgets.iter().max().expect("at least one budget");
+    let trace = DpByCapacity.solve_trace(mapped.instance(), max_budget);
+    budgets
+        .iter()
+        .map(|&b| (b as f64, mapped.average_score_for_value(trace.value_at(b))))
+        .collect()
+}
+
+/// Like [`average_score_curve`] but averaged over several seeds, which
+/// smooths the sampling noise of a single population draw.
+pub fn averaged_curve(spec: &Table1Spec, seeds: &[u64], budgets: &[u64]) -> Series {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut acc = vec![0.0f64; budgets.len()];
+    for &seed in seeds {
+        for (i, (_, y)) in average_score_curve(spec, seed, budgets)
+            .into_iter()
+            .enumerate()
+        {
+            acc[i] += y;
+        }
+    }
+    let points = budgets
+        .iter()
+        .zip(acc)
+        .map(|(&b, sum)| (b as f64, sum / seeds.len() as f64))
+        .collect();
+    Series::new(String::new(), points)
+}
+
+/// Smallest budget at which a curve first reaches `threshold` — the
+/// paper's "corner of the dotted rectangle".
+pub fn budget_reaching(series: &Series, threshold: f64) -> Option<f64> {
+    series
+        .points
+        .iter()
+        .find(|&&(_, y)| y >= threshold)
+        .map(|&(x, _)| x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basecache_workload::Correlation;
+
+    #[test]
+    fn grid_always_ends_at_total() {
+        assert_eq!(budget_grid(10, 4), vec![0, 4, 8, 10]);
+        assert_eq!(budget_grid(8, 4), vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn curves_are_monotone_and_end_at_one() {
+        let spec = Table1Spec::paper_default();
+        let budgets = budget_grid(5000, 500);
+        let curve = average_score_curve(&spec, 7, &budgets);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-12,
+                "Average Score must be non-decreasing"
+            );
+        }
+        let (_, last) = *curve.last().unwrap();
+        assert!(
+            (last - 1.0).abs() < 1e-9,
+            "downloading everything gives every client a score of 1, got {last}"
+        );
+        let (_, first) = curve[0];
+        assert!(
+            first < 1.0,
+            "with nothing downloaded some clients see stale data"
+        );
+    }
+
+    #[test]
+    fn averaging_reduces_to_single_seed_when_one_seed() {
+        let spec = Table1Spec {
+            size_recency: Correlation::Negative,
+            ..Table1Spec::paper_default()
+        };
+        let budgets = budget_grid(5000, 1000);
+        let single = average_score_curve(&spec, 3, &budgets);
+        let avg = averaged_curve(&spec, &[3], &budgets);
+        for (a, b) in single.iter().zip(&avg.points) {
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn budget_reaching_finds_threshold_crossing() {
+        let s = Series::new("x", vec![(0.0, 0.5), (10.0, 0.9), (20.0, 0.99)]);
+        assert_eq!(budget_reaching(&s, 0.9), Some(10.0));
+        assert_eq!(budget_reaching(&s, 0.995), None);
+    }
+}

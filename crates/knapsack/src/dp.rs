@@ -1,0 +1,245 @@
+use crate::{Instance, Solution, Solver};
+
+/// Exact 0/1 knapsack by capacity-indexed dynamic programming —
+/// the solver the paper uses.
+///
+/// Runs in `O(n · C)` time and keeps one decision bit per (item,
+/// capacity) cell, so complete solutions can be recovered at **every**
+/// capacity `0..=C`, not just the final one. That per-capacity trace is
+/// exactly what the paper's Section 4 analysis plots (Average Score as a
+/// function of the upper bound on data units downloaded).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DpByCapacity;
+
+impl DpByCapacity {
+    /// Run the DP and return the full solution-space trace.
+    ///
+    /// The trace is computed up to `min(capacity, instance.total_size())`;
+    /// beyond the total size the optimum is flat and queries are clamped.
+    pub fn solve_trace(&self, instance: &Instance, capacity: u64) -> DpTrace {
+        let effective = capacity.min(instance.total_size());
+        let cap = usize::try_from(effective).expect("capacity exceeds addressable memory");
+        let n = instance.len();
+        let words = cap / 64 + 1;
+
+        let mut values = vec![0.0_f64; cap + 1];
+        let mut keep = vec![0u64; n * words];
+
+        for (i, item) in instance.items().iter().enumerate() {
+            let size = item.size() as usize;
+            let profit = item.profit();
+            // Zero-profit items never help; oversized items never fit.
+            if profit <= 0.0 || size > cap {
+                continue;
+            }
+            let row = &mut keep[i * words..(i + 1) * words];
+            if size == 0 {
+                // Free profit: take at every capacity.
+                for v in values.iter_mut() {
+                    *v += profit;
+                }
+                for w in row.iter_mut() {
+                    *w = u64::MAX;
+                }
+                continue;
+            }
+            // In-place descending sweep: values[] holds dp over items 0..i.
+            for c in (size..=cap).rev() {
+                let candidate = values[c - size] + profit;
+                if candidate > values[c] {
+                    values[c] = candidate;
+                    row[c / 64] |= 1 << (c % 64);
+                }
+            }
+        }
+
+        DpTrace {
+            requested_capacity: capacity,
+            effective_capacity: effective,
+            values,
+            keep,
+            words,
+            sizes: instance.items().iter().map(|i| i.size()).collect(),
+        }
+    }
+}
+
+impl Solver for DpByCapacity {
+    fn solve(&self, instance: &Instance, capacity: u64) -> Solution {
+        self.solve_trace(instance, capacity)
+            .solution_at(instance, capacity)
+    }
+
+    fn name(&self) -> &'static str {
+        "dp-capacity"
+    }
+}
+
+/// The full dynamic-programming table of [`DpByCapacity`], exposing the
+/// optimal value and an optimal item set at every capacity `0..=C`.
+#[derive(Debug, Clone)]
+pub struct DpTrace {
+    requested_capacity: u64,
+    effective_capacity: u64,
+    values: Vec<f64>,
+    keep: Vec<u64>,
+    words: usize,
+    sizes: Vec<u64>,
+}
+
+impl DpTrace {
+    /// The capacity the trace was requested for.
+    pub fn capacity(&self) -> u64 {
+        self.requested_capacity
+    }
+
+    /// Optimal profit at capacity `c` (clamped to the instance's total
+    /// size — beyond that, the optimum is flat).
+    pub fn value_at(&self, c: u64) -> f64 {
+        let c = c.min(self.effective_capacity) as usize;
+        self.values[c]
+    }
+
+    /// The optimal values for capacities `0..=min(C, total_size)`.
+    ///
+    /// Guaranteed non-decreasing.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Recover an optimal item set at capacity `c` by walking the decision
+    /// bits backwards through the items.
+    pub fn solution_at(&self, instance: &Instance, c: u64) -> Solution {
+        let mut c = c.min(self.effective_capacity) as usize;
+        let mut chosen = Vec::new();
+        for i in (0..self.sizes.len()).rev() {
+            let bit = self.keep[i * self.words + c / 64] >> (c % 64) & 1;
+            if bit == 1 {
+                chosen.push(i);
+                c -= self.sizes[i] as usize;
+            }
+        }
+        Solution::from_indices(instance, chosen)
+    }
+
+    /// Marginal gain of each extra unit of capacity:
+    /// `gains[c] = value_at(c) - value_at(c-1)` for `c >= 1`.
+    ///
+    /// The paper's "is it worth downloading more?" question (Section 6,
+    /// future work) reads this series; see `basecache-core`'s budget-bound
+    /// selection.
+    pub fn marginal_gains(&self) -> Vec<f64> {
+        self.values.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Item;
+
+    fn classic() -> Instance {
+        // Optimal at capacity 10: items {1, 2} with profit 9, size 9.
+        Instance::new(vec![
+            Item::new(5, 3.0),
+            Item::new(4, 5.0),
+            Item::new(5, 4.0),
+            Item::new(9, 8.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_textbook_optimum() {
+        let sol = DpByCapacity.solve(&classic(), 10);
+        assert!((sol.total_profit() - 9.0).abs() < 1e-9);
+        assert_eq!(sol.chosen_indices(), &[1, 2]);
+        assert!(sol.verify(&classic(), 10).is_ok());
+    }
+
+    #[test]
+    fn trace_values_are_monotone_and_consistent_with_solutions() {
+        let inst = classic();
+        let trace = DpByCapacity.solve_trace(&inst, 23);
+        let vals = trace.values();
+        for w in vals.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "trace must be non-decreasing");
+        }
+        for c in 0..=23u64 {
+            let sol = trace.solution_at(&inst, c);
+            sol.verify(&inst, c).unwrap();
+            assert!(
+                (sol.total_profit() - trace.value_at(c)).abs() < 1e-9,
+                "recovered solution must achieve the traced value at c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_beyond_total_size_is_flat() {
+        let inst = classic();
+        let trace = DpByCapacity.solve_trace(&inst, 1_000_000);
+        assert_eq!(trace.values().len() as u64, inst.total_size() + 1);
+        assert!((trace.value_at(1_000_000) - inst.total_profit()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_size_items_are_free_profit_at_all_capacities() {
+        let inst = Instance::new(vec![Item::new(0, 2.0), Item::new(3, 5.0)]).unwrap();
+        let trace = DpByCapacity.solve_trace(&inst, 3);
+        assert!((trace.value_at(0) - 2.0).abs() < 1e-9);
+        assert!((trace.value_at(3) - 7.0).abs() < 1e-9);
+        let sol = trace.solution_at(&inst, 0);
+        assert_eq!(sol.chosen_indices(), &[0]);
+    }
+
+    #[test]
+    fn zero_profit_items_are_ignored() {
+        let inst = Instance::new(vec![Item::new(1, 0.0), Item::new(1, 1.0)]).unwrap();
+        let sol = DpByCapacity.solve(&inst, 2);
+        assert_eq!(sol.chosen_indices(), &[1]);
+    }
+
+    #[test]
+    fn marginal_gains_sum_to_total_value() {
+        let inst = classic();
+        let trace = DpByCapacity.solve_trace(&inst, 23);
+        let sum: f64 = trace.marginal_gains().iter().sum();
+        assert!((sum - trace.value_at(23)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_agreement_on_small_instances() {
+        // Brute force all subsets on a handful of fixed instances.
+        let instances = vec![
+            vec![(3, 4.0), (4, 5.0), (2, 3.0), (5, 6.0)],
+            vec![(1, 1.0), (1, 1.0), (1, 1.0)],
+            vec![(7, 2.0), (2, 7.0), (3, 3.0), (4, 4.5), (1, 0.1)],
+            vec![(10, 1.0)],
+        ];
+        for spec in instances {
+            let inst = Instance::new(spec.iter().map(|&(s, p)| Item::new(s, p)).collect()).unwrap();
+            for cap in 0..=inst.total_size() {
+                let mut best = 0.0_f64;
+                for mask in 0..(1u32 << inst.len()) {
+                    let mut size = 0u64;
+                    let mut profit = 0.0;
+                    for (i, item) in inst.items().iter().enumerate() {
+                        if mask >> i & 1 == 1 {
+                            size += item.size();
+                            profit += item.profit();
+                        }
+                    }
+                    if size <= cap {
+                        best = best.max(profit);
+                    }
+                }
+                let got = DpByCapacity.solve(&inst, cap).total_profit();
+                assert!(
+                    (got - best).abs() < 1e-9,
+                    "cap={cap}: dp={got} brute={best} inst={inst:?}"
+                );
+            }
+        }
+    }
+}

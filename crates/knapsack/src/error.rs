@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Errors raised when constructing or verifying knapsack data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KnapsackError {
+    /// An item's profit was NaN or infinite.
+    NonFiniteProfit {
+        /// Index of the offending item.
+        index: usize,
+        /// The offending profit value.
+        profit: f64,
+    },
+    /// An item's profit was negative. 0/1 knapsack profits must be `>= 0`;
+    /// a negative-benefit object is simply never a download candidate.
+    NegativeProfit {
+        /// Index of the offending item.
+        index: usize,
+        /// The offending profit value.
+        profit: f64,
+    },
+    /// A solution referenced an item index outside the instance.
+    IndexOutOfRange {
+        /// The out-of-range index.
+        index: usize,
+        /// Number of items in the instance.
+        len: usize,
+    },
+    /// A solution chose the same item more than once.
+    DuplicateItem {
+        /// The duplicated index.
+        index: usize,
+    },
+    /// A solution's total size exceeds the capacity it claims to respect.
+    CapacityExceeded {
+        /// Total size of the chosen items.
+        total_size: u64,
+        /// The capacity bound.
+        capacity: u64,
+    },
+    /// A solution's recorded totals disagree with a recount over its items.
+    InconsistentTotals {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for KnapsackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteProfit { index, profit } => {
+                write!(f, "item {index} has non-finite profit {profit}")
+            }
+            Self::NegativeProfit { index, profit } => {
+                write!(f, "item {index} has negative profit {profit}")
+            }
+            Self::IndexOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "solution references item {index} but instance has {len} items"
+                )
+            }
+            Self::DuplicateItem { index } => {
+                write!(f, "solution chooses item {index} more than once")
+            }
+            Self::CapacityExceeded {
+                total_size,
+                capacity,
+            } => {
+                write!(f, "solution size {total_size} exceeds capacity {capacity}")
+            }
+            Self::InconsistentTotals { detail } => {
+                write!(f, "solution totals are inconsistent: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KnapsackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KnapsackError::CapacityExceeded {
+            total_size: 11,
+            capacity: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("11") && s.contains("10"));
+
+        let e = KnapsackError::NegativeProfit {
+            index: 3,
+            profit: -1.5,
+        };
+        assert!(e.to_string().contains("item 3"));
+    }
+}

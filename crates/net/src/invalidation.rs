@@ -1,0 +1,128 @@
+//! Invalidation reports (Barbara & Imielinski's "sleepers and
+//! workaholics", the paper's reference \[8\]).
+//!
+//! A server periodically broadcasts which objects changed since its last
+//! report. A base station that cannot query per-object versions can
+//! still track staleness *exactly* from a complete report stream — and
+//! approximately from a lossy one (wireless links drop reports). The
+//! estimator experiments measure how report loss degrades the on-demand
+//! planner.
+
+use basecache_sim::SimTime;
+
+use crate::object::{Catalog, ObjectId};
+
+/// One broadcast invalidation report: the objects updated in
+/// `(previous report, at]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidationReport {
+    /// Broadcast time.
+    pub at: SimTime,
+    /// Report sequence number (detects gaps after losses).
+    pub sequence: u64,
+    /// Updated objects, ascending, deduplicated.
+    pub updated: Vec<ObjectId>,
+    /// How many updates hit each entry of `updated` in the window
+    /// (aligned with `updated`).
+    pub update_counts: Vec<u64>,
+}
+
+/// Server-side log accumulating updates between reports.
+#[derive(Debug, Clone)]
+pub struct ReportLog {
+    pending: Vec<u64>,
+    sequence: u64,
+}
+
+impl ReportLog {
+    /// An empty log for the catalog's objects.
+    pub fn new(catalog: &Catalog) -> Self {
+        Self {
+            pending: vec![0; catalog.len()],
+            sequence: 0,
+        }
+    }
+
+    /// Record one update of `object`.
+    pub fn record_update(&mut self, object: ObjectId) {
+        self.pending[object.index()] += 1;
+    }
+
+    /// Record a simultaneous wave updating every object.
+    pub fn record_wave(&mut self) {
+        for count in &mut self.pending {
+            *count += 1;
+        }
+    }
+
+    /// Cut a report covering everything since the previous one, clearing
+    /// the log.
+    pub fn cut_report(&mut self, now: SimTime) -> InvalidationReport {
+        let mut updated = Vec::new();
+        let mut update_counts = Vec::new();
+        for (i, count) in self.pending.iter_mut().enumerate() {
+            if *count > 0 {
+                updated.push(ObjectId(i as u32));
+                update_counts.push(*count);
+                *count = 0;
+            }
+        }
+        self.sequence += 1;
+        InvalidationReport {
+            at: now,
+            sequence: self.sequence,
+            updated,
+            update_counts,
+        }
+    }
+
+    /// Number of updates currently pending a report.
+    pub fn pending_updates(&self) -> u64 {
+        self.pending.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::uniform_unit(5)
+    }
+
+    #[test]
+    fn report_covers_and_clears_pending_updates() {
+        let mut log = ReportLog::new(&catalog());
+        log.record_update(ObjectId(1));
+        log.record_update(ObjectId(1));
+        log.record_update(ObjectId(3));
+        assert_eq!(log.pending_updates(), 3);
+        let report = log.cut_report(SimTime::from_ticks(10));
+        assert_eq!(report.sequence, 1);
+        assert_eq!(report.updated, vec![ObjectId(1), ObjectId(3)]);
+        assert_eq!(report.update_counts, vec![2, 1]);
+        assert_eq!(log.pending_updates(), 0);
+        let empty = log.cut_report(SimTime::from_ticks(20));
+        assert_eq!(empty.sequence, 2);
+        assert!(empty.updated.is_empty());
+    }
+
+    #[test]
+    fn waves_hit_every_object() {
+        let mut log = ReportLog::new(&catalog());
+        log.record_wave();
+        log.record_wave();
+        let report = log.cut_report(SimTime::from_ticks(5));
+        assert_eq!(report.updated.len(), 5);
+        assert!(report.update_counts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn sequence_numbers_expose_gaps() {
+        let mut log = ReportLog::new(&catalog());
+        let a = log.cut_report(SimTime::from_ticks(1));
+        let b = log.cut_report(SimTime::from_ticks(2));
+        let c = log.cut_report(SimTime::from_ticks(3));
+        assert_eq!((a.sequence, b.sequence, c.sequence), (1, 2, 3));
+    }
+}

@@ -1,0 +1,61 @@
+//! Network substrate for the mobile-computing environment of Figure 1:
+//! remote servers with versioned objects and update processes, a
+//! bandwidth-limited fixed network, the wireless downlink, and the
+//! cell/base-station/client topology.
+//!
+//! The paper's analyses abstract the network to "k object-units may be
+//! downloaded per time unit"; these models degrade to exactly that when
+//! latency is zero and bandwidth is `k` units/tick, while also supporting
+//! the latency/contention studies the extended benches run.
+//!
+//! Layout:
+//!
+//! * [`object`] — the shared object model: [`ObjectId`], [`Version`],
+//!   [`ObjectSpec`], [`Catalog`].
+//! * [`server`] — [`RemoteServer`] holding per-object versions, plus
+//!   [`UpdateProcess`] (simultaneous-periodic as in the paper, staggered,
+//!   and Poisson).
+//! * [`link`] — [`Link`]: FIFO serialization over finite bandwidth with
+//!   propagation latency and utilization accounting.
+//! * [`downlink`] — [`Downlink`]: the wireless last hop, with the idle-
+//!   bandwidth accounting the paper's introduction worries about.
+//! * [`topology`] — cells, base stations and mobile clients with
+//!   handoff/disconnect, exercised by the `mobile_cell` example.
+//! * [`invalidation`] — server invalidation reports.
+//! * [`broadcast`] — broadcast-disk programs (the related-work baseline).
+//!
+//! # Example
+//!
+//! ```
+//! use basecache_net::{Catalog, Link, ObjectId, RemoteServer};
+//! use basecache_sim::{SimDuration, SimTime};
+//!
+//! let catalog = Catalog::from_sizes(&[3, 5]);
+//! let mut server = RemoteServer::new(&catalog);
+//! server.apply_update(ObjectId(0), SimTime::from_ticks(7));
+//! assert!(server.is_stale(ObjectId(0), basecache_net::Version(0)));
+//!
+//! // Ship a fresh copy over a 2-units/tick link with latency 3.
+//! let mut link = Link::new(2, SimDuration::from_ticks(3));
+//! let timing = link.enqueue(SimTime::from_ticks(10), catalog.size_of(ObjectId(0)));
+//! assert_eq!(timing.arrives, SimTime::from_ticks(15)); // 2 ticks wire + 3 latency
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod downlink;
+pub mod invalidation;
+pub mod link;
+pub mod object;
+pub mod server;
+pub mod topology;
+
+pub use broadcast::BroadcastSchedule;
+pub use downlink::Downlink;
+pub use invalidation::{InvalidationReport, ReportLog};
+pub use link::{Link, SharedLink, TransferTiming};
+pub use object::{Catalog, ObjectId, ObjectSpec, Version};
+pub use server::{RemoteServer, UpdateProcess};
+pub use topology::{BaseStationId, CellId, ClientId, MobileClient, Topology};

@@ -1,0 +1,305 @@
+//! Lightweight measurement types shared by every experiment: counters,
+//! Welford mean/variance accumulators, fixed-bucket histograms and
+//! time series keyed by [`SimTime`].
+
+use std::fmt;
+
+use crate::SimTime;
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming mean/variance via Welford's algorithm — numerically stable
+/// for the long accumulations the recency experiments perform.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or `None` before any observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance, or `None` with fewer than two samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+/// A fixed-width-bucket histogram over `[lo, hi)` with overflow/underflow
+/// buckets at the ends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `buckets` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.buckets.len() as f64) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts (excluding under/overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// A time series of `(SimTime, f64)` samples in non-decreasing time order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last recorded sample's time.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(at >= last, "time series must be recorded in time order");
+        }
+        self.samples.push((at, value));
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the sample values, ignoring timestamps.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn welford_matches_naive_mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((w.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert!(w.mean().is_none());
+        w.push(3.0);
+        assert_eq!(w.mean(), Some(3.0));
+        assert!(w.variance().is_none());
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let (a_half, b_half) = xs.split_at(37);
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        a_half.iter().for_each(|&x| a.push(x));
+        b_half.iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - all.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.record(-0.1); // underflow
+        h.record(0.0); // bucket 0
+        h.record(0.05); // bucket 0
+        h.record(0.95); // bucket 9
+        h.record(1.0); // overflow (half-open range)
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn time_series_orders_and_averages() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_ticks(1), 1.0);
+        ts.record(SimTime::from_ticks(2), 3.0);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.mean(), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn time_series_rejects_backwards_samples() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_ticks(5), 1.0);
+        ts.record(SimTime::from_ticks(4), 1.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Per-time-unit client request streams.
+//!
+//! Every simulated time unit, a configurable number of clients each
+//! request one object (the paper's "each client requests only one object,
+//! but the same object may be requested by multiple clients"), drawn from
+//! a [`PopularityDist`], with a per-client target recency.
+
+use basecache_net::ObjectId;
+use basecache_sim::StreamRng;
+use rand::RngExt;
+
+use crate::popularity::PopularityDist;
+
+/// How clients choose the target recency `C` they attach to a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TargetRecency {
+    /// Every client demands fully fresh data (`C = 1`), the Section 3
+    /// setting where any staleness scores below 1.
+    AlwaysFresh,
+    /// Target recency uniform in `[lo, hi] ⊂ (0, 1]` — heterogeneous
+    /// client preferences ("some clients may prefer the most recent data
+    /// ... while others will accept less recent data").
+    Uniform {
+        /// Least demanding target, exclusive lower bound 0.
+        lo: f64,
+        /// Most demanding target, at most 1.
+        hi: f64,
+    },
+}
+
+impl TargetRecency {
+    fn sample(self, rng: &mut StreamRng) -> f64 {
+        match self {
+            TargetRecency::AlwaysFresh => 1.0,
+            TargetRecency::Uniform { lo, hi } => {
+                assert!(
+                    0.0 < lo && lo <= hi && hi <= 1.0,
+                    "target recency range must lie in (0,1]"
+                );
+                if lo == hi {
+                    lo
+                } else {
+                    rng.random_range(lo..=hi)
+                }
+            }
+        }
+    }
+}
+
+/// One generated client request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratedRequest {
+    /// The requested object.
+    pub object: ObjectId,
+    /// The client's target recency `C ∈ (0, 1]`.
+    pub target_recency: f64,
+}
+
+/// Generates one batch of requests per time unit.
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    popularity: PopularityDist,
+    per_time_unit: usize,
+    target: TargetRecency,
+}
+
+impl RequestGenerator {
+    /// A generator issuing `per_time_unit` requests per tick, objects
+    /// drawn from `popularity` (rank == object id), targets from
+    /// `target`.
+    pub fn new(popularity: PopularityDist, per_time_unit: usize, target: TargetRecency) -> Self {
+        Self {
+            popularity,
+            per_time_unit,
+            target,
+        }
+    }
+
+    /// Requests per time unit.
+    pub fn per_time_unit(&self) -> usize {
+        self.per_time_unit
+    }
+
+    /// Generate the batch for one time unit.
+    pub fn batch(&self, rng: &mut StreamRng) -> Vec<GeneratedRequest> {
+        (0..self.per_time_unit)
+            .map(|_| GeneratedRequest {
+                object: ObjectId(self.popularity.sample(rng) as u32),
+                target_recency: self.target.sample(rng),
+            })
+            .collect()
+    }
+}
+
+/// A request generator whose hot set drifts over time: every
+/// `shift_every` batches, the rank→object mapping rotates by
+/// `rotate_by`, so yesterday's hottest object cools off and a previously
+/// cold one takes its place. Drives the adaptation tests for the online
+/// popularity estimator and the demand-aware cache policies.
+#[derive(Debug, Clone)]
+pub struct ShiftingGenerator {
+    popularity: PopularityDist,
+    objects: usize,
+    per_time_unit: usize,
+    target: TargetRecency,
+    shift_every: u64,
+    rotate_by: usize,
+    batches_generated: u64,
+}
+
+impl ShiftingGenerator {
+    /// Create a shifting generator over `objects` objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift_every == 0` or the popularity distribution's
+    /// rank count differs from `objects`.
+    pub fn new(
+        popularity: PopularityDist,
+        objects: usize,
+        per_time_unit: usize,
+        target: TargetRecency,
+        shift_every: u64,
+        rotate_by: usize,
+    ) -> Self {
+        assert!(shift_every > 0, "shift interval must be positive");
+        assert_eq!(
+            popularity.len(),
+            objects,
+            "popularity must cover every object"
+        );
+        Self {
+            popularity,
+            objects,
+            per_time_unit,
+            target,
+            shift_every,
+            rotate_by,
+            batches_generated: 0,
+        }
+    }
+
+    /// The object currently occupying popularity rank `rank`.
+    pub fn object_at_rank(&self, rank: usize) -> ObjectId {
+        let phase = (self.batches_generated / self.shift_every) as usize * self.rotate_by;
+        ObjectId(((rank + phase) % self.objects) as u32)
+    }
+
+    /// Generate the batch for the next time unit, advancing the drift.
+    pub fn batch(&mut self, rng: &mut StreamRng) -> Vec<GeneratedRequest> {
+        let batch = (0..self.per_time_unit)
+            .map(|_| GeneratedRequest {
+                object: self.object_at_rank(self.popularity.sample(rng)),
+                target_recency: self.target.sample(rng),
+            })
+            .collect();
+        self.batches_generated += 1;
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::Popularity;
+    use basecache_sim::RngStreams;
+
+    #[test]
+    fn batch_has_requested_cardinality_and_valid_targets() {
+        let gen = RequestGenerator::new(
+            Popularity::Uniform.build(50),
+            100,
+            TargetRecency::Uniform { lo: 0.2, hi: 0.9 },
+        );
+        let mut rng = RngStreams::new(5).stream("requests");
+        let batch = gen.batch(&mut rng);
+        assert_eq!(batch.len(), 100);
+        for r in &batch {
+            assert!(r.object.index() < 50);
+            assert!((0.2..=0.9).contains(&r.target_recency));
+        }
+    }
+
+    #[test]
+    fn always_fresh_pins_target_to_one() {
+        let gen =
+            RequestGenerator::new(Popularity::Uniform.build(5), 10, TargetRecency::AlwaysFresh);
+        let mut rng = RngStreams::new(5).stream("requests");
+        assert!(gen.batch(&mut rng).iter().all(|r| r.target_recency == 1.0));
+    }
+
+    #[test]
+    fn batches_are_reproducible_per_stream() {
+        let gen =
+            RequestGenerator::new(Popularity::ZIPF1.build(20), 30, TargetRecency::AlwaysFresh);
+        let streams = RngStreams::new(1);
+        let a = gen.batch(&mut streams.stream("requests"));
+        let b = gen.batch(&mut streams.stream("requests"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_batches_concentrate_on_low_ranks() {
+        let gen = RequestGenerator::new(
+            Popularity::ZIPF1.build(500),
+            10_000,
+            TargetRecency::AlwaysFresh,
+        );
+        let mut rng = RngStreams::new(2).stream("requests");
+        let batch = gen.batch(&mut rng);
+        let hot = batch.iter().filter(|r| r.object.index() < 10).count();
+        let cold = batch.iter().filter(|r| r.object.index() >= 490).count();
+        assert!(hot > cold * 10, "hot={hot} cold={cold}");
+    }
+
+    #[test]
+    fn shifting_generator_rotates_its_hot_set() {
+        let mut gen = ShiftingGenerator::new(
+            Popularity::ZIPF1.build(50),
+            50,
+            2000,
+            TargetRecency::AlwaysFresh,
+            10,
+            25,
+        );
+        let mut rng = RngStreams::new(33).stream("shift");
+        assert_eq!(gen.object_at_rank(0), ObjectId(0));
+        // Phase 0: object 0 is the hottest.
+        let mut early = [0u32; 50];
+        for _ in 0..10 {
+            for r in gen.batch(&mut rng) {
+                early[r.object.index()] += 1;
+            }
+        }
+        // Phase 1 (after 10 batches): the mapping rotated by 25.
+        assert_eq!(gen.object_at_rank(0), ObjectId(25));
+        let mut late = [0u32; 50];
+        for _ in 0..10 {
+            for r in gen.batch(&mut rng) {
+                late[r.object.index()] += 1;
+            }
+        }
+        let early_hot = early.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0;
+        let late_hot = late.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0;
+        assert_eq!(early_hot, 0);
+        assert_eq!(late_hot, 25, "the hot set must have moved");
+    }
+
+    #[test]
+    fn popularity_estimator_follows_a_shifting_hot_set() {
+        use crate::estimate::PopularityEstimator;
+        let mut gen = ShiftingGenerator::new(
+            Popularity::ZIPF1.build(30),
+            30,
+            200,
+            TargetRecency::AlwaysFresh,
+            40,
+            15,
+        );
+        let mut est = PopularityEstimator::new(30, 10);
+        let mut rng = RngStreams::new(34).stream("shift-est");
+        for _ in 0..40 {
+            for r in gen.batch(&mut rng) {
+                est.observe(r.object);
+            }
+            est.tick();
+        }
+        assert_eq!(est.ranking()[0], ObjectId(0), "phase 0 hot object");
+        for _ in 0..40 {
+            for r in gen.batch(&mut rng) {
+                est.observe(r.object);
+            }
+            est.tick();
+        }
+        assert_eq!(
+            est.ranking()[0],
+            ObjectId(15),
+            "estimator tracked the shift"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target recency range")]
+    fn bad_target_range_rejected() {
+        let gen = RequestGenerator::new(
+            Popularity::Uniform.build(5),
+            1,
+            TargetRecency::Uniform { lo: 0.0, hi: 0.5 },
+        );
+        let mut rng = RngStreams::new(5).stream("requests");
+        let _ = gen.batch(&mut rng);
+    }
+}

@@ -1,0 +1,87 @@
+//! Object-size distributions.
+
+use basecache_sim::StreamRng;
+use rand::RngExt;
+
+/// How object sizes are drawn when building a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeDist {
+    /// Every object has size 1 — the Section 3 analyses.
+    Unit,
+    /// Every object has the same given size.
+    Constant(u64),
+    /// Integer-uniform in `[lo, hi]` — Table 1 uses `[1, 20]`.
+    UniformInt {
+        /// Smallest size, inclusive.
+        lo: u64,
+        /// Largest size, inclusive.
+        hi: u64,
+    },
+}
+
+impl SizeDist {
+    /// The Table 1 size distribution, `U[1, 20]`.
+    pub const TABLE1: SizeDist = SizeDist::UniformInt { lo: 1, hi: 20 };
+
+    /// Draw `n` sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `UniformInt` if `lo > hi` or `lo == 0` (a zero-size
+    /// object would never consume download budget), or for `Constant(0)`.
+    pub fn generate(self, n: usize, rng: &mut StreamRng) -> Vec<u64> {
+        match self {
+            SizeDist::Unit => vec![1; n],
+            SizeDist::Constant(s) => {
+                assert!(s > 0, "object sizes must be positive");
+                vec![s; n]
+            }
+            SizeDist::UniformInt { lo, hi } => {
+                assert!(lo > 0, "object sizes must be positive");
+                assert!(lo <= hi, "size range must be non-empty");
+                (0..n).map(|_| rng.random_range(lo..=hi)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basecache_sim::RngStreams;
+
+    #[test]
+    fn unit_and_constant() {
+        let mut r = RngStreams::new(3).stream("sizes");
+        assert_eq!(SizeDist::Unit.generate(3, &mut r), vec![1, 1, 1]);
+        assert_eq!(SizeDist::Constant(7).generate(2, &mut r), vec![7, 7]);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_spreads() {
+        let mut r = RngStreams::new(3).stream("sizes");
+        let sizes = SizeDist::TABLE1.generate(10_000, &mut r);
+        assert!(sizes.iter().all(|&s| (1..=20).contains(&s)));
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        assert!((mean - 10.5).abs() < 0.3, "mean {mean} far from 10.5");
+        // All values appear.
+        for v in 1..=20u64 {
+            assert!(sizes.contains(&v), "missing size {v}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_stream() {
+        let streams = RngStreams::new(9);
+        let a = SizeDist::TABLE1.generate(50, &mut streams.stream("sizes"));
+        let b = SizeDist::TABLE1.generate(50, &mut streams.stream("sizes"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let mut r = RngStreams::new(3).stream("sizes");
+        let _ = SizeDist::UniformInt { lo: 0, hi: 5 }.generate(1, &mut r);
+    }
+}

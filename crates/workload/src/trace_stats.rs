@@ -1,0 +1,140 @@
+//! Descriptive statistics of a recorded request trace — the audit the
+//! experiment harness runs before trusting a workload (empirical
+//! popularity, demand rate, distinct-object coverage).
+
+use std::collections::HashMap;
+
+use basecache_net::ObjectId;
+
+use crate::trace::RequestTrace;
+
+/// Summary statistics of a [`RequestTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Time units covered.
+    pub ticks: usize,
+    /// Total requests.
+    pub total_requests: usize,
+    /// Distinct objects requested at least once.
+    pub distinct_objects: usize,
+    /// Mean requests per time unit.
+    pub mean_rate: f64,
+    /// Largest single-tick batch.
+    pub peak_rate: usize,
+    /// Per-object request counts.
+    pub counts: HashMap<ObjectId, u64>,
+    /// Mean of the per-request target recencies.
+    pub mean_target_recency: f64,
+}
+
+impl TraceStats {
+    /// Compute the statistics of a trace.
+    pub fn of(trace: &RequestTrace) -> Self {
+        let mut counts: HashMap<ObjectId, u64> = HashMap::new();
+        let mut total = 0usize;
+        let mut peak = 0usize;
+        let mut target_sum = 0.0;
+        for (_, batch) in trace.iter() {
+            peak = peak.max(batch.len());
+            for r in batch {
+                total += 1;
+                target_sum += r.target_recency;
+                *counts.entry(r.object).or_insert(0) += 1;
+            }
+        }
+        TraceStats {
+            ticks: trace.len(),
+            total_requests: total,
+            distinct_objects: counts.len(),
+            mean_rate: if trace.is_empty() {
+                0.0
+            } else {
+                total as f64 / trace.len() as f64
+            },
+            peak_rate: peak,
+            mean_target_recency: if total == 0 {
+                0.0
+            } else {
+                target_sum / total as f64
+            },
+            counts,
+        }
+    }
+
+    /// Empirical request probability of `object`.
+    pub fn empirical_probability(&self, object: ObjectId) -> f64 {
+        if self.total_requests == 0 {
+            return 0.0;
+        }
+        *self.counts.get(&object).unwrap_or(&0) as f64 / self.total_requests as f64
+    }
+
+    /// Objects sorted by descending empirical popularity (ties by id).
+    pub fn ranking(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.counts.keys().copied().collect();
+        ids.sort_by(|a, b| self.counts[b].cmp(&self.counts[a]).then_with(|| a.cmp(b)));
+        ids
+    }
+
+    /// Total-variation distance between the empirical distribution and a
+    /// model distribution over object ids `0..probs.len()` — how far the
+    /// sampled trace is from its generator.
+    pub fn total_variation_from(&self, probs: &[f64]) -> f64 {
+        let mut tv = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            tv += (p - self.empirical_probability(ObjectId(i as u32))).abs();
+        }
+        tv / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::Popularity;
+    use crate::requests::{RequestGenerator, TargetRecency};
+    use basecache_sim::RngStreams;
+
+    fn trace(n: usize, rate: usize, ticks: usize) -> RequestTrace {
+        let generator = RequestGenerator::new(
+            Popularity::ZIPF1.build(n),
+            rate,
+            TargetRecency::Uniform { lo: 0.4, hi: 0.8 },
+        );
+        let mut rng = RngStreams::new(17).stream("trace-stats");
+        RequestTrace::record(&generator, ticks, &mut rng)
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let t = trace(30, 25, 40);
+        let stats = TraceStats::of(&t);
+        assert_eq!(stats.ticks, 40);
+        assert_eq!(stats.total_requests, 1000);
+        assert_eq!(stats.mean_rate, 25.0);
+        assert_eq!(stats.peak_rate, 25);
+        assert_eq!(stats.counts.values().sum::<u64>(), 1000);
+        assert!((0.4..=0.8).contains(&stats.mean_target_recency));
+        assert!((stats.mean_target_recency - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn empirical_distribution_tracks_the_generator() {
+        let n = 40;
+        let t = trace(n, 100, 200);
+        let stats = TraceStats::of(&t);
+        let model = Popularity::ZIPF1.build(n);
+        let tv = stats.total_variation_from(model.probabilities());
+        assert!(tv < 0.05, "total variation {tv} too high for 20k samples");
+        // Rank 0 is empirically the hottest.
+        assert_eq!(stats.ranking()[0], ObjectId(0));
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeros() {
+        let stats = TraceStats::of(&RequestTrace::from_batches(vec![]));
+        assert_eq!(stats.total_requests, 0);
+        assert_eq!(stats.mean_rate, 0.0);
+        assert_eq!(stats.empirical_probability(ObjectId(0)), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Web-proxy caching scenario.
+//!
+//! The paper notes its results "are applicable to any environment where
+//! time or bandwidth constraints make it impractical to access all
+//! requested data remotely. For example, our work could be applied to
+//! web proxy caching." This example models a proxy in front of a
+//! Zipf-skewed web workload with heterogeneous page sizes, and compares
+//! the planner's solver back-ends (exact DP, greedy, FPTAS, B&B) on
+//! plan quality and planning cost across bandwidth budgets.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example web_proxy
+//! ```
+
+use std::time::Instant;
+
+use basecache::core::planner::{OnDemandPlanner, SolverChoice};
+use basecache::core::recency::ScoringFunction;
+use basecache::core::request::RequestBatch;
+use basecache::net::Catalog;
+use basecache::sim::RngStreams;
+use basecache::workload::{Popularity, RequestGenerator, SizeDist, TargetRecency};
+use rand::RngExt;
+
+fn main() {
+    let streams = RngStreams::new(7_2000);
+
+    // 800 pages, sizes 1..=50 units, Zipf popularity.
+    let n = 800;
+    let sizes = SizeDist::UniformInt { lo: 1, hi: 50 }.generate(n, &mut streams.stream("sizes"));
+    let catalog = Catalog::from_sizes(&sizes);
+
+    // Cached copies have aged to varying degrees.
+    let recency: Vec<f64> = {
+        let mut rng = streams.stream("recency");
+        (0..n).map(|_| rng.random_range(0.05..=1.0)).collect()
+    };
+
+    // One burst of 2000 requests with mixed freshness demands.
+    let generator = RequestGenerator::new(
+        Popularity::ZIPF1.build(n),
+        2000,
+        TargetRecency::Uniform { lo: 0.3, hi: 1.0 },
+    );
+    let batch = RequestBatch::from_generated(&generator.batch(&mut streams.stream("requests")));
+
+    let solvers: [(&str, SolverChoice); 4] = [
+        ("exact-dp", SolverChoice::ExactDp),
+        ("greedy", SolverChoice::Greedy),
+        ("fptas(0.1)", SolverChoice::Fptas { epsilon: 0.1 }),
+        ("branch&bound", SolverChoice::BranchAndBound),
+    ];
+
+    println!(
+        "web proxy: {} pages ({} total units), {} requests",
+        n,
+        catalog.total_size(),
+        batch.total_requests()
+    );
+    for budget in [200u64, 1000, 5000] {
+        println!("\nbandwidth budget: {budget} units");
+        println!(
+            "{:>14} {:>10} {:>10} {:>12} {:>12}",
+            "solver", "downloads", "units", "avg score", "plan time"
+        );
+        for (name, choice) in solvers {
+            let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, choice);
+            let start = Instant::now();
+            let plan = planner.plan(&batch, &catalog, &recency, budget);
+            let elapsed = start.elapsed();
+            println!(
+                "{:>14} {:>10} {:>10} {:>12.5} {:>10.2?}",
+                name,
+                plan.downloads().len(),
+                plan.download_size(),
+                plan.average_score(&batch, &recency),
+                elapsed,
+            );
+        }
+    }
+
+    println!("\nThe greedy and FPTAS planners trade a sliver of average score for");
+    println!("orders-of-magnitude cheaper planning — the right call when the proxy");
+    println!("must re-plan every few milliseconds.");
+}

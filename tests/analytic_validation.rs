@@ -1,0 +1,138 @@
+//! Cross-validation: the closed-form/numeric analytical models of
+//! `basecache-analytic` against the discrete-event simulator. Agreement
+//! between two independent derivations pins down both.
+
+use basecache::analytic::downloads::{async_ceiling, expected_downloads};
+use basecache::analytic::fluid::{fluid_average_score_curve, integrality_gap_bound, FluidObject};
+use basecache::analytic::recency::expected_async_recency;
+use basecache::core::profit::build_instance_from_scores;
+use basecache::core::{BaseStationSim, Policy};
+use basecache::knapsack::DpByCapacity;
+use basecache::net::Catalog;
+use basecache::sim::RngStreams;
+use basecache::workload::{
+    Correlation, NumRequestsMode, Popularity, RequestGenerator, RequestTrace, Table1Spec,
+    TargetRecency,
+};
+
+fn simulate_downloads(pop: Popularity, objects: usize, rate: usize, period: u64) -> u64 {
+    let warmup = 20u64;
+    let measure = 200u64;
+    let generator = RequestGenerator::new(pop.build(objects), rate, TargetRecency::AlwaysFresh);
+    let mut rng = RngStreams::new(99).stream("validate/requests");
+    let trace = RequestTrace::record(&generator, (warmup + measure) as usize, &mut rng);
+    let mut station = BaseStationSim::new(
+        Catalog::uniform_unit(objects),
+        Policy::OnDemandLowestRecency {
+            k_objects: usize::MAX,
+        },
+    );
+    for (t, batch) in trace.iter() {
+        if (t as u64).is_multiple_of(period) {
+            station.apply_update_wave();
+        }
+        if t as u64 == warmup {
+            station.reset_stats();
+        }
+        station.step(batch);
+    }
+    station.stats().units_downloaded
+}
+
+#[test]
+fn fig2_analytic_matches_simulation_within_five_percent() {
+    let objects = 200;
+    let period = 5u64;
+    let waves = 40u64; // 200 measured ticks / period
+    for (pop, rate) in [
+        (Popularity::Uniform, 40usize),
+        (Popularity::LinearSkew, 40),
+        (Popularity::ZIPF1, 40),
+        (Popularity::Uniform, 150),
+        (Popularity::ZIPF1, 150),
+    ] {
+        let simulated = simulate_downloads(pop, objects, rate, period) as f64;
+        let analytic = expected_downloads(&pop.build(objects), rate as u64, period, waves);
+        let rel = (simulated - analytic).abs() / analytic.max(1.0);
+        assert!(
+            rel < 0.05,
+            "{pop:?} rate {rate}: simulated {simulated} vs analytic {analytic} ({rel:.3})"
+        );
+        assert!(analytic <= async_ceiling(objects, waves) + 1e-9);
+    }
+}
+
+#[test]
+fn fig3_async_analytic_matches_simulation() {
+    let objects = 100usize;
+    let warmup = 30u64;
+    let measure = 300u64;
+    for (k, period) in [(5usize, 5u64), (10, 5), (20, 2), (10, 1), (50, 10)] {
+        let generator = RequestGenerator::new(
+            Popularity::Uniform.build(objects),
+            50,
+            TargetRecency::AlwaysFresh,
+        );
+        let mut rng = RngStreams::new(7).stream("validate/fig3");
+        let trace = RequestTrace::record(&generator, (warmup + measure) as usize, &mut rng);
+        let mut station = BaseStationSim::new(
+            Catalog::uniform_unit(objects),
+            Policy::AsyncRoundRobin { k_objects: k },
+        );
+        for (t, batch) in trace.iter() {
+            if (t as u64).is_multiple_of(period) {
+                station.apply_update_wave();
+            }
+            if t as u64 == warmup {
+                station.reset_stats();
+            }
+            station.step(batch);
+        }
+        let simulated = station.stats().recency.mean().unwrap();
+        let analytic = expected_async_recency(objects as u64, k as u64, period);
+        assert!(
+            (simulated - analytic).abs() < 0.05,
+            "k={k} period={period}: simulated {simulated:.4} vs analytic {analytic:.4}"
+        );
+    }
+}
+
+#[test]
+fn fluid_limit_tracks_the_dp_solution_space_at_table1_scale() {
+    let spec = Table1Spec {
+        num_requests: NumRequestsMode::UniformInt { lo: 1, hi: 20 },
+        size_num_requests: Correlation::Negative,
+        size_recency: Correlation::Positive,
+        ..Table1Spec::paper_default()
+    };
+    let pop = spec.generate(2026);
+    let mapped = build_instance_from_scores(&pop);
+    let trace = DpByCapacity.solve_trace(mapped.instance(), 5000);
+
+    let fluid_objects: Vec<FluidObject> = (0..pop.len())
+        .map(|i| FluidObject {
+            size: pop.sizes[i],
+            clients: pop.num_requests[i],
+            score: pop.recency[i],
+        })
+        .collect();
+    let budgets: Vec<u64> = (0..=5000).step_by(250).collect();
+    let fluid = fluid_average_score_curve(&fluid_objects, &budgets);
+    let gap = integrality_gap_bound(&fluid_objects);
+    assert!(
+        gap < 0.005,
+        "500-object populations have a tiny integrality gap, got {gap}"
+    );
+
+    for &(b, fluid_score) in &fluid {
+        let dp_score = mapped.average_score_for_value(trace.value_at(b as u64));
+        assert!(
+            fluid_score >= dp_score - 1e-9,
+            "fluid must upper-bound DP at b={b}"
+        );
+        assert!(
+            fluid_score - dp_score <= gap + 1e-9,
+            "b={b}: fluid {fluid_score:.5} vs dp {dp_score:.5} exceeds gap {gap:.5}"
+        );
+    }
+}

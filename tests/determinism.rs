@@ -1,0 +1,28 @@
+//! Everything in this repository is seeded: identical invocations must
+//! produce byte-identical artifacts, including under parallel sweeps.
+
+use basecache_experiments::{fig2, fig4, table1};
+
+#[test]
+fn figure_csvs_are_byte_identical_across_runs() {
+    let p = fig4::Params::quick();
+    let a = fig4::run(&p).to_csv();
+    let b = fig4::run(&p).to_csv();
+    assert_eq!(a, b, "fig4 must be deterministic");
+}
+
+#[test]
+fn parallel_sweeps_do_not_perturb_results() {
+    // fig2 fans its jobs over worker threads; scheduling order must not
+    // leak into the output.
+    let p = fig2::Params::quick();
+    let a = fig2::run(&p).to_csv();
+    let b = fig2::run(&p).to_csv();
+    assert_eq!(a, b, "fig2's crossbeam sweep must be order-stable");
+}
+
+#[test]
+fn table1_audit_is_reproducible() {
+    assert_eq!(table1::run(4), table1::run(4));
+    assert_ne!(table1::run(4), table1::run(5), "different seeds differ");
+}

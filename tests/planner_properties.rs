@@ -1,0 +1,121 @@
+//! Property-based integration tests: the planner's contract holds for
+//! arbitrary workloads, cache states and budgets.
+
+use basecache::core::planner::{OnDemandPlanner, SolverChoice};
+use basecache::core::profit::build_instance;
+use basecache::core::recency::ScoringFunction;
+use basecache::core::request::RequestBatch;
+use basecache::net::{Catalog, ObjectId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    sizes: Vec<u64>,
+    recency: Vec<f64>,
+    requests: Vec<(usize, f64)>, // (object index, target recency)
+    budget: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..=12).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1u64..=9, n),
+            prop::collection::vec(0.0f64..=1.0, n),
+            prop::collection::vec((0..n, 0.05f64..=1.0), 0..=30),
+            0u64..=60,
+        )
+            .prop_map(|(sizes, recency, requests, budget)| Scenario {
+                sizes,
+                recency,
+                requests,
+                budget,
+            })
+    })
+}
+
+fn build(scenario: &Scenario) -> (RequestBatch, Catalog) {
+    let catalog = Catalog::from_sizes(&scenario.sizes);
+    let mut batch = RequestBatch::new();
+    for &(obj, target) in &scenario.requests {
+        batch.push(ObjectId(obj as u32), target);
+    }
+    (batch, catalog)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plans_are_feasible_and_scores_bounded(s in arb_scenario()) {
+        let (batch, catalog) = build(&s);
+        for solver in [
+            SolverChoice::ExactDp,
+            SolverChoice::Greedy,
+            SolverChoice::Fptas { epsilon: 0.2 },
+            SolverChoice::BranchAndBound,
+        ] {
+            let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, solver);
+            let plan = planner.plan(&batch, &catalog, &s.recency, s.budget);
+            // Budget respected and size totals consistent.
+            prop_assert!(plan.download_size() <= s.budget);
+            let recount: u64 = plan.downloads().iter().map(|&o| catalog.size_of(o)).sum();
+            prop_assert_eq!(recount, plan.download_size());
+            // Only requested objects are downloaded.
+            for &o in plan.downloads() {
+                prop_assert!(!batch.targets_for(o).is_empty(), "{o} was never requested");
+            }
+            // Scores lie in [0, 1].
+            let score = plan.average_score(&batch, &s.recency);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&score), "score {score}");
+        }
+    }
+
+    #[test]
+    fn exact_plan_dominates_every_other_solver(s in arb_scenario()) {
+        let (batch, catalog) = build(&s);
+        let exact = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp)
+            .plan(&batch, &catalog, &s.recency, s.budget);
+        let exact_score = exact.average_score(&batch, &s.recency);
+        for solver in [SolverChoice::Greedy, SolverChoice::Fptas { epsilon: 0.3 }] {
+            let other = OnDemandPlanner::new(ScoringFunction::InverseRatio, solver)
+                .plan(&batch, &catalog, &s.recency, s.budget);
+            let other_score = other.average_score(&batch, &s.recency);
+            prop_assert!(exact_score >= other_score - 1e-9,
+                "{solver:?} scored {other_score} > exact {exact_score}");
+        }
+    }
+
+    #[test]
+    fn score_is_monotone_in_budget(s in arb_scenario()) {
+        let (batch, catalog) = build(&s);
+        let planner = OnDemandPlanner::new(ScoringFunction::Exponential, SolverChoice::ExactDp);
+        let lo = planner.plan(&batch, &catalog, &s.recency, s.budget);
+        let hi = planner.plan(&batch, &catalog, &s.recency, s.budget + 10);
+        prop_assert!(
+            hi.average_score(&batch, &s.recency) >= lo.average_score(&batch, &s.recency) - 1e-9
+        );
+    }
+
+    #[test]
+    fn average_score_identity_between_plan_and_mapping(s in arb_scenario()) {
+        // (base + achieved value) / clients computed through the knapsack
+        // mapping must equal the score computed request by request.
+        let (batch, catalog) = build(&s);
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let plan = planner.plan(&batch, &catalog, &s.recency, s.budget);
+        let mapped = build_instance(&batch, &catalog, &s.recency, ScoringFunction::InverseRatio);
+        let via_mapping = mapped.average_score_for_value(plan.achieved_value());
+        let direct = plan.average_score(&batch, &s.recency);
+        prop_assert!((via_mapping - direct).abs() < 1e-9, "{via_mapping} vs {direct}");
+    }
+
+    #[test]
+    fn fully_fresh_cache_needs_no_downloads(s in arb_scenario()) {
+        let (batch, catalog) = build(&s);
+        let fresh = vec![1.0; catalog.len()];
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let plan = planner.plan(&batch, &catalog, &fresh, s.budget);
+        prop_assert!(plan.downloads().is_empty());
+        prop_assert!((plan.average_score(&batch, &fresh) - 1.0).abs() < 1e-12);
+    }
+}
