@@ -1,10 +1,10 @@
 //! Bounded-cache ablation (the paper's future-work direction): replace-
 //! ment policies under Zipf churn, measuring throughput and — via the
-//! summary printed by the `policy_hit_ratios` bench — hit ratios.
+//! summary printed at the end — hit ratios.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use basecache_bench::harness::bench_n;
 use basecache_cache::{
     CacheStore, GreedyDualSize, Lfu, Lru, ProfitAware, ReplacementPolicy, SizeAware,
 };
@@ -51,21 +51,19 @@ fn zipf_accesses(n_objects: usize, n_accesses: usize) -> Vec<u32> {
         .collect()
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let accesses = zipf_accesses(2000, 50_000);
-    let mut group = c.benchmark_group("cache/churn_50k");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
     for (name, make) in policies() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| {
-                let mut cache = CacheStore::bounded(1500, make());
-                black_box(churn(&mut cache, &accesses))
-            })
+        bench_n(&format!("cache/churn_50k/{name}"), 10, || {
+            let mut cache = CacheStore::bounded(1500, make());
+            black_box(churn(&mut cache, &accesses))
         });
     }
-    group.finish();
+
+    bench_n("cache/unbounded_churn_50k", 10, || {
+        let mut cache = CacheStore::unbounded();
+        black_box(churn(&mut cache, &accesses))
+    });
 
     // Print the ablation table once (hit ratios per policy) so `cargo
     // bench` output doubles as the ablation report.
@@ -80,16 +78,3 @@ fn bench_policies(c: &mut Criterion) {
         );
     }
 }
-
-fn bench_unbounded_baseline(c: &mut Criterion) {
-    let accesses = zipf_accesses(2000, 50_000);
-    c.bench_function("cache/unbounded_churn_50k", |b| {
-        b.iter(|| {
-            let mut cache = CacheStore::unbounded();
-            black_box(churn(&mut cache, &accesses))
-        })
-    });
-}
-
-criterion_group!(benches, bench_policies, bench_unbounded_baseline);
-criterion_main!(benches);

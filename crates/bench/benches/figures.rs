@@ -2,107 +2,61 @@
 //! artifact (CI-sized parameters so `cargo bench` stays tractable; run
 //! the `basecache-experiments` binary for full-fidelity numbers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use basecache_experiments::{fig2, fig3, fig4, fig5, fig6, table1};
+use basecache_bench::harness::bench_n;
+use basecache_experiments::{
+    ext_adaptive, ext_broadcast, ext_hybrid, fig2, fig3, fig4, fig5, fig6, table1,
+};
 use basecache_workload::Correlation;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("figures/table1", |b| b.iter(|| black_box(table1::run(4))));
-}
+/// Whole-experiment runs are slow; keep the sample count modest.
+const SAMPLES: usize = 10;
 
-fn bench_fig2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    bench_n("figures/table1", SAMPLES, || black_box(table1::run(4)));
+
     let params = fig2::Params::quick();
-    group.bench_function("fig2_downloads", |b| {
-        b.iter(|| black_box(fig2::run(&params)))
+    bench_n("figures/fig2_downloads", SAMPLES, || {
+        black_box(fig2::run(&params))
     });
-    group.finish();
-}
 
-fn bench_fig3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
     let params = fig3::Params::quick();
-    group.bench_function("fig3_recency", |b| b.iter(|| black_box(fig3::run(&params))));
-    group.finish();
-}
+    bench_n("figures/fig3_recency", SAMPLES, || {
+        black_box(fig3::run(&params))
+    });
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
     let params = fig4::Params::quick();
-    group.bench_function("fig4_solution_space", |b| {
-        b.iter(|| black_box(fig4::run(&params)))
+    bench_n("figures/fig4_solution_space", SAMPLES, || {
+        black_box(fig4::run(&params))
     });
-    group.finish();
-}
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
     let params = fig5::Params::quick();
-    group.bench_function("fig5a_small_objects_hot", |b| {
-        b.iter(|| black_box(fig5::run_panel(&params, Correlation::Negative, "a")))
+    bench_n("figures/fig5a_small_objects_hot", SAMPLES, || {
+        black_box(fig5::run_panel(&params, Correlation::Negative, "a"))
     });
-    group.bench_function("fig5b_large_objects_hot", |b| {
-        b.iter(|| black_box(fig5::run_panel(&params, Correlation::Positive, "b")))
+    bench_n("figures/fig5b_large_objects_hot", SAMPLES, || {
+        black_box(fig5::run_panel(&params, Correlation::Positive, "b"))
     });
-    group.finish();
-}
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
     let params = fig6::Params::quick();
-    group.bench_function("fig6a_small_objects_freshest", |b| {
-        b.iter(|| black_box(fig6::run_panel(&params, Correlation::Negative, "a")))
+    bench_n("figures/fig6a_small_objects_freshest", SAMPLES, || {
+        black_box(fig6::run_panel(&params, Correlation::Negative, "a"))
     });
-    group.bench_function("fig6b_large_objects_freshest", |b| {
-        b.iter(|| black_box(fig6::run_panel(&params, Correlation::Positive, "b")))
+    bench_n("figures/fig6b_large_objects_freshest", SAMPLES, || {
+        black_box(fig6::run_panel(&params, Correlation::Positive, "b"))
     });
-    group.finish();
-}
 
-fn bench_extensions(c: &mut Criterion) {
-    use basecache_experiments::{ext_adaptive, ext_broadcast, ext_hybrid};
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
     let adaptive = ext_adaptive::Params::quick();
-    group.bench_function("ext_adaptive_budget", |b| {
-        b.iter(|| black_box(ext_adaptive::run(&adaptive)))
+    bench_n("figures/ext_adaptive_budget", SAMPLES, || {
+        black_box(ext_adaptive::run(&adaptive))
     });
     let hybrid = ext_hybrid::Params::quick();
-    group.bench_function("ext_hybrid_push_pull", |b| b.iter(|| black_box(ext_hybrid::run(&hybrid))));
-    let broadcast = ext_broadcast::Params::quick();
-    group.bench_function("ext_broadcast_vs_pull", |b| {
-        b.iter(|| black_box(ext_broadcast::run(&broadcast)))
+    bench_n("figures/ext_hybrid_push_pull", SAMPLES, || {
+        black_box(ext_hybrid::run(&hybrid))
     });
-    group.finish();
+    let broadcast = ext_broadcast::Params::quick();
+    bench_n("figures/ext_broadcast_vs_pull", SAMPLES, || {
+        black_box(ext_broadcast::run(&broadcast))
+    });
 }
-
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_fig2,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6,
-    bench_extensions
-);
-criterion_main!(benches);

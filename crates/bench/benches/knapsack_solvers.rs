@@ -5,35 +5,31 @@
 //! The FPTAS is `O(n³/ε)` by profit scaling, so it is benchmarked at
 //! smaller `n` than the others; that asymmetry *is* the ablation result.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 
+use basecache_bench::harness::bench;
 use basecache_bench::knapsack_instance;
 use basecache_knapsack::{
-    BranchAndBound, DpByCapacity, Fptas, GreedyDensity, Instance, Item, MeetInTheMiddle, Solver,
+    BranchAndBound, DpByCapacity, DpScratch, Fptas, GreedyDensity, Instance, Item, MeetInTheMiddle,
+    Solver,
 };
 
-fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
-}
-
-fn bench_solvers_by_n(c: &mut Criterion) {
-    let mut group = c.benchmark_group("knapsack/by_items");
-    configure(&mut group);
+fn bench_solvers_by_n() {
     for &n in &[100usize, 500, 2000] {
         let inst = knapsack_instance(n, 42);
         let capacity = inst.total_size() / 3;
-        group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, _| {
-            b.iter(|| black_box(DpByCapacity.solve(&inst, capacity)))
+        bench(&format!("knapsack/by_items/dp/{n}"), || {
+            black_box(DpByCapacity.solve(&inst, capacity))
         });
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            b.iter(|| black_box(GreedyDensity.solve(&inst, capacity)))
+        let mut scratch = DpScratch::new();
+        bench(&format!("knapsack/by_items/dp_scratch/{n}"), || {
+            black_box(DpByCapacity.solve_into(inst.items(), capacity, &mut scratch))
         });
-        group.bench_with_input(BenchmarkId::new("branch_bound", n), &n, |b, _| {
-            b.iter(|| black_box(BranchAndBound::with_node_budget(200_000).solve(&inst, capacity)))
+        bench(&format!("knapsack/by_items/greedy/{n}"), || {
+            black_box(GreedyDensity.solve(&inst, capacity))
+        });
+        bench(&format!("knapsack/by_items/branch_bound/{n}"), || {
+            black_box(BranchAndBound::with_node_budget(200_000).solve(&inst, capacity))
         });
     }
     // FPTAS scales as n³/ε: keep it to the sizes a per-round planner
@@ -41,52 +37,49 @@ fn bench_solvers_by_n(c: &mut Criterion) {
     for &n in &[50usize, 150] {
         let inst = knapsack_instance(n, 42);
         let capacity = inst.total_size() / 3;
-        group.bench_with_input(BenchmarkId::new("fptas_0.25", n), &n, |b, _| {
-            b.iter(|| black_box(Fptas::new(0.25).solve(&inst, capacity)))
+        bench(&format!("knapsack/by_items/fptas_0.25/{n}"), || {
+            black_box(Fptas::new(0.25).solve(&inst, capacity))
         });
     }
-    group.finish();
 }
 
-fn bench_dp_by_capacity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("knapsack/by_capacity");
-    configure(&mut group);
+fn bench_dp_by_capacity() {
     let inst = knapsack_instance(500, 7);
+    let mut scratch = DpScratch::new();
     for &cap in &[500u64, 2000, 5000] {
-        group.bench_with_input(BenchmarkId::new("dp_solve", cap), &cap, |b, &cap| {
-            b.iter(|| black_box(DpByCapacity.solve(&inst, cap)))
+        bench(&format!("knapsack/by_capacity/dp_solve/{cap}"), || {
+            black_box(DpByCapacity.solve(&inst, cap))
         });
-        group.bench_with_input(BenchmarkId::new("dp_trace", cap), &cap, |b, &cap| {
-            b.iter(|| black_box(DpByCapacity.solve_trace(&inst, cap)))
+        bench(&format!("knapsack/by_capacity/dp_solve_into/{cap}"), || {
+            black_box(DpByCapacity.solve_into(inst.items(), cap, &mut scratch))
+        });
+        bench(&format!("knapsack/by_capacity/dp_trace/{cap}"), || {
+            black_box(DpByCapacity.solve_trace(&inst, cap))
+        });
+        bench(&format!("knapsack/by_capacity/dp_trace_into/{cap}"), || {
+            DpByCapacity.solve_trace_into(inst.items(), cap, &mut scratch);
+            black_box(scratch.value())
         });
     }
-    group.finish();
 }
 
-fn bench_trace_reads(c: &mut Criterion) {
+fn bench_trace_reads() {
     // Reading the whole solution space from one trace vs re-solving at
     // every budget — the reason the paper's Section 4 analysis is cheap.
-    let mut group = c.benchmark_group("knapsack/trace");
-    configure(&mut group);
     let inst = knapsack_instance(500, 9);
     let trace = DpByCapacity.solve_trace(&inst, 5000);
-    group.bench_function("solution_recovery_11_budgets", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for cap in (0..=5000u64).step_by(500) {
-                total += black_box(trace.solution_at(&inst, cap)).total_size();
-            }
-            total
-        })
+    bench("knapsack/trace/solution_recovery_11_budgets", || {
+        let mut total = 0u64;
+        for cap in (0..=5000u64).step_by(500) {
+            total += black_box(trace.solution_at(&inst, cap)).total_size();
+        }
+        total
     });
-    group.finish();
 }
 
-fn bench_huge_capacity(c: &mut Criterion) {
+fn bench_huge_capacity() {
     // Where meet-in-the-middle earns its keep: few candidate items, a
     // capacity so large the DP table would be gigabytes.
-    let mut group = c.benchmark_group("knapsack/huge_capacity");
-    configure(&mut group);
     let inst = Instance::new(
         (0..32u64)
             .map(|i| Item::new(1_000_000_000 + i * 97, (i % 13) as f64 + 0.5))
@@ -94,23 +87,20 @@ fn bench_huge_capacity(c: &mut Criterion) {
     )
     .expect("valid items");
     let cap = 12_000_000_000u64;
-    group.bench_function("meet_in_the_middle_32_items", |b| {
-        b.iter(|| black_box(MeetInTheMiddle::default().solve(&inst, cap)))
+    bench("knapsack/huge_capacity/meet_in_the_middle_32_items", || {
+        black_box(MeetInTheMiddle::default().solve(&inst, cap))
     });
-    group.bench_function("greedy_32_items", |b| {
-        b.iter(|| black_box(GreedyDensity.solve(&inst, cap)))
+    bench("knapsack/huge_capacity/greedy_32_items", || {
+        black_box(GreedyDensity.solve(&inst, cap))
     });
-    group.bench_function("branch_bound_32_items", |b| {
-        b.iter(|| black_box(BranchAndBound::default().solve(&inst, cap)))
+    bench("knapsack/huge_capacity/branch_bound_32_items", || {
+        black_box(BranchAndBound::default().solve(&inst, cap))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_solvers_by_n,
-    bench_dp_by_capacity,
-    bench_trace_reads,
-    bench_huge_capacity
-);
-criterion_main!(benches);
+fn main() {
+    bench_solvers_by_n();
+    bench_dp_by_capacity();
+    bench_trace_reads();
+    bench_huge_capacity();
+}

@@ -1,9 +1,9 @@
 //! Engine benchmarks: event-queue throughput, RNG stream derivation,
 //! request generation and full station steps.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use basecache_bench::harness::bench;
 use basecache_core::planner::{OnDemandPlanner, SolverChoice};
 use basecache_core::recency::ScoringFunction;
 use basecache_core::{BaseStationSim, Policy};
@@ -11,55 +11,45 @@ use basecache_net::Catalog;
 use basecache_sim::{RngStreams, Scheduler, SimTime};
 use basecache_workload::{Popularity, RequestGenerator, TargetRecency};
 
-fn bench_scheduler_throughput(c: &mut Criterion) {
-    c.bench_function("sim/scheduler_10k_events", |b| {
-        b.iter(|| {
-            let mut sched: Scheduler<u32> = Scheduler::new();
-            for i in 0..10_000u32 {
-                sched.schedule_at(SimTime::from_ticks(u64::from(i % 977)), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = sched.pop() {
-                acc += u64::from(e);
-            }
-            black_box(acc)
-        })
+fn bench_scheduler_throughput() {
+    bench("sim/scheduler_10k_events", || {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        for i in 0..10_000u32 {
+            sched.schedule_at(SimTime::from_ticks(u64::from(i % 977)), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = sched.pop() {
+            acc += u64::from(e);
+        }
+        black_box(acc)
     });
 }
 
-fn bench_rng_streams(c: &mut Criterion) {
+fn bench_rng_streams() {
     let streams = RngStreams::new(4242);
-    c.bench_function("sim/rng_stream_derivation", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..100 {
-                acc ^= black_box(streams.seed_for_indexed("bench", i));
-            }
-            acc
-        })
+    bench("sim/rng_stream_derivation", || {
+        let mut acc = 0u64;
+        for i in 0..100 {
+            acc ^= black_box(streams.seed_for_indexed("bench", i));
+        }
+        acc
     });
 }
 
-fn bench_request_generation(c: &mut Criterion) {
+fn bench_request_generation() {
     let generator = RequestGenerator::new(
         Popularity::ZIPF1.build(500),
         1000,
         TargetRecency::Uniform { lo: 0.3, hi: 1.0 },
     );
     let streams = RngStreams::new(1);
-    c.bench_function("sim/generate_1k_requests", |b| {
-        b.iter(|| {
-            let mut rng = streams.stream("bench/gen");
-            black_box(generator.batch(&mut rng))
-        })
+    bench("sim/generate_1k_requests", || {
+        let mut rng = streams.stream("bench/gen");
+        black_box(generator.batch(&mut rng))
     });
 }
 
-fn bench_station_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/station_step");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn bench_station_step() {
     let generator = RequestGenerator::new(
         Popularity::ZIPF1.build(500),
         100,
@@ -69,7 +59,7 @@ fn bench_station_step(c: &mut Criterion) {
     let mut rng = streams.stream("bench/station");
     let batch = generator.batch(&mut rng);
 
-    group.bench_function("on_demand_dp", |b| {
+    {
         let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
         let mut station = BaseStationSim::new(
             Catalog::uniform_unit(500),
@@ -78,39 +68,36 @@ fn bench_station_step(c: &mut Criterion) {
                 budget_units: 50,
             },
         );
-        b.iter(|| {
+        bench("sim/station_step/on_demand_dp", || {
             station.apply_update_wave();
             black_box(station.step(&batch))
-        })
-    });
-    group.bench_function("lowest_recency", |b| {
+        });
+    }
+    {
         let mut station = BaseStationSim::new(
             Catalog::uniform_unit(500),
             Policy::OnDemandLowestRecency { k_objects: 50 },
         );
-        b.iter(|| {
+        bench("sim/station_step/lowest_recency", || {
             station.apply_update_wave();
             black_box(station.step(&batch))
-        })
-    });
-    group.bench_function("async_round_robin", |b| {
+        });
+    }
+    {
         let mut station = BaseStationSim::new(
             Catalog::uniform_unit(500),
             Policy::AsyncRoundRobin { k_objects: 50 },
         );
-        b.iter(|| {
+        bench("sim/station_step/async_round_robin", || {
             station.apply_update_wave();
             black_box(station.step(&batch))
-        })
-    });
-    group.finish();
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_scheduler_throughput,
-    bench_rng_streams,
-    bench_request_generation,
-    bench_station_step
-);
-criterion_main!(benches);
+fn main() {
+    bench_scheduler_throughput();
+    bench_rng_streams();
+    bench_request_generation();
+    bench_station_step();
+}

@@ -1,14 +1,19 @@
-//! Shared fixtures for the Criterion benches: deterministic instances,
-//! populations and request batches at paper scale.
+//! Shared fixtures and a hand-rolled timing harness for the benches:
+//! deterministic instances, populations and request batches at paper
+//! scale, plus [`harness`] — a small warmup/calibrate/sample loop with
+//! median/mean/min reporting, so the bench binaries are plain `main()`
+//! programs with zero external dependencies.
 
 use basecache_core::request::RequestBatch;
 use basecache_knapsack::{Instance, Item};
 use basecache_net::{Catalog, ObjectId};
 use basecache_sim::RngStreams;
 use basecache_workload::{
-    Correlation, NumRequestsMode, Popularity, RequestGenerator, Table1Spec, TargetRecency,
+    Correlation, GeneratedRequest, NumRequestsMode, Popularity, RequestGenerator, Table1Spec,
+    TargetRecency,
 };
-use rand::RngExt;
+
+pub mod harness;
 
 /// A deterministic knapsack instance with `n` items, sizes `U[1, 20]`,
 /// profits `U(0, 20]`.
@@ -36,13 +41,16 @@ pub fn table1_population() -> basecache_workload::Table1Population {
     .generate(12345)
 }
 
-/// A live planning round at roughly paper scale: catalog, cache recency
-/// and a request batch.
-pub fn planning_round(
+/// A live planning round at roughly paper scale, as the raw generated
+/// requests (the form [`BaseStationSim::step`] receives): requests,
+/// catalog and cache recency.
+///
+/// [`BaseStationSim::step`]: basecache_core::station::BaseStationSim::step
+pub fn planning_requests(
     objects: usize,
     requests: usize,
     seed: u64,
-) -> (RequestBatch, Catalog, Vec<f64>) {
+) -> (Vec<GeneratedRequest>, Catalog, Vec<f64>) {
     let streams = RngStreams::new(seed);
     let sizes: Vec<u64> = {
         let mut rng = streams.stream("bench/sizes");
@@ -58,9 +66,19 @@ pub fn planning_round(
         requests,
         TargetRecency::Uniform { lo: 0.3, hi: 1.0 },
     );
-    let batch =
-        RequestBatch::from_generated(&generator.batch(&mut streams.stream("bench/requests")));
-    (batch, catalog, recency)
+    let generated = generator.batch(&mut streams.stream("bench/requests"));
+    (generated, catalog, recency)
+}
+
+/// A live planning round at roughly paper scale: catalog, cache recency
+/// and an aggregated request batch.
+pub fn planning_round(
+    objects: usize,
+    requests: usize,
+    seed: u64,
+) -> (RequestBatch, Catalog, Vec<f64>) {
+    let (generated, catalog, recency) = planning_requests(objects, requests, seed);
+    (RequestBatch::from_generated(&generated), catalog, recency)
 }
 
 /// Dense object-id list for cache-churn benches.

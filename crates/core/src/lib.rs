@@ -17,6 +17,8 @@
 //! * [`profit`] — the knapsack mapping: `profit(u) = Σ_clients 1 − score`.
 //! * [`planner`] — [`OnDemandPlanner`] (exact DP / greedy / FPTAS) and
 //!   [`LowestRecencyFirst`] (the Section 3.2 unit-size policy).
+//! * [`scratch`] — reusable planning buffers: [`PlannerScratch`] makes
+//!   the steady-state on-demand round allocation-free.
 //! * [`asynch`] — the asynchronous round-robin refresh baseline.
 //! * [`bound`] — download-budget selection from the DP solution-space
 //!   trace (the paper's Section 6 future work).
@@ -60,6 +62,7 @@ pub mod planner;
 pub mod profit;
 pub mod recency;
 pub mod request;
+pub mod scratch;
 pub mod station;
 
 pub use asynch::AsyncRefresher;
@@ -68,4 +71,5 @@ pub use pipeline::{LatencyAwareSim, LatencyStats, LatencyStepOutcome};
 pub use planner::{DownloadPlan, LowestRecencyFirst, OnDemandPlanner, SolverChoice};
 pub use recency::{DecayModel, ScoringFunction};
 pub use request::RequestBatch;
+pub use scratch::PlannerScratch;
 pub use station::{BaseStationSim, Estimation, Policy, StepOutcome};

@@ -10,12 +10,16 @@
 //! objects: "the k requested objects with the lowest recency in the cache
 //! were selected to be downloaded"), kept as a separate, cheaper planner.
 
-use basecache_knapsack::{BranchAndBound, DpByCapacity, DpTrace, Fptas, GreedyDensity, Solver};
+use basecache_knapsack::{
+    BranchAndBound, DpByCapacity, DpTrace, Fptas, GreedyDensity, Instance, Item, Solver,
+};
 use basecache_net::{Catalog, ObjectId};
+use basecache_workload::GeneratedRequest;
 
 use crate::profit::{build_instance, MappedInstance};
 use crate::recency::ScoringFunction;
 use crate::request::RequestBatch;
+use crate::scratch::PlannerScratch;
 
 /// Which knapsack solver the planner runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +95,147 @@ impl OnDemandPlanner {
             achieved_value: solution.total_profit(),
             budget,
             scoring: self.scoring,
+        }
+    }
+
+    /// Allocation-free planning round over raw generated requests.
+    ///
+    /// Semantically identical to building a [`RequestBatch`] and calling
+    /// [`Self::plan`], but aggregates duplicate requests directly into
+    /// `scratch`'s per-object arrays (one knapsack item per distinct
+    /// object, profit summed over its clients) and — under
+    /// [`SolverChoice::ExactDp`] — solves on the reusable
+    /// [`basecache_knapsack::DpScratch`], so a steady-state round touches
+    /// the heap zero times. Results land in `scratch`
+    /// ([`PlannerScratch::downloads`], [`PlannerScratch::achieved_value`],
+    /// …) instead of a freshly allocated [`DownloadPlan`].
+    ///
+    /// Float results are bit-identical to the batch path: per-object
+    /// profit/base sums accumulate in arrival order and the base-score
+    /// sum folds over objects ascending, matching the `BTreeMap`
+    /// iteration of [`RequestBatch`]. Non-exact solvers still allocate
+    /// (they run on a freshly built [`Instance`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested object is outside the catalog, a target
+    /// recency is outside `(0, 1]`, or `recency` is shorter than the
+    /// catalog — the same contracts as [`RequestBatch::push`] and
+    /// [`build_instance`].
+    pub fn plan_requests_into(
+        &self,
+        requests: &[GeneratedRequest],
+        catalog: &Catalog,
+        recency: &[f64],
+        budget: u64,
+        scratch: &mut PlannerScratch,
+    ) {
+        assert!(
+            recency.len() >= catalog.len(),
+            "need a recency for every catalog object ({} < {})",
+            recency.len(),
+            catalog.len()
+        );
+        let n = catalog.len();
+        if scratch.per_profit.len() < n {
+            scratch.per_profit.resize(n, 0.0);
+            scratch.per_count.resize(n, 0);
+            scratch.cursor.resize(n, 0);
+        }
+        // Only the previously touched entries are dirty.
+        for &o in &scratch.touched {
+            scratch.per_profit[o as usize] = 0.0;
+            scratch.per_count[o as usize] = 0;
+        }
+        scratch.touched.clear();
+        scratch.scores.clear();
+
+        // Aggregate in arrival order: within one object this is exactly
+        // the order its targets accumulate in the RequestBatch path.
+        for r in requests {
+            let o = r.object.index();
+            assert!(o < n, "{} not in catalog", r.object);
+            assert!(
+                r.target_recency > 0.0 && r.target_recency <= 1.0,
+                "target recency must be in (0, 1], got {}",
+                r.target_recency
+            );
+            if scratch.per_count[o] == 0 {
+                scratch.touched.push(o as u32);
+            }
+            scratch.per_count[o] += 1;
+            let score = self.scoring.score(recency[o], r.target_recency);
+            scratch.scores.push(score);
+            scratch.per_profit[o] += 1.0 - score;
+        }
+        scratch.touched.sort_unstable();
+
+        scratch.items.clear();
+        scratch.objects.clear();
+        let mut offset = 0u32;
+        for &o in &scratch.touched {
+            scratch.cursor[o as usize] = offset;
+            offset += scratch.per_count[o as usize];
+            scratch.items.push(Item::new(
+                catalog.size_of(ObjectId(o)),
+                scratch.per_profit[o as usize],
+            ));
+            scratch.objects.push(ObjectId(o));
+        }
+
+        // Counting-sort the per-request scores into (object ascending,
+        // arrival) order — the RequestBatch iteration order — and fold
+        // the base score in that exact order so the sum is bit-identical
+        // to the batch path's.
+        scratch.bucketed.resize(requests.len(), 0.0);
+        for (k, r) in requests.iter().enumerate() {
+            let slot = &mut scratch.cursor[r.object.index()];
+            scratch.bucketed[*slot as usize] = scratch.scores[k];
+            *slot += 1;
+        }
+        let mut base = 0.0;
+        for &s in &scratch.bucketed {
+            base += s;
+        }
+        scratch.base_score_sum = base;
+        scratch.total_clients = requests.len() as u64;
+
+        scratch.downloads.clear();
+        match self.solver {
+            SolverChoice::ExactDp => {
+                let value = DpByCapacity.solve_into(&scratch.items, budget, &mut scratch.dp);
+                scratch.achieved_value = value;
+                let mut size = 0u64;
+                // `chosen()` is ascending by item index and `objects` is
+                // ascending by id, so the downloads come out sorted.
+                for &i in scratch.dp.chosen() {
+                    let object = scratch.objects[i];
+                    size += catalog.size_of(object);
+                    scratch.downloads.push(object);
+                }
+                scratch.download_size = size;
+            }
+            choice => {
+                let instance = Instance::new(scratch.items.clone())
+                    .expect("scores in [0,1] yield valid profits");
+                let solution = match choice {
+                    SolverChoice::ExactDp => unreachable!("handled above"),
+                    SolverChoice::Greedy => GreedyDensity.solve(&instance, budget),
+                    SolverChoice::Fptas { epsilon } => Fptas::new(epsilon).solve(&instance, budget),
+                    SolverChoice::BranchAndBound => {
+                        BranchAndBound::default().solve(&instance, budget)
+                    }
+                };
+                scratch.achieved_value = solution.total_profit();
+                scratch.download_size = solution.total_size();
+                scratch.downloads.extend(
+                    solution
+                        .chosen_indices()
+                        .iter()
+                        .map(|&i| scratch.objects[i]),
+                );
+                scratch.downloads.sort_unstable();
+            }
         }
     }
 

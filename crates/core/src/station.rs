@@ -24,6 +24,7 @@ use crate::estimator::RecencyEstimator;
 use crate::planner::{LowestRecencyFirst, OnDemandPlanner};
 use crate::recency::{DecayModel, ScoringFunction};
 use crate::request::RequestBatch;
+use crate::scratch::PlannerScratch;
 
 /// How the station learns the recency of its cached copies when making
 /// download decisions. Delivered-quality *measurements* always use the
@@ -38,7 +39,7 @@ pub enum Estimation {
 }
 
 /// The download policy the base station runs each time unit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub enum Policy {
     /// The paper's on-demand knapsack planner under a per-tick unit
     /// budget.
@@ -87,12 +88,16 @@ pub enum Policy {
 }
 
 /// What one simulated time unit produced.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Plain counters only, so producing one allocates nothing; the actual
+/// download list of the last step is available from
+/// [`BaseStationSim::last_downloaded`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepOutcome {
     /// The time unit just simulated (0-based).
     pub tick: u64,
-    /// Objects downloaded/refreshed this tick, ascending.
-    pub downloaded: Vec<ObjectId>,
+    /// Number of objects downloaded/refreshed this tick.
+    pub objects_downloaded: usize,
     /// Data units downloaded this tick.
     pub units_downloaded: u64,
     /// Average recency delivered to this tick's clients (1.0 when the
@@ -134,6 +139,11 @@ pub struct BaseStationSim {
     estimation: Estimation,
     tick: u64,
     stats: StationStats,
+    // Hot-path buffers, reused across ticks so a steady-state on-demand
+    // step allocates nothing (see `tests/alloc_free.rs`).
+    scratch: PlannerScratch,
+    recency_buf: Vec<f64>,
+    downloaded: Vec<ObjectId>,
 }
 
 impl BaseStationSim {
@@ -154,6 +164,9 @@ impl BaseStationSim {
             estimation: Estimation::Oracle,
             tick: 0,
             stats: StationStats::default(),
+            scratch: PlannerScratch::new(),
+            recency_buf: Vec::new(),
+            downloaded: Vec::new(),
         }
     }
 
@@ -218,33 +231,52 @@ impl BaseStationSim {
     /// True current recency of every object's cached copy: decayed once
     /// per missed server update; 0.0 when the object is not cached.
     pub fn recency_vec(&self) -> Vec<f64> {
-        self.catalog
-            .ids()
-            .map(|id| match self.cache.peek(id) {
-                Some(entry) => self
-                    .decay
-                    .recency_for_lag(entry.lag(self.server.version_of(id))),
-                None => 0.0,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.fill_recency(&mut out);
+        out
     }
 
     /// The recency vector the *planner* sees: the truth under
     /// [`Estimation::Oracle`], the estimator's belief otherwise.
     pub fn estimated_recency_vec(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.fill_estimated_recency(&mut out);
+        out
+    }
+
+    /// Fill `out` with [`Self::recency_vec`] without allocating (beyond
+    /// `out`'s own first growth).
+    fn fill_recency(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.catalog.ids().map(|id| {
+            match self.cache.peek(id) {
+                Some(entry) => self
+                    .decay
+                    .recency_for_lag(entry.lag(self.server.version_of(id))),
+                None => 0.0,
+            }
+        }));
+    }
+
+    /// Fill `out` with [`Self::estimated_recency_vec`] without allocating.
+    fn fill_estimated_recency(&self, out: &mut Vec<f64>) {
         match &self.estimation {
-            Estimation::Oracle => self.recency_vec(),
+            Estimation::Oracle => self.fill_recency(out),
             Estimation::Estimator(est) => {
                 let now = SimTime::from_ticks(self.tick);
-                self.catalog
-                    .ids()
-                    .map(|id| match self.cache.peek(id) {
-                        Some(entry) => est.estimate(id, entry, now),
-                        None => 0.0,
-                    })
-                    .collect()
+                out.clear();
+                out.extend(self.catalog.ids().map(|id| match self.cache.peek(id) {
+                    Some(entry) => est.estimate(id, entry, now),
+                    None => 0.0,
+                }));
             }
         }
+    }
+
+    /// The objects the most recent [`Self::step`] downloaded, ascending.
+    /// Empty before the first step.
+    pub fn last_downloaded(&self) -> &[ObjectId] {
+        &self.downloaded
     }
 
     /// Deliver a server invalidation report to the station's estimator
@@ -256,41 +288,60 @@ impl BaseStationSim {
     }
 
     /// Simulate one time unit over the given client requests.
+    ///
+    /// Under [`Policy::OnDemand`] this is allocation-free in steady
+    /// state: the recency vector, the aggregated request instance, the
+    /// DP tables, and the download list all live in buffers reused
+    /// across ticks.
     pub fn step(&mut self, requests: &[GeneratedRequest]) -> StepOutcome {
-        let batch = RequestBatch::from_generated(requests);
-        let recency = self.estimated_recency_vec();
+        let policy = self.policy;
+        let mut recency = std::mem::take(&mut self.recency_buf);
+        self.fill_estimated_recency(&mut recency);
+        let mut downloaded = std::mem::take(&mut self.downloaded);
+        downloaded.clear();
 
-        let downloaded: Vec<ObjectId> = match &self.policy {
+        match policy {
             Policy::OnDemand {
                 planner,
                 budget_units,
             } => {
-                let plan = planner.plan(&batch, &self.catalog, &recency, *budget_units);
-                plan.downloads().to_vec()
+                planner.plan_requests_into(
+                    requests,
+                    &self.catalog,
+                    &recency,
+                    budget_units,
+                    &mut self.scratch,
+                );
+                downloaded.extend_from_slice(self.scratch.downloads());
             }
             Policy::OnDemandLowestRecency { k_objects } => {
-                LowestRecencyFirst.select(&batch, &recency, *k_objects)
+                let batch = RequestBatch::from_generated(requests);
+                downloaded.extend(LowestRecencyFirst.select(&batch, &recency, k_objects));
             }
-            Policy::AsyncRoundRobin { k_objects } => self.refresher.next_batch(*k_objects),
+            Policy::AsyncRoundRobin { k_objects } => {
+                downloaded.extend(self.refresher.next_batch(k_objects));
+            }
             Policy::OnDemandAdaptive {
                 planner,
                 max_budget,
                 window,
                 threshold,
             } => {
+                let batch = RequestBatch::from_generated(requests);
                 let (_, mapped, trace) =
-                    planner.plan_with_trace(&batch, &self.catalog, &recency, *max_budget);
-                let budget = crate::bound::knee_budget(&trace, *window, *threshold);
+                    planner.plan_with_trace(&batch, &self.catalog, &recency, max_budget);
+                let budget = crate::bound::knee_budget(&trace, window, threshold);
                 let solution = trace.solution_at(mapped.instance(), budget);
                 let mut chosen = mapped.selected_objects(&solution);
                 chosen.sort_unstable();
-                chosen
+                downloaded.extend(chosen);
             }
             Policy::Hybrid {
                 planner,
                 budget_units,
             } => {
-                let plan = planner.plan(&batch, &self.catalog, &recency, *budget_units);
+                let batch = RequestBatch::from_generated(requests);
+                let plan = planner.plan(&batch, &self.catalog, &recency, budget_units);
                 let mut chosen = plan.downloads().to_vec();
                 let mut leftover = budget_units.saturating_sub(plan.download_size());
                 // Spend the leftover pushing fresh copies of the stalest
@@ -317,9 +368,9 @@ impl BaseStationSim {
                     }
                 }
                 chosen.sort_unstable();
-                chosen
+                downloaded.extend(chosen);
             }
-        };
+        }
 
         let now = SimTime::from_ticks(self.tick);
         let mut units = 0u64;
@@ -357,12 +408,14 @@ impl BaseStationSim {
 
         let outcome = StepOutcome {
             tick: self.tick,
-            downloaded,
+            objects_downloaded: downloaded.len(),
             units_downloaded: units,
             average_recency: recency_acc.mean().unwrap_or(1.0),
             average_score: score_acc.mean().unwrap_or(1.0),
             served: requests.len(),
         };
+        self.downloaded = downloaded;
+        self.recency_buf = recency;
         self.tick += 1;
         outcome
     }
@@ -394,7 +447,8 @@ mod tests {
     fn uncached_requested_objects_are_downloaded_and_score_one() {
         let mut s = on_demand_station(10, 100);
         let out = s.step(&[req(0), req(1), req(1)]);
-        assert_eq!(out.downloaded, vec![ObjectId(0), ObjectId(1)]);
+        assert_eq!(s.last_downloaded(), &[ObjectId(0), ObjectId(1)]);
+        assert_eq!(out.objects_downloaded, 2);
         assert_eq!(out.units_downloaded, 2);
         assert_eq!(out.average_score, 1.0);
         assert_eq!(out.average_recency, 1.0);
@@ -407,9 +461,10 @@ mod tests {
         s.step(&[req(2)]);
         let out = s.step(&[req(2)]);
         assert!(
-            out.downloaded.is_empty(),
+            s.last_downloaded().is_empty(),
             "no update happened: cache copy is fresh"
         );
+        assert_eq!(out.objects_downloaded, 0);
         assert_eq!(out.average_score, 1.0);
     }
 
@@ -422,7 +477,7 @@ mod tests {
         assert!((recency[2] - 0.5).abs() < 1e-12, "one missed update → 1/2");
         assert_eq!(recency[0], 0.0, "never cached");
         let out = s.step(&[req(2)]);
-        assert_eq!(out.downloaded, vec![ObjectId(2)]);
+        assert_eq!(s.last_downloaded(), &[ObjectId(2)]);
         assert_eq!(out.average_score, 1.0);
     }
 
@@ -431,7 +486,7 @@ mod tests {
         let mut s = on_demand_station(5, 0);
         // Nothing can ever be downloaded: scores reflect pure staleness.
         let out = s.step(&[req(0)]);
-        assert!(out.downloaded.is_empty());
+        assert!(s.last_downloaded().is_empty());
         assert!(out.average_score < 1.0);
         assert_eq!(out.average_recency, 0.0);
     }
@@ -442,7 +497,7 @@ mod tests {
         let reqs: Vec<_> = (0..8).map(req).collect();
         let out = s.step(&reqs);
         assert_eq!(out.units_downloaded, 3);
-        assert_eq!(out.downloaded.len(), 3);
+        assert_eq!(out.objects_downloaded, 3);
     }
 
     #[test]
@@ -453,8 +508,8 @@ mod tests {
         );
         let out = s.step(&[req(5)]);
         assert_eq!(
-            out.downloaded,
-            vec![ObjectId(0), ObjectId(1)],
+            s.last_downloaded(),
+            &[ObjectId(0), ObjectId(1)],
             "round robin, not demand"
         );
         assert_eq!(
@@ -462,7 +517,7 @@ mod tests {
             "request for 5 served with nothing cached"
         );
         let out = s.step(&[]);
-        assert_eq!(out.downloaded, vec![ObjectId(2), ObjectId(3)]);
+        assert_eq!(s.last_downloaded(), &[ObjectId(2), ObjectId(3)]);
         assert_eq!(out.average_score, 1.0, "empty batch scores 1 by convention");
     }
 
@@ -478,8 +533,8 @@ mod tests {
         s.step(&[req(0)]);
         s.apply_update_wave();
         // Both requested; 1 has lag 2 (recency 1/3), 0 has lag 1 (1/2).
-        let out = s.step(&[req(0), req(1)]);
-        assert_eq!(out.downloaded, vec![ObjectId(1)]);
+        s.step(&[req(0), req(1)]);
+        assert_eq!(s.last_downloaded(), &[ObjectId(1)]);
     }
 
     #[test]
@@ -521,7 +576,7 @@ mod tests {
         // download. (The window must match the object-size scale — a
         // window much wider than the cheap object dilutes its spike.)
         let out = s.step(&both);
-        assert_eq!(out.downloaded, vec![ObjectId(0)]);
+        assert_eq!(s.last_downloaded(), &[ObjectId(0)]);
         assert_eq!(out.units_downloaded, 1);
     }
 
@@ -541,8 +596,8 @@ mod tests {
         s.step(&both);
         s.step(&both);
         s.apply_update_wave();
-        let out = s.step(&both);
-        assert_eq!(out.downloaded, vec![ObjectId(0), ObjectId(1)]);
+        s.step(&both);
+        assert_eq!(s.last_downloaded(), &[ObjectId(0), ObjectId(1)]);
     }
 
     #[test]
@@ -567,8 +622,8 @@ mod tests {
         let out = s.step(&[req(0)]);
         assert_eq!(out.units_downloaded, 4, "full budget spent");
         assert_eq!(
-            out.downloaded,
-            vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(3)]
+            s.last_downloaded(),
+            &[ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(3)]
         );
     }
 
@@ -591,9 +646,9 @@ mod tests {
         );
         // More stale demand than budget: the planner consumes everything.
         let reqs: Vec<_> = (0..8).map(req).collect();
-        let a = hybrid.step(&reqs);
-        let b = pure.step(&reqs);
-        assert_eq!(a.downloaded, b.downloaded);
+        hybrid.step(&reqs);
+        pure.step(&reqs);
+        assert_eq!(hybrid.last_downloaded(), pure.last_downloaded());
     }
 
     #[test]
@@ -621,7 +676,7 @@ mod tests {
         s.apply_update_wave();
         let out = s.step(&[req(0)]);
         assert!(
-            out.downloaded.is_empty(),
+            s.last_downloaded().is_empty(),
             "optimistic TTL sees no staleness"
         );
         assert!(out.average_score < 1.0, "measurement uses the truth");
@@ -655,8 +710,8 @@ mod tests {
         s.deliver_report(&report);
         let out = s.step(&[req(0)]);
         assert_eq!(
-            out.downloaded,
-            vec![ObjectId(0)],
+            s.last_downloaded(),
+            &[ObjectId(0)],
             "report reveals the staleness"
         );
         assert_eq!(out.average_score, 1.0);

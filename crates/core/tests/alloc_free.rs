@@ -1,0 +1,101 @@
+//! Steady-state on-demand rounds must never touch the heap.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! short warm-up (buffers grown, every requested object cached once)
+//! each [`BaseStationSim::step`] under [`Policy::OnDemand`] with the
+//! exact DP must perform **zero** allocations, even across update waves.
+//!
+//! This file deliberately contains a single test: the allocator is
+//! process-global, and other concurrently running tests would perturb
+//! the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use basecache_core::planner::{OnDemandPlanner, SolverChoice};
+use basecache_core::recency::ScoringFunction;
+use basecache_core::station::{BaseStationSim, Policy};
+use basecache_net::{Catalog, ObjectId};
+use basecache_sim::RngStreams;
+use basecache_workload::GeneratedRequest;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn on_demand_steady_state_steps_do_not_allocate() {
+    // Table-1 scale: 500 objects, capacity 5000, 5000 clients per round.
+    let num_objects = 500u32;
+    let mut rng = RngStreams::new(0xA110C).stream("alloc/free");
+    let sizes: Vec<u64> = (0..num_objects)
+        .map(|_| rng.random_range(1u64..=10))
+        .collect();
+    let catalog = Catalog::from_sizes(&sizes);
+    let requests: Vec<GeneratedRequest> = (0..5000)
+        .map(|_| GeneratedRequest {
+            object: ObjectId(rng.random_range(0..num_objects)),
+            target_recency: rng.random_range(0.05f64..=1.0),
+        })
+        .collect();
+
+    let mut station = BaseStationSim::new(
+        catalog,
+        Policy::OnDemand {
+            planner: OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp),
+            budget_units: 5000,
+        },
+    );
+
+    // Warm up: grow every buffer to its steady-state size — the first
+    // round downloads (and caches) everything requested, and the wave
+    // round exercises the largest possible download list.
+    for _ in 0..3 {
+        station.step(&requests);
+    }
+    station.apply_update_wave();
+    for _ in 0..3 {
+        station.step(&requests);
+    }
+
+    // Steady state: every step, including the ones replanning after an
+    // update wave, must be allocation-free.
+    for round in 0..20 {
+        station.apply_update_wave();
+        let before = allocation_count();
+        let outcome = station.step(&requests);
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "round {round}: step() allocated {} time(s)",
+            after - before
+        );
+        // Sanity: the round did real work.
+        assert_eq!(outcome.served, 5000);
+        assert!(outcome.objects_downloaded > 0, "wave forces redownloads");
+    }
+}

@@ -1,0 +1,111 @@
+//! The allocation-free planning path must be indistinguishable from the
+//! batch path: aggregating raw requests directly into [`PlannerScratch`]
+//! produces the same knapsack instance (bit for bit), the same download
+//! set, and the same achieved value as building a [`RequestBatch`] and
+//! calling [`OnDemandPlanner::plan`].
+
+use basecache_core::planner::{OnDemandPlanner, SolverChoice};
+use basecache_core::profit::build_instance;
+use basecache_core::recency::ScoringFunction;
+use basecache_core::request::RequestBatch;
+use basecache_core::scratch::PlannerScratch;
+use basecache_net::{Catalog, ObjectId};
+use basecache_sim::{RngStreams, StreamRng};
+use basecache_workload::GeneratedRequest;
+
+fn random_round(rng: &mut StreamRng) -> (Catalog, Vec<f64>, Vec<GeneratedRequest>, u64) {
+    let n = rng.random_range(1..=40usize);
+    let sizes: Vec<u64> = (0..n).map(|_| rng.random_range(1u64..=9)).collect();
+    let catalog = Catalog::from_sizes(&sizes);
+    let recency: Vec<f64> = (0..n).map(|_| rng.random_range(0.0f64..=1.0)).collect();
+    let m = rng.random_range(0..=60usize);
+    let requests: Vec<GeneratedRequest> = (0..m)
+        .map(|_| GeneratedRequest {
+            object: ObjectId(rng.random_range(0..n as u32)),
+            target_recency: rng.random_range(0.05f64..=1.0),
+        })
+        .collect();
+    let budget = rng.random_range(0u64..=80);
+    (catalog, recency, requests, budget)
+}
+
+#[test]
+fn aggregated_exact_dp_plan_is_bit_identical_to_batch_path() {
+    let mut rng = RngStreams::new(0xA66_1234).stream("core/parity-dp");
+    let planner = OnDemandPlanner::paper_default();
+    let mut scratch = PlannerScratch::new();
+    for round in 0..150 {
+        let (catalog, recency, requests, budget) = random_round(&mut rng);
+        let batch = RequestBatch::from_generated(&requests);
+        let plan = planner.plan(&batch, &catalog, &recency, budget);
+        planner.plan_requests_into(&requests, &catalog, &recency, budget, &mut scratch);
+
+        assert_eq!(scratch.downloads(), plan.downloads(), "round {round}");
+        assert_eq!(
+            scratch.download_size(),
+            plan.download_size(),
+            "round {round}"
+        );
+        // Bit-for-bit, not tolerance: the aggregation runs the same float
+        // additions in the same order as the batch path.
+        assert_eq!(
+            scratch.achieved_value(),
+            plan.achieved_value(),
+            "round {round}"
+        );
+        let mapped = build_instance(&batch, &catalog, &recency, planner.scoring());
+        assert_eq!(
+            scratch.base_score_sum(),
+            mapped.base_score_sum(),
+            "round {round}"
+        );
+        assert_eq!(scratch.total_clients(), mapped.total_clients());
+        assert_eq!(
+            scratch.average_score(),
+            mapped.average_score_for_value(plan.achieved_value()),
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn aggregated_path_matches_batch_path_for_every_solver() {
+    let mut rng = RngStreams::new(0xA66_1234).stream("core/parity-all");
+    let mut scratch = PlannerScratch::new();
+    for round in 0..60 {
+        let (catalog, recency, requests, budget) = random_round(&mut rng);
+        let batch = RequestBatch::from_generated(&requests);
+        for solver in [
+            SolverChoice::ExactDp,
+            SolverChoice::Greedy,
+            SolverChoice::Fptas { epsilon: 0.1 },
+            SolverChoice::BranchAndBound,
+        ] {
+            let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, solver);
+            let plan = planner.plan(&batch, &catalog, &recency, budget);
+            planner.plan_requests_into(&requests, &catalog, &recency, budget, &mut scratch);
+            assert_eq!(
+                scratch.downloads(),
+                plan.downloads(),
+                "round {round} {solver:?}"
+            );
+            assert_eq!(
+                scratch.achieved_value(),
+                plan.achieved_value(),
+                "round {round} {solver:?}"
+            );
+            assert_eq!(scratch.download_size(), plan.download_size());
+        }
+    }
+}
+
+#[test]
+fn empty_round_scores_one_and_downloads_nothing() {
+    let planner = OnDemandPlanner::paper_default();
+    let mut scratch = PlannerScratch::new();
+    let catalog = Catalog::from_sizes(&[3, 5]);
+    planner.plan_requests_into(&[], &catalog, &[0.0, 0.0], 10, &mut scratch);
+    assert!(scratch.downloads().is_empty());
+    assert_eq!(scratch.total_clients(), 0);
+    assert_eq!(scratch.average_score(), 1.0);
+}

@@ -15,7 +15,6 @@ use basecache_core::{BaseStationSim, Estimation, Policy};
 use basecache_net::{Catalog, ReportLog};
 use basecache_sim::{RngStreams, SimTime};
 use basecache_workload::Popularity;
-use rand::RngExt;
 
 use crate::report::{Figure, Series};
 use crate::runner::{parallel_sweep, record_trace, RunConfig};

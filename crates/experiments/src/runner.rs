@@ -1,5 +1,5 @@
 //! Shared simulation drivers: warm-up/measure phases, periodic update
-//! waves, paired traces, and a crossbeam-based parallel sweep.
+//! waves, paired traces, and a std-threads parallel sweep.
 
 use basecache_core::{BaseStationSim, Policy};
 use basecache_net::Catalog;
@@ -88,7 +88,9 @@ pub fn run_policy(config: &RunConfig, policy: Policy, trace: &RequestTrace) -> R
 ///
 /// The experiment sweeps are embarrassingly parallel over parameter
 /// points; this fans them out over `std::thread::available_parallelism`
-/// workers fed through crossbeam channels.
+/// workers: a mutex-guarded input queue feeds the workers, results flow
+/// back over an `std::sync::mpsc` channel, and outputs are re-assembled
+/// in input order by index.
 pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -103,22 +105,22 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
-    let (in_tx, in_rx) = crossbeam::channel::unbounded::<(usize, I)>();
-    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, O)>();
-    for item in inputs.into_iter().enumerate() {
-        in_tx.send(item).expect("queueing sweep inputs cannot fail");
-    }
-    drop(in_tx);
+    let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
+    let (out_tx, out_rx) = std::sync::mpsc::channel::<(usize, O)>();
 
     let mut outputs: Vec<Option<O>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let in_rx = in_rx.clone();
             let out_tx = out_tx.clone();
+            let queue = &queue;
             let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, input)) = in_rx.recv() {
-                    let _ = out_tx.send((i, f(&input)));
+            scope.spawn(move || loop {
+                let next = queue.lock().expect("sweep queue poisoned").next();
+                match next {
+                    Some((i, input)) => {
+                        let _ = out_tx.send((i, f(&input)));
+                    }
+                    None => break,
                 }
             });
         }

@@ -66,8 +66,11 @@ impl DpByCapacity {
 
 impl Solver for DpByCapacity {
     fn solve(&self, instance: &Instance, capacity: u64) -> Solution {
-        self.solve_trace(instance, capacity)
-            .solution_at(instance, capacity)
+        // Single-capacity fast path: bounded sweeps, identical item set to
+        // the full-trace backtrack (see `scratch.rs`).
+        let mut scratch = crate::DpScratch::new();
+        self.solve_into(instance.items(), capacity, &mut scratch);
+        Solution::from_indices(instance, scratch.chosen().to_vec())
     }
 
     fn name(&self) -> &'static str {

@@ -55,6 +55,7 @@ mod fractional;
 mod greedy;
 mod instance;
 mod meet_middle;
+mod scratch;
 mod solution;
 
 pub use branch_bound::BranchAndBound;
@@ -65,6 +66,7 @@ pub use fractional::{fractional_upper_bound, FractionalSolution};
 pub use greedy::GreedyDensity;
 pub use instance::{Instance, Item};
 pub use meet_middle::MeetInTheMiddle;
+pub use scratch::DpScratch;
 pub use solution::Solution;
 
 /// A 0/1 knapsack solver.

@@ -1,0 +1,644 @@
+//! Reusable dynamic-programming scratch space for [`DpByCapacity`].
+//!
+//! The planner solves a fresh knapsack every scheduling round, and the
+//! original [`DpByCapacity::solve_trace`] allocates its full `values` and
+//! `keep` tables per call. [`DpScratch`] owns those tables across calls so
+//! steady-state rounds are allocation-free, and the `*_into` entry points
+//! add two algorithmic improvements on top:
+//!
+//! * **Prefix-bounded sweeps.** After processing items `0..=i`, the DP
+//!   value function is flat above `S_i` (the total size of the usable
+//!   items so far), so each item's descending sweep only needs to touch
+//!   capacities up to `min(C, S_i)`. The flat frontier is maintained
+//!   lazily (one scalar plus an `O(C)` amortized backfill) and the keep
+//!   bits above the frontier are represented implicitly per row.
+//! * **Suffix-bounded sweeps** ([`DpByCapacity::solve_into`] only). When
+//!   a caller wants the solution at a *single* capacity `C`, cells below
+//!   `C − T_{i+1}` (with `T_{i+1}` the total size of usable items after
+//!   `i`) can never be reached by backtracking from `C`, so the sweep is
+//!   bounded from below as well. Near `C ≈ total size` this removes
+//!   almost all DP work.
+//!
+//! Both optimizations are exact: [`DpByCapacity::solve_trace_into`]
+//! produces bit-identical values, recovered item sets and marginal gains
+//! to [`DpByCapacity::solve_trace`], and [`DpByCapacity::solve_into`]
+//! recovers the identical item set to a full-trace solve at the same
+//! capacity. Only [`DpByCapacity::solve_values_into`] (which additionally
+//! aggregates zero-size items and prefilters dominated same-size items)
+//! is exact merely up to floating-point associativity, because it may
+//! reorder profit additions.
+
+use crate::{DpByCapacity, Instance, Item, Solution};
+
+/// What the scratch currently holds, which gates the accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Nothing solved yet.
+    Empty,
+    /// Full per-capacity trace: every accessor is valid.
+    Trace,
+    /// Single-capacity solve: only `value()` and `chosen()` are valid.
+    Single,
+    /// Values-only solve: only `value()` and `values()` are valid.
+    Values,
+}
+
+/// How a row's decision bits are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowKind {
+    /// Item skipped (zero profit or oversized): never kept.
+    Skip,
+    /// Zero-size positive-profit item: kept at every capacity.
+    Always,
+    /// Physical bits up to `phys_end`, implicit `c >= flat_from` above.
+    Mixed,
+}
+
+/// Reusable state for the capacity-indexed knapsack DP.
+///
+/// Create once (or [`DpScratch::reserve`] once), then feed to
+/// [`DpByCapacity::solve_trace_into`], [`DpByCapacity::solve_into`] or
+/// [`DpByCapacity::solve_values_into`] every round. After the first call
+/// at a given problem shape, subsequent calls perform no heap allocation.
+#[derive(Debug, Clone)]
+pub struct DpScratch {
+    values: Vec<f64>,
+    keep: Vec<u64>,
+    kind: Vec<RowKind>,
+    flat_from: Vec<u64>,
+    phys_end: Vec<u64>,
+    sizes: Vec<u64>,
+    suffix: Vec<u64>,
+    compact: Vec<(u64, f64, usize)>,
+    chosen: Vec<usize>,
+    words: usize,
+    n: usize,
+    requested: u64,
+    effective: u64,
+    mode: Mode,
+}
+
+impl Default for DpScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DpScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            values: Vec::new(),
+            keep: Vec::new(),
+            kind: Vec::new(),
+            flat_from: Vec::new(),
+            phys_end: Vec::new(),
+            sizes: Vec::new(),
+            suffix: Vec::new(),
+            compact: Vec::new(),
+            chosen: Vec::new(),
+            words: 0,
+            n: 0,
+            requested: 0,
+            effective: 0,
+            mode: Mode::Empty,
+        }
+    }
+
+    /// Pre-size every buffer for instances of up to `max_items` items and
+    /// effective capacities up to `max_capacity`, so even the first solve
+    /// allocates nothing.
+    pub fn reserve(&mut self, max_items: usize, max_capacity: u64) {
+        let cap = usize::try_from(max_capacity).expect("capacity exceeds addressable memory");
+        let words = cap / 64 + 1;
+        self.values.reserve(cap + 1);
+        self.keep.reserve(max_items * words);
+        self.kind.reserve(max_items);
+        self.flat_from.reserve(max_items);
+        self.phys_end.reserve(max_items);
+        self.sizes.reserve(max_items);
+        self.suffix.reserve(max_items + 1);
+        self.compact.reserve(max_items);
+        self.chosen.reserve(max_items);
+    }
+
+    /// The capacity the last solve was requested for.
+    pub fn capacity(&self) -> u64 {
+        self.requested
+    }
+
+    /// The effective capacity of the last solve:
+    /// `min(requested, total item size)`.
+    pub fn effective_capacity(&self) -> u64 {
+        self.effective
+    }
+
+    /// Optimal profit at the solved capacity.
+    pub fn value(&self) -> f64 {
+        assert!(self.mode != Mode::Empty, "no solve has been run");
+        self.values[self.effective as usize]
+    }
+
+    /// Optimal profit at capacity `c` (clamped to the effective capacity).
+    ///
+    /// Requires a preceding [`DpByCapacity::solve_trace_into`] or
+    /// [`DpByCapacity::solve_values_into`].
+    pub fn value_at(&self, c: u64) -> f64 {
+        assert!(
+            matches!(self.mode, Mode::Trace | Mode::Values),
+            "value_at requires a trace or values solve"
+        );
+        self.values[c.min(self.effective) as usize]
+    }
+
+    /// The optimal values for capacities `0..=min(C, total_size)`;
+    /// non-decreasing. Requires a trace or values solve.
+    pub fn values(&self) -> &[f64] {
+        assert!(
+            matches!(self.mode, Mode::Trace | Mode::Values),
+            "values requires a trace or values solve"
+        );
+        &self.values[..=self.effective as usize]
+    }
+
+    /// The chosen item indices (ascending) of the last
+    /// [`DpByCapacity::solve_into`].
+    pub fn chosen(&self) -> &[usize] {
+        assert!(
+            self.mode == Mode::Single,
+            "chosen requires a single-capacity solve"
+        );
+        &self.chosen
+    }
+
+    /// Recover an optimal item set at capacity `c` into `out` (ascending,
+    /// allocation-free given sufficient `out` capacity). Requires a
+    /// preceding [`DpByCapacity::solve_trace_into`].
+    pub fn solution_indices_at_into(&self, c: u64, out: &mut Vec<usize>) {
+        assert!(
+            self.mode == Mode::Trace,
+            "per-capacity recovery requires a full trace solve"
+        );
+        out.clear();
+        let mut c = c.min(self.effective) as usize;
+        for i in (0..self.n).rev() {
+            if self.bit(i, c) {
+                out.push(i);
+                c -= self.sizes[i] as usize;
+            }
+        }
+        out.reverse();
+    }
+
+    /// Convenience wrapper building a verified [`Solution`] at capacity
+    /// `c` (allocates the solution itself).
+    pub fn solution_at(&self, instance: &Instance, c: u64) -> Solution {
+        let mut chosen = Vec::new();
+        self.solution_indices_at_into(c, &mut chosen);
+        Solution::from_indices(instance, chosen)
+    }
+
+    /// Marginal gain of each extra capacity unit into `out`:
+    /// `out[c] = value_at(c+1) - value_at(c)`. Requires a trace solve.
+    pub fn marginal_gains_into(&self, out: &mut Vec<f64>) {
+        assert!(
+            self.mode == Mode::Trace,
+            "marginal gains require a full trace solve"
+        );
+        out.clear();
+        out.extend(self.values().windows(2).map(|w| w[1] - w[0]));
+    }
+
+    /// Decision bit for item `i` at remaining capacity `c`.
+    #[inline]
+    fn bit(&self, i: usize, c: usize) -> bool {
+        match self.kind[i] {
+            RowKind::Skip => false,
+            RowKind::Always => true,
+            RowKind::Mixed => {
+                if (self.sizes[i] as usize) > c {
+                    false
+                } else if c > self.phys_end[i] as usize {
+                    c as u64 >= self.flat_from[i]
+                } else {
+                    self.keep[i * self.words + c / 64] >> (c % 64) & 1 == 1
+                }
+            }
+        }
+    }
+
+    /// Reset per-solve metadata and size the value/keep tables.
+    fn begin(&mut self, n: usize, requested: u64, effective: u64, with_keep: bool) {
+        let eff = usize::try_from(effective).expect("capacity exceeds addressable memory");
+        self.words = eff / 64 + 1;
+        self.n = n;
+        self.requested = requested;
+        self.effective = effective;
+        self.values.clear();
+        self.values.resize(eff + 1, 0.0);
+        if with_keep {
+            // Row words are zeroed lazily per used row; stale content in
+            // unused rows is never read (RowKind gates every access).
+            self.keep.resize(n * self.words, 0);
+        }
+        self.kind.clear();
+        self.flat_from.clear();
+        self.phys_end.clear();
+        self.sizes.clear();
+    }
+}
+
+impl DpByCapacity {
+    /// [`DpByCapacity::solve_trace`] into reusable scratch: identical
+    /// results (values, recovered item sets, marginal gains are
+    /// bit-for-bit those of the allocating path), no per-call table
+    /// allocation after the first use.
+    pub fn solve_trace_into(&self, items: &[Item], capacity: u64, scratch: &mut DpScratch) {
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        let effective = capacity.min(total);
+        let eff = usize::try_from(effective).expect("capacity exceeds addressable memory");
+        scratch.begin(items.len(), capacity, effective, true);
+        let words = scratch.words;
+
+        let mut flat = 0.0_f64; // value of the flat region: Σ profit of used items so far
+        let mut used_prefix = 0u64; // S_i: total size of used items so far
+        let mut w_prev = 0usize; // physical frontier: cells 0..=w_prev are up to date
+
+        for (i, item) in items.iter().enumerate() {
+            let size_u = item.size();
+            let profit = item.profit();
+            scratch.sizes.push(size_u);
+            debug_assert!(profit.is_finite() && profit >= 0.0, "invalid profit");
+            if profit <= 0.0 || size_u > effective {
+                scratch.kind.push(RowKind::Skip);
+                scratch.flat_from.push(0);
+                scratch.phys_end.push(0);
+                continue;
+            }
+            if size_u == 0 {
+                // Free profit: take at every capacity. Only the physical
+                // frontier needs the addition; the flat scalar covers the
+                // rest.
+                for v in &mut scratch.values[..=w_prev] {
+                    *v += profit;
+                }
+                flat += profit;
+                scratch.kind.push(RowKind::Always);
+                scratch.flat_from.push(0);
+                scratch.phys_end.push(0);
+                continue;
+            }
+
+            let size = size_u as usize;
+            used_prefix += size_u;
+            // Above S_i the value function is flat and (normally) the item
+            // is kept at every capacity: `flat + profit > flat`. If profit
+            // is too small to move the flat value in f64, fall back to the
+            // full-width sweep for this row so bits stay exact.
+            let degenerate = flat + profit <= flat;
+            let w_new = if degenerate {
+                eff
+            } else {
+                w_prev.max(eff.min(used_prefix as usize))
+            };
+            // Backfill the frontier cells (w_prev, w_new] with the flat
+            // value of the previous level; each cell is backfilled at most
+            // once across the whole solve.
+            for v in &mut scratch.values[w_prev + 1..=w_new] {
+                *v = flat;
+            }
+            let row = &mut scratch.keep[i * words..(i + 1) * words];
+            for w in &mut row[..=w_new / 64] {
+                *w = 0;
+            }
+            // In-place descending sweep, bounded above by the frontier.
+            for c in (size..=w_new).rev() {
+                let candidate = scratch.values[c - size] + profit;
+                if candidate > scratch.values[c] {
+                    scratch.values[c] = candidate;
+                    row[c / 64] |= 1 << (c % 64);
+                }
+            }
+            flat += profit;
+            scratch.kind.push(RowKind::Mixed);
+            scratch.flat_from.push(if degenerate {
+                effective + 1
+            } else {
+                used_prefix
+            });
+            scratch.phys_end.push(w_new as u64);
+            w_prev = w_new;
+        }
+        // Cells beyond the final frontier hold the flat optimum.
+        for v in &mut scratch.values[w_prev + 1..=eff] {
+            *v = flat;
+        }
+        scratch.mode = Mode::Trace;
+    }
+
+    /// Solution-only fast path: the optimal item set and value at a
+    /// *single* capacity, with the DP additionally bounded from below by
+    /// suffix sizes (cells unreachable by backtracking from `capacity`
+    /// are never computed). Recovers the identical item set to
+    /// [`DpByCapacity::solve_trace`] + `solution_at(capacity)`.
+    ///
+    /// The chosen indices are left in [`DpScratch::chosen`]; the optimal
+    /// value is returned and also available as [`DpScratch::value`].
+    pub fn solve_into(&self, items: &[Item], capacity: u64, scratch: &mut DpScratch) -> f64 {
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        let effective = capacity.min(total);
+        let eff = usize::try_from(effective).expect("capacity exceeds addressable memory");
+        scratch.begin(items.len(), capacity, effective, true);
+        let words = scratch.words;
+
+        // Suffix sums of usable item sizes: suffix[i] = Σ_{j>=i} size_j
+        // over items that participate in the DP.
+        scratch.suffix.clear();
+        scratch.suffix.resize(items.len() + 1, 0);
+        for i in (0..items.len()).rev() {
+            let usable = items[i].profit() > 0.0 && items[i].size() <= effective;
+            scratch.suffix[i] = scratch.suffix[i + 1] + if usable { items[i].size() } else { 0 };
+        }
+
+        let mut flat = 0.0_f64;
+        let mut used_prefix = 0u64;
+        let mut w_prev = 0usize;
+
+        for (i, item) in items.iter().enumerate() {
+            let size_u = item.size();
+            let profit = item.profit();
+            scratch.sizes.push(size_u);
+            debug_assert!(profit.is_finite() && profit >= 0.0, "invalid profit");
+            if profit <= 0.0 || size_u > effective {
+                scratch.kind.push(RowKind::Skip);
+                scratch.flat_from.push(0);
+                scratch.phys_end.push(0);
+                continue;
+            }
+            if size_u == 0 {
+                for v in &mut scratch.values[..=w_prev] {
+                    *v += profit;
+                }
+                flat += profit;
+                scratch.kind.push(RowKind::Always);
+                scratch.flat_from.push(0);
+                scratch.phys_end.push(0);
+                continue;
+            }
+
+            let size = size_u as usize;
+            used_prefix += size_u;
+            // Backtracking from `effective` can only visit cells
+            // >= effective - suffix[i+1] at this row.
+            let low = effective.saturating_sub(scratch.suffix[i + 1]) as usize;
+            let degenerate = flat + profit <= flat;
+            let w_new = if degenerate {
+                eff
+            } else {
+                w_prev.max(eff.min(used_prefix as usize))
+            };
+            for v in &mut scratch.values[w_prev + 1..=w_new] {
+                *v = flat;
+            }
+            let sweep_lo = size.max(low);
+            let row = &mut scratch.keep[i * words..(i + 1) * words];
+            if sweep_lo <= w_new {
+                for w in &mut row[sweep_lo / 64..=w_new / 64] {
+                    *w = 0;
+                }
+                for c in (sweep_lo..=w_new).rev() {
+                    let candidate = scratch.values[c - size] + profit;
+                    if candidate > scratch.values[c] {
+                        scratch.values[c] = candidate;
+                        row[c / 64] |= 1 << (c % 64);
+                    }
+                }
+            }
+            flat += profit;
+            scratch.kind.push(RowKind::Mixed);
+            scratch.flat_from.push(if degenerate {
+                effective + 1
+            } else {
+                used_prefix
+            });
+            scratch.phys_end.push(w_new as u64);
+            w_prev = w_new;
+        }
+        for v in &mut scratch.values[w_prev + 1..=eff] {
+            *v = flat;
+        }
+
+        // Backtrack at the solved capacity only (lower cells were never
+        // maintained below their per-row bounds).
+        scratch.chosen.clear();
+        let mut c = eff;
+        for i in (0..scratch.n).rev() {
+            if scratch.bit(i, c) {
+                scratch.chosen.push(i);
+                c -= scratch.sizes[i] as usize;
+            }
+        }
+        scratch.chosen.reverse();
+        scratch.mode = Mode::Single;
+        scratch.values[eff]
+    }
+
+    /// Values-only fast path: the optimal value at every capacity, with
+    /// no keep bits, zero-size items aggregated into a single scalar, and
+    /// dominated same-size items prefiltered (a capacity `C` solution can
+    /// use at most `⌊C/s⌋` items of size `s`, so only the top `⌊C/s⌋`
+    /// profits of each size group can ever be chosen).
+    ///
+    /// Exact up to floating-point associativity (profit additions may be
+    /// reordered); use [`DpByCapacity::solve_trace_into`] when bit-exact
+    /// values or item recovery are required.
+    pub fn solve_values_into<'a>(
+        &self,
+        items: &[Item],
+        capacity: u64,
+        scratch: &'a mut DpScratch,
+    ) -> &'a [f64] {
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        let effective = capacity.min(total);
+        let eff = usize::try_from(effective).expect("capacity exceeds addressable memory");
+        scratch.begin(0, capacity, effective, false);
+
+        // Aggregate zero-size items; collect usable sized items.
+        let mut free = 0.0_f64;
+        scratch.compact.clear();
+        for (i, item) in items.iter().enumerate() {
+            let (size, profit) = (item.size(), item.profit());
+            debug_assert!(profit.is_finite() && profit >= 0.0, "invalid profit");
+            if profit <= 0.0 || size > effective {
+                continue;
+            }
+            if size == 0 {
+                free += profit;
+            } else {
+                scratch.compact.push((size, profit, i));
+            }
+        }
+        // Deterministic order: size ascending, profit descending, index.
+        scratch.compact.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(b.1.partial_cmp(&a.1).expect("profits are finite"))
+                .then(a.2.cmp(&b.2))
+        });
+
+        let mut flat = 0.0_f64;
+        let mut used_prefix = 0u64;
+        let mut w_prev = 0usize;
+        let mut g = 0usize;
+        while g < scratch.compact.len() {
+            let size_u = scratch.compact[g].0;
+            let mut g_end = g + 1;
+            while g_end < scratch.compact.len() && scratch.compact[g_end].0 == size_u {
+                g_end += 1;
+            }
+            // Keep only the top ⌊eff/s⌋ profits of this size group.
+            let keep_n = ((effective / size_u) as usize).min(g_end - g);
+            let size = size_u as usize;
+            for k in g..g + keep_n {
+                let profit = scratch.compact[k].1;
+                used_prefix += size_u;
+                let degenerate = flat + profit <= flat;
+                let w_new = if degenerate {
+                    eff
+                } else {
+                    w_prev.max(eff.min(used_prefix as usize))
+                };
+                for v in &mut scratch.values[w_prev + 1..=w_new] {
+                    *v = flat;
+                }
+                for c in (size..=w_new).rev() {
+                    let candidate = scratch.values[c - size] + profit;
+                    if candidate > scratch.values[c] {
+                        scratch.values[c] = candidate;
+                    }
+                }
+                flat += profit;
+                w_prev = w_new;
+            }
+            g = g_end;
+        }
+        for v in &mut scratch.values[w_prev + 1..=eff] {
+            *v = flat;
+        }
+        if free > 0.0 {
+            for v in &mut scratch.values[..=eff] {
+                *v += free;
+            }
+        }
+        scratch.mode = Mode::Values;
+        scratch.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classic() -> Instance {
+        Instance::new(vec![
+            Item::new(5, 3.0),
+            Item::new(4, 5.0),
+            Item::new(5, 4.0),
+            Item::new(9, 8.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_into_matches_fresh_trace_on_the_classic_instance() {
+        let inst = classic();
+        let mut scratch = DpScratch::new();
+        for cap in [0u64, 1, 5, 10, 23, 1000] {
+            let fresh = DpByCapacity.solve_trace(&inst, cap);
+            DpByCapacity.solve_trace_into(inst.items(), cap, &mut scratch);
+            assert_eq!(scratch.values(), fresh.values(), "cap={cap}");
+            for c in 0..=cap.min(inst.total_size()) {
+                let a = fresh.solution_at(&inst, c);
+                let b = scratch.solution_at(&inst, c);
+                assert_eq!(a.chosen_indices(), b.chosen_indices(), "cap={cap} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_into_matches_trace_backtrack() {
+        let inst = classic();
+        let mut scratch = DpScratch::new();
+        for cap in 0..=inst.total_size() + 2 {
+            let fresh = DpByCapacity.solve_trace(&inst, cap).solution_at(&inst, cap);
+            let value = DpByCapacity.solve_into(inst.items(), cap, &mut scratch);
+            assert_eq!(scratch.chosen(), fresh.chosen_indices(), "cap={cap}");
+            assert_eq!(value, fresh.total_profit(), "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn zero_size_and_zero_profit_items_are_handled() {
+        let inst = Instance::new(vec![
+            Item::new(0, 2.0),
+            Item::new(3, 5.0),
+            Item::new(1, 0.0),
+        ])
+        .unwrap();
+        let mut scratch = DpScratch::new();
+        DpByCapacity.solve_trace_into(inst.items(), 3, &mut scratch);
+        assert_eq!(scratch.value_at(0), 2.0);
+        assert_eq!(scratch.value_at(3), 7.0);
+        assert_eq!(
+            scratch.solution_at(&inst, 0).chosen_indices(),
+            &[0],
+            "free item taken at zero capacity"
+        );
+        let v = DpByCapacity.solve_into(inst.items(), 0, &mut scratch);
+        assert_eq!(v, 2.0);
+        assert_eq!(scratch.chosen(), &[0]);
+    }
+
+    #[test]
+    fn values_fast_path_agrees_with_the_trace() {
+        let inst = Instance::new(vec![
+            Item::new(2, 1.5),
+            Item::new(2, 4.0),
+            Item::new(2, 2.0),
+            Item::new(0, 0.5),
+            Item::new(3, 2.5),
+            Item::new(7, 9.0),
+        ])
+        .unwrap();
+        let mut scratch = DpScratch::new();
+        for cap in 0..=inst.total_size() {
+            let fresh = DpByCapacity.solve_trace(&inst, cap);
+            let values = DpByCapacity
+                .solve_values_into(inst.items(), cap, &mut scratch)
+                .to_vec();
+            assert_eq!(values.len(), fresh.values().len(), "cap={cap}");
+            for (c, (a, b)) in values.iter().zip(fresh.values()).enumerate() {
+                assert!((a - b).abs() < 1e-9, "cap={cap} c={c}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_profit_fallback_keeps_bits_exact() {
+        // The second item's profit cannot move the flat value in f64, which
+        // exercises the degenerate full-width fallback row.
+        let inst = Instance::new(vec![Item::new(1, 1e18), Item::new(1, 1.0)]).unwrap();
+        let mut scratch = DpScratch::new();
+        for cap in 0..=2u64 {
+            let fresh = DpByCapacity.solve_trace(&inst, cap);
+            DpByCapacity.solve_trace_into(inst.items(), cap, &mut scratch);
+            assert_eq!(scratch.values(), fresh.values(), "cap={cap}");
+            for c in 0..=cap.min(2) {
+                assert_eq!(
+                    scratch.solution_at(&inst, c).chosen_indices(),
+                    fresh.solution_at(&inst, c).chosen_indices(),
+                    "cap={cap} c={c}"
+                );
+            }
+        }
+    }
+}

@@ -1,44 +1,68 @@
 //! Property-based tests pinning the solver hierarchy:
 //! DP and B&B are exact and agree; greedy ≥ OPT/2; FPTAS ≥ (1−ε)·OPT;
 //! fractional relaxation upper-bounds everything; all outputs feasible.
+//!
+//! Runs on the in-tree harness (`basecache_sim::check`); enable with
+//! `cargo test -p basecache-knapsack --features proptest`.
+#![cfg(feature = "proptest")]
 
 use basecache_knapsack::{
     fractional_upper_bound, BranchAndBound, DpByCapacity, Fptas, GreedyDensity, Instance, Item,
     MeetInTheMiddle, Solver,
 };
-use proptest::prelude::*;
+use basecache_sim::check::run_cases;
+use basecache_sim::StreamRng;
 
-fn arb_instance(max_items: usize) -> impl Strategy<Value = Instance> {
-    prop::collection::vec((0u64..=25, 0.0f64..=20.0), 0..=max_items).prop_map(|specs| {
-        Instance::new(specs.into_iter().map(|(s, p)| Item::new(s, p)).collect())
-            .expect("generated profits are finite and non-negative")
-    })
+fn arb_instance(rng: &mut StreamRng, max_items: usize) -> Instance {
+    let n = rng.random_range(0..=max_items);
+    Instance::new(
+        (0..n)
+            .map(|_| Item::new(rng.random_range(0u64..=25), rng.random_range(0.0f64..=20.0)))
+            .collect(),
+    )
+    .expect("generated profits are finite and non-negative")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn dp_and_branch_and_bound_agree(inst in arb_instance(14), cap in 0u64..=120) {
+#[test]
+fn dp_and_branch_and_bound_agree() {
+    run_cases("dp_vs_bb", 256, |_, rng| {
+        let inst = arb_instance(rng, 14);
+        let cap = rng.random_range(0u64..=120);
         let dp = DpByCapacity.solve(&inst, cap);
         let bb = BranchAndBound::default().solve(&inst, cap);
         dp.verify(&inst, cap).unwrap();
         bb.verify(&inst, cap).unwrap();
-        prop_assert!((dp.total_profit() - bb.total_profit()).abs() < 1e-6,
-            "dp={} bb={}", dp.total_profit(), bb.total_profit());
-    }
+        assert!(
+            (dp.total_profit() - bb.total_profit()).abs() < 1e-6,
+            "dp={} bb={}",
+            dp.total_profit(),
+            bb.total_profit()
+        );
+    });
+}
 
-    #[test]
-    fn meet_in_the_middle_is_exact(inst in arb_instance(14), cap in 0u64..=120) {
+#[test]
+fn meet_in_the_middle_is_exact() {
+    run_cases("dp_vs_mim", 256, |_, rng| {
+        let inst = arb_instance(rng, 14);
+        let cap = rng.random_range(0u64..=120);
         let dp = DpByCapacity.solve(&inst, cap);
         let mim = MeetInTheMiddle::default().solve(&inst, cap);
         mim.verify(&inst, cap).unwrap();
-        prop_assert!((dp.total_profit() - mim.total_profit()).abs() < 1e-6,
-            "dp={} mim={}", dp.total_profit(), mim.total_profit());
-    }
+        assert!(
+            (dp.total_profit() - mim.total_profit()).abs() < 1e-6,
+            "dp={} mim={}",
+            dp.total_profit(),
+            mim.total_profit()
+        );
+    });
+}
 
-    #[test]
-    fn dp_matches_brute_force(inst in arb_instance(10), cap in 0u64..=80) {
+#[test]
+fn dp_matches_brute_force() {
+    run_cases("dp_vs_brute", 256, |_, rng| {
+        let inst = arb_instance(rng, 10);
+        let cap = rng.random_range(0u64..=80);
         let mut best = 0.0f64;
         for mask in 0u32..(1 << inst.len()) {
             let mut size = 0u64;
@@ -54,54 +78,80 @@ proptest! {
             }
         }
         let dp = DpByCapacity.solve(&inst, cap).total_profit();
-        prop_assert!((dp - best).abs() < 1e-6, "dp={dp} brute={best}");
-    }
+        assert!((dp - best).abs() < 1e-6, "dp={dp} brute={best}");
+    });
+}
 
-    #[test]
-    fn greedy_is_half_approximate_and_feasible(inst in arb_instance(16), cap in 0u64..=150) {
+#[test]
+fn greedy_is_half_approximate_and_feasible() {
+    run_cases("greedy_half", 256, |_, rng| {
+        let inst = arb_instance(rng, 16);
+        let cap = rng.random_range(0u64..=150);
         let g = GreedyDensity.solve(&inst, cap);
         g.verify(&inst, cap).unwrap();
         let opt = DpByCapacity.solve(&inst, cap).total_profit();
-        prop_assert!(g.total_profit() >= opt / 2.0 - 1e-6,
-            "greedy={} opt={opt}", g.total_profit());
-    }
+        assert!(
+            g.total_profit() >= opt / 2.0 - 1e-6,
+            "greedy={} opt={opt}",
+            g.total_profit()
+        );
+    });
+}
 
-    #[test]
-    fn fptas_respects_its_bound(inst in arb_instance(12), cap in 0u64..=100,
-                                eps in prop::sample::select(vec![0.5, 0.2, 0.1])) {
+#[test]
+fn fptas_respects_its_bound() {
+    run_cases("fptas_bound", 256, |i, rng| {
+        let inst = arb_instance(rng, 12);
+        let cap = rng.random_range(0u64..=100);
+        let eps = [0.5, 0.2, 0.1][i as usize % 3];
         let f = Fptas::new(eps).solve(&inst, cap);
         f.verify(&inst, cap).unwrap();
         let opt = DpByCapacity.solve(&inst, cap).total_profit();
-        prop_assert!(f.total_profit() >= (1.0 - eps) * opt - 1e-6,
-            "eps={eps} fptas={} opt={opt}", f.total_profit());
-    }
+        assert!(
+            f.total_profit() >= (1.0 - eps) * opt - 1e-6,
+            "eps={eps} fptas={} opt={opt}",
+            f.total_profit()
+        );
+    });
+}
 
-    #[test]
-    fn fractional_upper_bounds_integral(inst in arb_instance(16), cap in 0u64..=150) {
+#[test]
+fn fractional_upper_bounds_integral() {
+    run_cases("frac_ub", 256, |_, rng| {
+        let inst = arb_instance(rng, 16);
+        let cap = rng.random_range(0u64..=150);
         let frac = fractional_upper_bound(&inst, cap).profit;
         let opt = DpByCapacity.solve(&inst, cap).total_profit();
-        prop_assert!(frac >= opt - 1e-6, "frac={frac} opt={opt}");
-    }
+        assert!(frac >= opt - 1e-6, "frac={frac} opt={opt}");
+    });
+}
 
-    #[test]
-    fn trace_is_monotone_and_achieved(inst in arb_instance(12), cap in 0u64..=100) {
+#[test]
+fn trace_is_monotone_and_achieved() {
+    run_cases("trace_monotone", 256, |_, rng| {
+        let inst = arb_instance(rng, 12);
+        let cap = rng.random_range(0u64..=100);
         let trace = DpByCapacity.solve_trace(&inst, cap);
         let vals = trace.values();
         for w in vals.windows(2) {
-            prop_assert!(w[1] >= w[0] - 1e-9);
+            assert!(w[1] >= w[0] - 1e-9);
         }
         // Spot check a few capacities: recovered solution achieves value.
         for c in [0, cap / 3, cap / 2, cap] {
             let sol = trace.solution_at(&inst, c);
             sol.verify(&inst, c).unwrap();
-            prop_assert!((sol.total_profit() - trace.value_at(c)).abs() < 1e-6);
+            assert!((sol.total_profit() - trace.value_at(c)).abs() < 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn more_capacity_never_hurts(inst in arb_instance(14), cap in 0u64..=100) {
+#[test]
+fn more_capacity_never_hurts() {
+    run_cases("capacity_monotone", 256, |_, rng| {
+        let inst = arb_instance(rng, 14);
+        let cap = rng.random_range(0u64..=100);
         let a = DpByCapacity.solve(&inst, cap).total_profit();
         let b = DpByCapacity.solve(&inst, cap + 7).total_profit();
-        prop_assert!(b >= a - 1e-9);
-    }
+        assert!(b >= a - 1e-9);
+    });
 }

@@ -12,7 +12,6 @@
 //! on-demand caching for the same demand skew.
 
 use basecache_sim::StreamRng;
-use rand::RngExt;
 
 use crate::object::ObjectId;
 

@@ -5,8 +5,6 @@
 //! matters for the analyses is *when objects update*, which is what
 //! [`UpdateProcess`] models.
 
-use rand::RngExt;
-
 use basecache_sim::{SimDuration, SimTime, StreamRng};
 
 use crate::object::{Catalog, ObjectId, Version};

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod metrics;
 mod quantile;
 mod rng;
@@ -41,6 +42,6 @@ mod scheduler;
 mod time;
 
 pub use quantile::P2Quantile;
-pub use rng::{split_mix64, RngStreams, StreamRng};
+pub use rng::{split_mix64, RandomIter, RandomRange, RandomValue, RngStreams, StreamRng};
 pub use scheduler::Scheduler;
 pub use time::{SimDuration, SimTime};

@@ -145,7 +145,6 @@ impl P2Quantile {
 mod tests {
     use super::*;
     use crate::RngStreams;
-    use rand::RngExt;
 
     fn exact_quantile(xs: &mut [f64], p: f64) -> f64 {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -10,7 +10,6 @@
 //! distributions are preserved exactly; only the pairing changes.
 
 use basecache_sim::StreamRng;
-use rand::RngExt;
 
 /// The direction of association between two attributes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -6,7 +6,6 @@
 //! populations (the correlation machinery permutes attributes, not ids).
 
 use basecache_sim::StreamRng;
-use rand::RngExt;
 
 /// A named popularity model over `n` ranks.
 #[derive(Debug, Clone, Copy, PartialEq)]

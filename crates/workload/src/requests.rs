@@ -7,7 +7,6 @@
 
 use basecache_net::ObjectId;
 use basecache_sim::StreamRng;
-use rand::RngExt;
 
 use crate::popularity::PopularityDist;
 

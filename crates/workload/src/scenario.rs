@@ -8,7 +8,6 @@
 
 use basecache_net::Catalog;
 use basecache_sim::{RngStreams, StreamRng};
-use rand::RngExt;
 
 use crate::correlation::{align, align_counts, Correlation};
 use crate::sizes::SizeDist;

@@ -1,7 +1,6 @@
 //! Object-size distributions.
 
 use basecache_sim::StreamRng;
-use rand::RngExt;
 
 /// How object sizes are drawn when building a catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

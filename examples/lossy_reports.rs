@@ -21,7 +21,6 @@ use basecache::core::{BaseStationSim, Estimation, Policy};
 use basecache::net::{Catalog, ReportLog};
 use basecache::sim::{RngStreams, SimTime};
 use basecache::workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
-use rand::RngExt;
 
 const OBJECTS: usize = 200;
 const BUDGET: u64 = 25;

@@ -20,7 +20,6 @@ use basecache::core::request::RequestBatch;
 use basecache::net::{Catalog, CellId, Downlink, Link, ObjectId, RemoteServer, Topology};
 use basecache::sim::{RngStreams, Scheduler, SimDuration, SimTime};
 use basecache::workload::Popularity;
-use rand::RngExt;
 
 /// Events in the cell.
 #[derive(Debug)]

@@ -22,7 +22,6 @@ use basecache::core::recency::ScoringFunction;
 use basecache::core::request::RequestBatch;
 use basecache::net::{Catalog, ObjectId};
 use basecache::sim::RngStreams;
-use rand::RngExt;
 
 fn main() {
     let streams = RngStreams::new(99);

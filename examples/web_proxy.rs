@@ -21,7 +21,6 @@ use basecache::core::request::RequestBatch;
 use basecache::net::Catalog;
 use basecache::sim::RngStreams;
 use basecache::workload::{Popularity, RequestGenerator, SizeDist, TargetRecency};
-use rand::RngExt;
 
 fn main() {
     let streams = RngStreams::new(7_2000);

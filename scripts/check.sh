@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, tier-1 build+tests, property
+# suites, and the planner bench (which records BENCH_planner.json at the
+# repo root). Everything runs offline — the workspace has no external
+# dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests (+ property suites)"
+cargo test --workspace -q
+cargo test --workspace --features proptest -q
+
+echo "==> planner bench (writes BENCH_planner.json)"
+cargo bench -p basecache-bench --bench planner
+
+echo "==> all checks passed"
