@@ -1,180 +1,7 @@
-//! Planner benchmarks: the full per-round pipeline (batch → profit
-//! mapping → knapsack → plan) across solver back-ends and scales, plus
-//! the profit-mapping and budget-bound stages in isolation.
-//!
-//! The headline comparison is the Table-1-scale planning round (500
-//! objects, budget 5000 data units, 5000 client requests) three ways:
-//! the seed's full-table round, the current allocating batch API, and
-//! the allocation-free `plan_requests_into` path on a persistent
-//! [`PlannerScratch`]. The measured medians and the round speedup are
-//! written to `BENCH_planner.json` at the repo root.
-
-use std::hint::black_box;
-
-use basecache_bench::harness::{bench, bench_n, Measurement};
-use basecache_bench::{planning_requests, planning_round};
-use basecache_core::bound::{budget_for_fraction, knee_budget};
-use basecache_core::planner::{LowestRecencyFirst, OnDemandPlanner, SolverChoice};
-use basecache_core::profit::build_instance;
-use basecache_core::recency::ScoringFunction;
-use basecache_core::request::RequestBatch;
-use basecache_core::scratch::PlannerScratch;
-use basecache_knapsack::DpByCapacity;
-
-/// Table-1 scale for the headline round comparison.
-const OBJECTS: usize = 500;
-const REQUESTS: usize = 5000;
-const BUDGET: u64 = 5000;
-
-fn bench_round_paths(results: &mut Vec<Measurement>) -> (f64, f64) {
-    let (generated, catalog, recency) = planning_requests(OBJECTS, REQUESTS, 77);
-    let planner = OnDemandPlanner::paper_default();
-
-    // The seed's per-tick flow: aggregate into a BTreeMap batch, build
-    // the profit mapping, run the full O(n·B) table, backtrack.
-    let seed = bench("planner/round/seed_full_table", || {
-        let batch = RequestBatch::from_generated(&generated);
-        let mapped = build_instance(&batch, &catalog, &recency, ScoringFunction::InverseRatio);
-        let trace = DpByCapacity.solve_trace(mapped.instance(), BUDGET);
-        let solution = trace.solution_at(mapped.instance(), BUDGET);
-        let mut download = mapped.selected_objects(&solution);
-        download.sort_unstable();
-        black_box((download, solution.total_profit()))
-    });
-
-    // The allocating batch API on the bounded-sweep solver.
-    let batch_path = bench("planner/round/batch_alloc", || {
-        let batch = RequestBatch::from_generated(&generated);
-        black_box(planner.plan(&batch, &catalog, &recency, BUDGET))
-    });
-
-    // The allocation-free path: persistent scratch, aggregated items,
-    // reusable DP tables.
-    let mut scratch = PlannerScratch::new();
-    scratch.reserve(catalog.len(), BUDGET);
-    let scratch_path = bench("planner/round/scratch_reuse", || {
-        planner.plan_requests_into(&generated, &catalog, &recency, BUDGET, &mut scratch);
-        black_box(scratch.achieved_value())
-    });
-
-    let vs_seed = seed.median_ns() / scratch_path.median_ns();
-    let vs_batch = batch_path.median_ns() / scratch_path.median_ns();
-    results.push(seed);
-    results.push(batch_path);
-    results.push(scratch_path);
-    (vs_seed, vs_batch)
-}
-
-fn bench_trace_vs_trace_into(results: &mut Vec<Measurement>) {
-    let (generated, catalog, recency) = planning_requests(OBJECTS, REQUESTS, 77);
-    let batch = RequestBatch::from_generated(&generated);
-    let mapped = build_instance(&batch, &catalog, &recency, ScoringFunction::InverseRatio);
-    results.push(bench("planner/trace/solve_trace", || {
-        black_box(DpByCapacity.solve_trace(mapped.instance(), BUDGET))
-    }));
-    let mut scratch = basecache_knapsack::DpScratch::new();
-    results.push(bench("planner/trace/solve_trace_into", || {
-        DpByCapacity.solve_trace_into(mapped.instance().items(), BUDGET, &mut scratch);
-        black_box(scratch.value())
-    }));
-}
-
-fn bench_plan_solvers(results: &mut Vec<Measurement>) {
-    let (batch, catalog, recency) = planning_round(OBJECTS, REQUESTS, 77);
-    let budget = catalog.total_size() / 2;
-    let solvers: [(&str, SolverChoice); 4] = [
-        ("exact_dp", SolverChoice::ExactDp),
-        ("greedy", SolverChoice::Greedy),
-        ("fptas_0.25", SolverChoice::Fptas { epsilon: 0.25 }),
-        ("branch_bound", SolverChoice::BranchAndBound),
-    ];
-    for (name, choice) in solvers {
-        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, choice);
-        results.push(bench(&format!("planner/solvers/{name}"), || {
-            black_box(planner.plan(&batch, &catalog, &recency, budget))
-        }));
-    }
-}
-
-fn bench_plan_scale(results: &mut Vec<Measurement>) {
-    for &(objects, requests) in &[(100usize, 1000usize), (500, 5000), (2000, 20000)] {
-        let (batch, catalog, recency) = planning_round(objects, requests, 78);
-        let budget = catalog.total_size() / 2;
-        let planner = OnDemandPlanner::paper_default();
-        results.push(bench_n(
-            &format!("planner/scale/exact_dp/{objects}"),
-            10,
-            || black_box(planner.plan(&batch, &catalog, &recency, budget)),
-        ));
-    }
-}
-
-fn bench_profit_mapping(results: &mut Vec<Measurement>) {
-    let (batch, catalog, recency) = planning_round(OBJECTS, REQUESTS, 79);
-    results.push(bench("planner/profit_mapping", || {
-        black_box(build_instance(
-            &batch,
-            &catalog,
-            &recency,
-            ScoringFunction::InverseRatio,
-        ))
-    }));
-}
-
-fn bench_budget_bound_selection(results: &mut Vec<Measurement>) {
-    let (batch, catalog, recency) = planning_round(OBJECTS, REQUESTS, 80);
-    let planner = OnDemandPlanner::paper_default();
-    let (_, _, trace) = planner.plan_with_trace(&batch, &catalog, &recency, catalog.total_size());
-    results.push(bench("planner/budget_bound_selection", || {
-        (
-            black_box(knee_budget(&trace, 25, 0.01)),
-            black_box(budget_for_fraction(&trace, 0.95)),
-        )
-    }));
-}
-
-fn bench_lowest_recency_first(results: &mut Vec<Measurement>) {
-    let (batch, _catalog, recency) = planning_round(OBJECTS, REQUESTS, 81);
-    results.push(bench("planner/lowest_recency_first", || {
-        black_box(LowestRecencyFirst.select(&batch, &recency, 100))
-    }));
-}
-
-fn write_json(results: &[Measurement], vs_seed: f64, vs_batch: f64) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"bench\": \"planner\",\n");
-    out.push_str(&format!(
-        "  \"scale\": {{\"objects\": {OBJECTS}, \"requests\": {REQUESTS}, \"budget\": {BUDGET}}},\n"
-    ));
-    out.push_str(&format!(
-        "  \"round_speedup_vs_seed_full_table\": {vs_seed:.2},\n"
-    ));
-    out.push_str(&format!(
-        "  \"round_speedup_vs_batch_alloc\": {vs_batch:.2},\n"
-    ));
-    out.push_str("  \"results\": [\n");
-    for (i, m) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        out.push_str(&format!("    {}{comma}\n", m.to_json()));
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("write BENCH_planner.json");
-    println!("\nwrote {path}");
-}
+//! `cargo bench` entry point for the planner suite; the implementation
+//! lives in [`basecache_bench::planner_suite`] so the same suite is also
+//! reachable via `cargo run -p basecache-bench --release`.
 
 fn main() {
-    let mut results = Vec::new();
-    let (vs_seed, vs_batch) = bench_round_paths(&mut results);
-    println!(
-        "round speedup: {vs_seed:.2}x vs seed full-table, {vs_batch:.2}x vs allocating batch path\n"
-    );
-    bench_trace_vs_trace_into(&mut results);
-    bench_plan_solvers(&mut results);
-    bench_plan_scale(&mut results);
-    bench_profit_mapping(&mut results);
-    bench_budget_bound_selection(&mut results);
-    bench_lowest_recency_first(&mut results);
-    write_json(&results, vs_seed, vs_batch);
+    basecache_bench::planner_suite::run();
 }

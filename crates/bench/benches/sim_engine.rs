@@ -6,7 +6,7 @@ use std::hint::black_box;
 use basecache_bench::harness::bench;
 use basecache_core::planner::{OnDemandPlanner, SolverChoice};
 use basecache_core::recency::ScoringFunction;
-use basecache_core::{BaseStationSim, Policy};
+use basecache_core::StationBuilder;
 use basecache_net::Catalog;
 use basecache_sim::{RngStreams, Scheduler, SimTime};
 use basecache_workload::{Popularity, RequestGenerator, TargetRecency};
@@ -61,33 +61,30 @@ fn bench_station_step() {
 
     {
         let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
-        let mut station = BaseStationSim::new(
-            Catalog::uniform_unit(500),
-            Policy::OnDemand {
-                planner,
-                budget_units: 50,
-            },
-        );
+        let mut station = StationBuilder::new(Catalog::uniform_unit(500))
+            .on_demand(planner, 50)
+            .build()
+            .expect("bench configuration is valid");
         bench("sim/station_step/on_demand_dp", || {
             station.apply_update_wave();
             black_box(station.step(&batch))
         });
     }
     {
-        let mut station = BaseStationSim::new(
-            Catalog::uniform_unit(500),
-            Policy::OnDemandLowestRecency { k_objects: 50 },
-        );
+        let mut station = StationBuilder::new(Catalog::uniform_unit(500))
+            .on_demand_lowest_recency(50)
+            .build()
+            .expect("bench configuration is valid");
         bench("sim/station_step/lowest_recency", || {
             station.apply_update_wave();
             black_box(station.step(&batch))
         });
     }
     {
-        let mut station = BaseStationSim::new(
-            Catalog::uniform_unit(500),
-            Policy::AsyncRoundRobin { k_objects: 50 },
-        );
+        let mut station = StationBuilder::new(Catalog::uniform_unit(500))
+            .async_round_robin(50)
+            .build()
+            .expect("bench configuration is valid");
         bench("sim/station_step/async_round_robin", || {
             station.apply_update_wave();
             black_box(station.step(&batch))

@@ -14,6 +14,7 @@ use basecache_workload::{
 };
 
 pub mod harness;
+pub mod planner_suite;
 
 /// A deterministic knapsack instance with `n` items, sizes `U[1, 20]`,
 /// profits `U(0, 20]`.

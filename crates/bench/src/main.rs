@@ -1,0 +1,10 @@
+//! `cargo run -p basecache-bench --release` — the headline planner
+//! benchmark suite, including the observability overhead comparison.
+//! Writes `BENCH_planner.json` at the repo root; see
+//! [`basecache_bench::planner_suite`] for what is measured. The other
+//! bench targets (`knapsack_solvers`, `sim_engine`, `figures`,
+//! `cache_policies`) run under `cargo bench`.
+
+fn main() {
+    basecache_bench::planner_suite::run();
+}

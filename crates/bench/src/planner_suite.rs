@@ -1,0 +1,279 @@
+//! The planner benchmark suite: the full per-round pipeline (batch →
+//! profit mapping → knapsack → plan) across solver back-ends and scales,
+//! plus the profit-mapping and budget-bound stages in isolation — and
+//! the observability layer's overhead, measured both ways (no-op
+//! recorder vs a live [`StatsRecorder`]).
+//!
+//! The headline comparison is the Table-1-scale planning round (500
+//! objects, budget 5000 data units, 5000 client requests) three ways:
+//! the seed's full-table round, the current allocating batch API, and
+//! the allocation-free `plan_requests_into` path on a persistent
+//! [`PlannerScratch`]. The measured medians, the round speedups, the
+//! recorder overhead ratios and a per-stage breakdown of the
+//! instrumented round are written to `BENCH_planner.json` at the repo
+//! root.
+//!
+//! Shared by `benches/planner.rs` (`cargo bench`) and the
+//! `basecache-bench` binary (`cargo run -p basecache-bench --release`).
+
+use std::hint::black_box;
+
+use basecache_core::bound::{budget_for_fraction, knee_budget};
+use basecache_core::planner::{LowestRecencyFirst, OnDemandPlanner, SolverChoice};
+use basecache_core::profit::build_instance;
+use basecache_core::recency::ScoringFunction;
+use basecache_core::request::RequestBatch;
+use basecache_core::scratch::PlannerScratch;
+use basecache_knapsack::DpByCapacity;
+use basecache_obs::{Recorder, Snapshot, StatsRecorder};
+
+use crate::harness::{bench, bench_n, Measurement};
+use crate::{planning_requests, planning_round};
+
+/// Table-1 scale for the headline round comparison.
+const OBJECTS: usize = 500;
+const REQUESTS: usize = 5000;
+const BUDGET: u64 = 5000;
+
+fn bench_round_paths(results: &mut Vec<Measurement>) -> (f64, f64, f64) {
+    let (generated, catalog, recency) = planning_requests(OBJECTS, REQUESTS, 77);
+    let planner = OnDemandPlanner::paper_default();
+
+    // The seed's per-tick flow: aggregate into a BTreeMap batch, build
+    // the profit mapping, run the full O(n·B) table, backtrack.
+    let seed = bench("planner/round/seed_full_table", || {
+        let batch = RequestBatch::from_generated(&generated);
+        let mapped = build_instance(&batch, &catalog, &recency, ScoringFunction::InverseRatio);
+        let trace = DpByCapacity.solve_trace(mapped.instance(), BUDGET);
+        let solution = trace.solution_at(mapped.instance(), BUDGET);
+        let mut download = mapped.selected_objects(&solution);
+        download.sort_unstable();
+        black_box((download, solution.total_profit()))
+    });
+
+    // The allocating batch API on the bounded-sweep solver.
+    let batch_path = bench("planner/round/batch_alloc", || {
+        let batch = RequestBatch::from_generated(&generated);
+        black_box(planner.plan(&batch, &catalog, &recency, BUDGET))
+    });
+
+    // The allocation-free path: persistent scratch, aggregated items,
+    // reusable DP tables. `plan_requests_into` routes through the
+    // recorded path with the no-op recorder, so this measurement IS the
+    // instrumentation-off cost.
+    let mut scratch = PlannerScratch::new();
+    scratch.reserve(catalog.len(), BUDGET);
+    let scratch_path = bench("planner/round/scratch_reuse", || {
+        planner.plan_requests_into(&generated, &catalog, &recency, BUDGET, &mut scratch);
+        black_box(scratch.achieved_value())
+    });
+
+    // The same round with a live StatsRecorder: counters, distributions
+    // and span clocks all on.
+    let recorder = StatsRecorder::new();
+    let observed_path = bench("planner/round/scratch_reuse_observed", || {
+        planner.plan_requests_recorded(
+            &generated,
+            &catalog,
+            &recency,
+            BUDGET,
+            &mut scratch,
+            &recorder,
+        );
+        black_box(scratch.achieved_value())
+    });
+
+    let vs_seed = seed.median_ns() / scratch_path.median_ns();
+    let vs_batch = batch_path.median_ns() / scratch_path.median_ns();
+    let observed_overhead = observed_path.median_ns() / scratch_path.median_ns();
+    results.push(seed);
+    results.push(batch_path);
+    results.push(scratch_path);
+    results.push(observed_path);
+    (vs_seed, vs_batch, observed_overhead)
+}
+
+/// Rounds sampled for the per-stage breakdown.
+const BREAKDOWN_ROUNDS: u64 = 50;
+
+/// Run a handful of instrumented rounds and snapshot the recorder: the
+/// per-stage wall-clock breakdown and per-round knapsack shape that the
+/// span benches above cannot show. Solved at half the headline budget —
+/// at the full 5000 every requested item fits and the DP short-circuits
+/// without sweeping any cells.
+fn stage_breakdown() -> Snapshot {
+    let (generated, catalog, recency) = planning_requests(OBJECTS, REQUESTS, 77);
+    let planner = OnDemandPlanner::paper_default();
+    let mut scratch = PlannerScratch::new();
+    scratch.reserve(catalog.len(), BUDGET);
+    let recorder = StatsRecorder::new();
+    for _ in 0..BREAKDOWN_ROUNDS {
+        // The whole-round span the station would normally provide, so
+        // plan-minus-solve exposes the aggregation cost.
+        let round = basecache_obs::Span::enter(&recorder, basecache_obs::Stage::Plan);
+        planner.plan_requests_recorded(
+            &generated,
+            &catalog,
+            &recency,
+            BUDGET / 2,
+            &mut scratch,
+            &recorder,
+        );
+        drop(round);
+    }
+    recorder.snapshot()
+}
+
+fn bench_trace_vs_trace_into(results: &mut Vec<Measurement>) {
+    let (generated, catalog, recency) = planning_requests(OBJECTS, REQUESTS, 77);
+    let batch = RequestBatch::from_generated(&generated);
+    let mapped = build_instance(&batch, &catalog, &recency, ScoringFunction::InverseRatio);
+    results.push(bench("planner/trace/solve_trace", || {
+        black_box(DpByCapacity.solve_trace(mapped.instance(), BUDGET))
+    }));
+    let mut scratch = basecache_knapsack::DpScratch::new();
+    results.push(bench("planner/trace/solve_trace_into", || {
+        DpByCapacity.solve_trace_into(mapped.instance().items(), BUDGET, &mut scratch);
+        black_box(scratch.value())
+    }));
+}
+
+fn bench_plan_solvers(results: &mut Vec<Measurement>) {
+    let (batch, catalog, recency) = planning_round(OBJECTS, REQUESTS, 77);
+    let budget = catalog.total_size() / 2;
+    let solvers: [(&str, SolverChoice); 4] = [
+        ("exact_dp", SolverChoice::ExactDp),
+        ("greedy", SolverChoice::Greedy),
+        ("fptas_0.25", SolverChoice::Fptas { epsilon: 0.25 }),
+        ("branch_bound", SolverChoice::BranchAndBound),
+    ];
+    for (name, choice) in solvers {
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, choice);
+        results.push(bench(&format!("planner/solvers/{name}"), || {
+            black_box(planner.plan(&batch, &catalog, &recency, budget))
+        }));
+    }
+}
+
+fn bench_plan_scale(results: &mut Vec<Measurement>) {
+    for &(objects, requests) in &[(100usize, 1000usize), (500, 5000), (2000, 20000)] {
+        let (batch, catalog, recency) = planning_round(objects, requests, 78);
+        let budget = catalog.total_size() / 2;
+        let planner = OnDemandPlanner::paper_default();
+        results.push(bench_n(
+            &format!("planner/scale/exact_dp/{objects}"),
+            10,
+            || black_box(planner.plan(&batch, &catalog, &recency, budget)),
+        ));
+    }
+}
+
+fn bench_profit_mapping(results: &mut Vec<Measurement>) {
+    let (batch, catalog, recency) = planning_round(OBJECTS, REQUESTS, 79);
+    results.push(bench("planner/profit_mapping", || {
+        black_box(build_instance(
+            &batch,
+            &catalog,
+            &recency,
+            ScoringFunction::InverseRatio,
+        ))
+    }));
+}
+
+fn bench_budget_bound_selection(results: &mut Vec<Measurement>) {
+    let (batch, catalog, recency) = planning_round(OBJECTS, REQUESTS, 80);
+    let planner = OnDemandPlanner::paper_default();
+    let (_, _, trace) = planner.plan_with_trace(&batch, &catalog, &recency, catalog.total_size());
+    results.push(bench("planner/budget_bound_selection", || {
+        (
+            black_box(knee_budget(&trace, 25, 0.01)),
+            black_box(budget_for_fraction(&trace, 0.95)),
+        )
+    }));
+}
+
+fn bench_lowest_recency_first(results: &mut Vec<Measurement>) {
+    let (batch, _catalog, recency) = planning_round(OBJECTS, REQUESTS, 81);
+    results.push(bench("planner/lowest_recency_first", || {
+        black_box(LowestRecencyFirst.select(&batch, &recency, 100))
+    }));
+}
+
+fn write_json(
+    results: &[Measurement],
+    vs_seed: f64,
+    vs_batch: f64,
+    observed_overhead: f64,
+    stages: &Snapshot,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"planner\",\n");
+    out.push_str(&format!(
+        "  \"scale\": {{\"objects\": {OBJECTS}, \"requests\": {REQUESTS}, \"budget\": {BUDGET}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"round_speedup_vs_seed_full_table\": {vs_seed:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"round_speedup_vs_batch_alloc\": {vs_batch:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"stats_recorder_overhead\": {observed_overhead:.3},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!("    {}{comma}\n", m.to_json()));
+    }
+    out.push_str("  ],\n");
+    // Per-stage breakdown of the instrumented round (span clocks) and
+    // per-round knapsack shape, averaged over the sampled rounds (solved
+    // at half the headline budget so the DP actually sweeps).
+    out.push_str(&format!("  \"stage_breakdown_budget\": {},\n", BUDGET / 2));
+    out.push_str("  \"stages\": [\n");
+    for (i, s) in stages.spans.iter().enumerate() {
+        let comma = if i + 1 < stages.spans.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"count\": {}, \"mean_ns\": {:.1}, \"p95_ns\": {:.1}}}{comma}\n",
+            s.name, s.count, s.mean_ns, s.p95_ns
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"per_round\": {");
+    let mut first = true;
+    for c in &stages.counters {
+        let comma = if first { "" } else { "," };
+        first = false;
+        out.push_str(&format!(
+            "{comma}\n    \"{}\": {:.1}",
+            c.name,
+            c.value as f64 / BREAKDOWN_ROUNDS as f64
+        ));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    std::fs::write(path, out).expect("write BENCH_planner.json");
+    println!("\nwrote {path}");
+}
+
+/// Run the whole suite and write `BENCH_planner.json`.
+pub fn run() {
+    let mut results = Vec::new();
+    let (vs_seed, vs_batch, observed_overhead) = bench_round_paths(&mut results);
+    println!(
+        "round speedup: {vs_seed:.2}x vs seed full-table, {vs_batch:.2}x vs allocating batch path"
+    );
+    println!("stats-recorder overhead on the round: {observed_overhead:.3}x\n");
+    bench_trace_vs_trace_into(&mut results);
+    bench_plan_solvers(&mut results);
+    bench_plan_scale(&mut results);
+    bench_profit_mapping(&mut results);
+    bench_budget_bound_selection(&mut results);
+    bench_lowest_recency_first(&mut results);
+    let stages = stage_breakdown();
+    write_json(&results, vs_seed, vs_batch, observed_overhead, &stages);
+}

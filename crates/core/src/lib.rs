@@ -24,6 +24,10 @@
 //!   trace (the paper's Section 6 future work).
 //! * [`station`] — [`BaseStationSim`]: the time-stepped base-station
 //!   simulation gluing cache, server, policy and downlink together.
+//! * [`builder`] — [`StationBuilder`]: typed, validating construction of
+//!   a station, including its observability [`basecache_obs::Recorder`].
+//! * [`error`] — [`Error`]: the unified error umbrella over the knapsack,
+//!   topology and configuration layers.
 //!
 //! # Quickstart
 //!
@@ -56,6 +60,8 @@
 
 pub mod asynch;
 pub mod bound;
+pub mod builder;
+pub mod error;
 pub mod estimator;
 pub mod pipeline;
 pub mod planner;
@@ -66,6 +72,8 @@ pub mod scratch;
 pub mod station;
 
 pub use asynch::AsyncRefresher;
+pub use builder::StationBuilder;
+pub use error::{ConfigError, Error};
 pub use estimator::{RateEstimator, RecencyEstimator, ReportEstimator, TtlEstimator};
 pub use pipeline::{LatencyAwareSim, LatencyStats, LatencyStepOutcome};
 pub use planner::{DownloadPlan, LowestRecencyFirst, OnDemandPlanner, SolverChoice};

@@ -26,6 +26,7 @@ use std::collections::HashSet;
 
 use basecache_cache::CacheStore;
 use basecache_net::{Catalog, Downlink, Link, ObjectId, RemoteServer, SharedLink, Version};
+use basecache_obs::{Event, NullRecorder, Recorder, Sample, Snapshot, Span, Stage};
 use basecache_sim::metrics::Welford;
 use basecache_sim::{P2Quantile, Scheduler, SimTime};
 use basecache_workload::GeneratedRequest;
@@ -114,6 +115,7 @@ pub struct LatencyAwareSim {
     waiting: Vec<Waiting>,
     tick: u64,
     stats: LatencyStats,
+    recorder: Box<dyn Recorder>,
 }
 
 impl LatencyAwareSim {
@@ -166,7 +168,48 @@ impl LatencyAwareSim {
             waiting: Vec::new(),
             tick: 0,
             stats: LatencyStats::default(),
+            recorder: Box::new(NullRecorder),
         }
+    }
+
+    /// Install an observability recorder (default: the no-op
+    /// [`NullRecorder`]). Fetch launches, fetch latencies and the
+    /// per-tick fetch-ingest stage are recorded as the simulation runs;
+    /// call [`Self::observe_infrastructure`] once at the end of a run to
+    /// add the cumulative link/downlink/scheduler figures.
+    pub fn with_recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The installed observability recorder.
+    pub fn recorder(&self) -> &dyn Recorder {
+        &*self.recorder
+    }
+
+    /// Report the cumulative infrastructure figures to the recorder: the
+    /// downlink's deliveries and utilization, the fixed network's
+    /// utilization, and the in-flight scheduler's processed events. Call
+    /// once per run (the figures are cumulative since construction), then
+    /// read everything back with [`Self::obs_snapshot`].
+    pub fn observe_infrastructure(&self) {
+        let recorder = &*self.recorder;
+        if !recorder.enabled() {
+            return;
+        }
+        let now = SimTime::from_ticks(self.tick);
+        self.downlink.observe(now, recorder);
+        recorder.sample(
+            Sample::LinkUtilization,
+            self.fixed_net.lock().utilization(now),
+        );
+        recorder.add(Event::SchedulerEvents, self.in_flight.stats().processed);
+    }
+
+    /// Materialize everything the installed recorder observed (empty
+    /// under the default [`NullRecorder`]).
+    pub fn obs_snapshot(&self) -> Snapshot {
+        self.recorder.snapshot()
     }
 
     /// The current time unit.
@@ -223,6 +266,7 @@ impl LatencyAwareSim {
         let size = self.catalog.size_of(object);
         let timing = self.fixed_net.enqueue(now, size);
         self.stats.units_downloaded += size;
+        self.recorder.incr(Event::FetchesIssued);
         self.in_flight.schedule_at(
             timing.arrives,
             Arrival {
@@ -236,8 +280,10 @@ impl LatencyAwareSim {
     /// Simulate one time unit.
     pub fn step(&mut self, requests: &[GeneratedRequest]) -> LatencyStepOutcome {
         let now = SimTime::from_ticks(self.tick);
+        self.recorder.incr(Event::Rounds);
 
         // 1. Ingest completed downloads and release waiting clients.
+        let fetch_span = Span::enter(&*self.recorder, Stage::Fetch);
         let mut arrived = 0usize;
         let mut served_after_wait = 0usize;
         while let Some((_, arrival)) = self.in_flight.pop_until(now) {
@@ -262,6 +308,7 @@ impl LatencyAwareSim {
                     let wait = now.since(w.issued_at).ticks() as f64;
                     self.stats.wait_ticks.push(wait);
                     self.stats.wait_p95.push(wait);
+                    self.recorder.sample(Sample::FetchLatencyTicks, wait);
                     self.stats.waited += 1;
                     self.downlink.deliver(now, ClientId(0), w.object, size);
                     served_after_wait += 1;
@@ -271,6 +318,7 @@ impl LatencyAwareSim {
             }
             self.waiting = still_parked;
         }
+        drop(fetch_span);
 
         // 2. Plan this tick's downloads.
         let batch = RequestBatch::from_generated(requests);
@@ -431,6 +479,28 @@ mod tests {
             (mean_wait - 3.0).abs() < 1e-9,
             "waits 1,2,3,4,5 → mean 3, got {mean_wait}"
         );
+    }
+
+    #[test]
+    fn recorder_captures_fetch_activity() {
+        let mut s = sim(2, 10).with_recorder(Box::new(basecache_obs::StatsRecorder::new()));
+        s.step(&[req(0)]); // uncached: launch, client waits
+        for _ in 0..3 {
+            s.step(&[]); // arrival at t=3 releases the waiter
+        }
+        s.observe_infrastructure();
+        let snap = s.obs_snapshot();
+        assert_eq!(snap.counter("rounds"), Some(4));
+        assert_eq!(snap.counter("fetches_issued"), Some(1));
+        assert!(snap.counter("scheduler_events").unwrap_or(0) >= 1);
+        let lat = snap
+            .sample("fetch_latency_ticks")
+            .expect("one wait recorded");
+        assert_eq!(lat.count, 1);
+        assert!((lat.mean - 3.0).abs() < 1e-9);
+        assert!(snap.sample("link_utilization").is_some());
+        assert!(snap.sample("downlink_utilization").is_some());
+        assert_eq!(snap.span("fetch").map(|sp| sp.count), Some(4));
     }
 
     #[test]

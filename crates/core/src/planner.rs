@@ -14,6 +14,7 @@ use basecache_knapsack::{
     BranchAndBound, DpByCapacity, DpTrace, Fptas, GreedyDensity, Instance, Item, Solver,
 };
 use basecache_net::{Catalog, ObjectId};
+use basecache_obs::{Event, NullRecorder, Recorder, Sample, Span, Stage};
 use basecache_workload::GeneratedRequest;
 
 use crate::profit::{build_instance, MappedInstance};
@@ -130,6 +131,29 @@ impl OnDemandPlanner {
         budget: u64,
         scratch: &mut PlannerScratch,
     ) {
+        self.plan_requests_recorded(requests, catalog, recency, budget, scratch, &NullRecorder);
+    }
+
+    /// [`Self::plan_requests_into`] with instrumentation: the knapsack
+    /// shape (items, capacity), the DP cells actually swept, the achieved
+    /// plan profit and the solve time are reported to `recorder`.
+    ///
+    /// With a [`NullRecorder`] this *is* `plan_requests_into` — the
+    /// recording calls are no-ops, no clock is read, and the planning
+    /// results are bit-identical either way (instrumentation never touches
+    /// the arithmetic). The recorder is a generic parameter (not
+    /// `&dyn Recorder`) so the `NullRecorder` instantiation monomorphizes
+    /// back to the uninstrumented round — opaque virtual calls would
+    /// otherwise act as optimization barriers inside the hot path.
+    pub fn plan_requests_recorded<R: Recorder + ?Sized>(
+        &self,
+        requests: &[GeneratedRequest],
+        catalog: &Catalog,
+        recency: &[f64],
+        budget: u64,
+        scratch: &mut PlannerScratch,
+        recorder: &R,
+    ) {
         assert!(
             recency.len() >= catalog.len(),
             "need a recency for every catalog object ({} < {})",
@@ -200,43 +224,53 @@ impl OnDemandPlanner {
         scratch.base_score_sum = base;
         scratch.total_clients = requests.len() as u64;
 
+        recorder.add(Event::KnapsackItems, scratch.items.len() as u64);
+        recorder.sample(Sample::KnapsackCapacity, budget as f64);
+
         scratch.downloads.clear();
-        match self.solver {
-            SolverChoice::ExactDp => {
-                let value = DpByCapacity.solve_into(&scratch.items, budget, &mut scratch.dp);
-                scratch.achieved_value = value;
-                let mut size = 0u64;
-                // `chosen()` is ascending by item index and `objects` is
-                // ascending by id, so the downloads come out sorted.
-                for &i in scratch.dp.chosen() {
-                    let object = scratch.objects[i];
-                    size += catalog.size_of(object);
-                    scratch.downloads.push(object);
-                }
-                scratch.download_size = size;
-            }
-            choice => {
-                let instance = Instance::new(scratch.items.clone())
-                    .expect("scores in [0,1] yield valid profits");
-                let solution = match choice {
-                    SolverChoice::ExactDp => unreachable!("handled above"),
-                    SolverChoice::Greedy => GreedyDensity.solve(&instance, budget),
-                    SolverChoice::Fptas { epsilon } => Fptas::new(epsilon).solve(&instance, budget),
-                    SolverChoice::BranchAndBound => {
-                        BranchAndBound::default().solve(&instance, budget)
+        {
+            let _solve = Span::enter(recorder, Stage::Solve);
+            match self.solver {
+                SolverChoice::ExactDp => {
+                    let value = DpByCapacity.solve_into(&scratch.items, budget, &mut scratch.dp);
+                    scratch.achieved_value = value;
+                    let mut size = 0u64;
+                    // `chosen()` is ascending by item index and `objects` is
+                    // ascending by id, so the downloads come out sorted.
+                    for &i in scratch.dp.chosen() {
+                        let object = scratch.objects[i];
+                        size += catalog.size_of(object);
+                        scratch.downloads.push(object);
                     }
-                };
-                scratch.achieved_value = solution.total_profit();
-                scratch.download_size = solution.total_size();
-                scratch.downloads.extend(
-                    solution
-                        .chosen_indices()
-                        .iter()
-                        .map(|&i| scratch.objects[i]),
-                );
-                scratch.downloads.sort_unstable();
+                    scratch.download_size = size;
+                    recorder.add(Event::DpCellsTouched, scratch.dp.cells_touched());
+                }
+                choice => {
+                    let instance = Instance::new(scratch.items.clone())
+                        .expect("scores in [0,1] yield valid profits");
+                    let solution = match choice {
+                        SolverChoice::ExactDp => unreachable!("handled above"),
+                        SolverChoice::Greedy => GreedyDensity.solve(&instance, budget),
+                        SolverChoice::Fptas { epsilon } => {
+                            Fptas::new(epsilon).solve(&instance, budget)
+                        }
+                        SolverChoice::BranchAndBound => {
+                            BranchAndBound::default().solve(&instance, budget)
+                        }
+                    };
+                    scratch.achieved_value = solution.total_profit();
+                    scratch.download_size = solution.total_size();
+                    scratch.downloads.extend(
+                        solution
+                            .chosen_indices()
+                            .iter()
+                            .map(|&i| scratch.objects[i]),
+                    );
+                    scratch.downloads.sort_unstable();
+                }
             }
         }
+        recorder.sample(Sample::PlanProfit, scratch.achieved_value);
     }
 
     /// Like [`Self::plan`], but also return the exact DP's full

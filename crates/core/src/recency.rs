@@ -30,6 +30,7 @@ impl ScoringFunction {
     /// # Panics
     ///
     /// Panics unless `x ∈ [0, 1]` and `target ∈ (0, 1]`.
+    #[inline]
     pub fn score(self, x: f64, target: f64) -> f64 {
         assert!(
             (0.0..=1.0).contains(&x),

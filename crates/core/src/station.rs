@@ -15,6 +15,7 @@
 
 use basecache_cache::CacheStore;
 use basecache_net::{Catalog, InvalidationReport, ObjectId, RemoteServer};
+use basecache_obs::{Event, NullRecorder, Recorder, Sample, Snapshot, Span, Stage};
 use basecache_sim::metrics::Welford;
 use basecache_sim::SimTime;
 use basecache_workload::GeneratedRequest;
@@ -139,6 +140,7 @@ pub struct BaseStationSim {
     estimation: Estimation,
     tick: u64,
     stats: StationStats,
+    recorder: Box<dyn Recorder>,
     // Hot-path buffers, reused across ticks so a steady-state on-demand
     // step allocates nothing (see `tests/alloc_free.rs`).
     scratch: PlannerScratch,
@@ -150,7 +152,31 @@ impl BaseStationSim {
     /// Build a station over `catalog` with the given policy. The cache
     /// starts empty ("we started with an empty cache"); the server starts
     /// with every object at version 0.
+    #[deprecated(
+        note = "use `basecache_core::builder::StationBuilder`, which validates the \
+                configuration and can wire in an observability recorder"
+    )]
     pub fn new(catalog: Catalog, policy: Policy) -> Self {
+        Self::assemble(
+            catalog,
+            policy,
+            Estimation::Oracle,
+            DecayModel::default(),
+            ScoringFunction::InverseRatio,
+            Box::new(NullRecorder),
+        )
+    }
+
+    /// The one true constructor, fed by [`crate::builder::StationBuilder`]
+    /// (and the deprecated [`BaseStationSim::new`] shim).
+    pub(crate) fn assemble(
+        catalog: Catalog,
+        policy: Policy,
+        estimation: Estimation,
+        decay: DecayModel,
+        scoring: ScoringFunction,
+        recorder: Box<dyn Recorder>,
+    ) -> Self {
         let server = RemoteServer::new(&catalog);
         let refresher = AsyncRefresher::new(&catalog);
         Self {
@@ -159,11 +185,12 @@ impl BaseStationSim {
             cache: CacheStore::unbounded(),
             policy,
             refresher,
-            decay: DecayModel::default(),
-            scoring: ScoringFunction::InverseRatio,
-            estimation: Estimation::Oracle,
+            decay,
+            scoring,
+            estimation,
             tick: 0,
             stats: StationStats::default(),
+            recorder,
             scratch: PlannerScratch::new(),
             recency_buf: Vec::new(),
             downloaded: Vec::new(),
@@ -213,6 +240,18 @@ impl BaseStationSim {
     /// Accumulated stats.
     pub fn stats(&self) -> &StationStats {
         &self.stats
+    }
+
+    /// The installed observability recorder.
+    pub fn recorder(&self) -> &dyn Recorder {
+        &*self.recorder
+    }
+
+    /// Materialize everything the installed recorder observed (empty
+    /// under the default [`NullRecorder`]). Allocates; call at report
+    /// time.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        self.recorder.snapshot()
     }
 
     /// Forget accumulated stats (end of warm-up: the paper warms the
@@ -284,6 +323,7 @@ impl BaseStationSim {
     pub fn deliver_report(&mut self, report: &InvalidationReport) {
         if let Estimation::Estimator(est) = &mut self.estimation {
             est.ingest_report(report);
+            self.recorder.incr(Event::ReportsIngested);
         }
     }
 
@@ -295,22 +335,32 @@ impl BaseStationSim {
     /// across ticks.
     pub fn step(&mut self, requests: &[GeneratedRequest]) -> StepOutcome {
         let policy = self.policy;
+        let recorder: &dyn Recorder = &*self.recorder;
+        let _step_span = Span::enter(recorder, Stage::Step);
+        recorder.incr(Event::Rounds);
+        recorder.sample(Sample::BatchSize, requests.len() as f64);
+
         let mut recency = std::mem::take(&mut self.recency_buf);
-        self.fill_estimated_recency(&mut recency);
+        {
+            let _recency_span = Span::enter(recorder, Stage::Recency);
+            self.fill_estimated_recency(&mut recency);
+        }
         let mut downloaded = std::mem::take(&mut self.downloaded);
         downloaded.clear();
 
+        let plan_span = Span::enter(recorder, Stage::Plan);
         match policy {
             Policy::OnDemand {
                 planner,
                 budget_units,
             } => {
-                planner.plan_requests_into(
+                planner.plan_requests_recorded(
                     requests,
                     &self.catalog,
                     &recency,
                     budget_units,
                     &mut self.scratch,
+                    recorder,
                 );
                 downloaded.extend_from_slice(self.scratch.downloads());
             }
@@ -371,7 +421,9 @@ impl BaseStationSim {
                 downloaded.extend(chosen);
             }
         }
+        drop(plan_span);
 
+        let refresh_span = Span::enter(recorder, Stage::Refresh);
         let now = SimTime::from_ticks(self.tick);
         let mut units = 0u64;
         for &id in &downloaded {
@@ -384,8 +436,12 @@ impl BaseStationSim {
             }
             units += size;
         }
+        drop(refresh_span);
+        recorder.add(Event::ObjectsDownloaded, downloaded.len() as u64);
+        recorder.add(Event::UnitsDownloaded, units);
 
         // Serve every request from the (possibly just refreshed) cache.
+        let serve_span = Span::enter(recorder, Stage::Serve);
         let mut recency_acc = Welford::new();
         let mut score_acc = Welford::new();
         for r in requests {
@@ -401,6 +457,8 @@ impl BaseStationSim {
             self.stats.recency.push(x);
             self.stats.score.push(score);
         }
+        drop(serve_span);
+        recorder.add(Event::RequestsServed, requests.len() as u64);
 
         self.stats.units_downloaded += units;
         self.stats.objects_downloaded += downloaded.len() as u64;
@@ -414,6 +472,8 @@ impl BaseStationSim {
             average_score: score_acc.mean().unwrap_or(1.0),
             served: requests.len(),
         };
+        recorder.sample(Sample::AverageRecency, outcome.average_recency);
+        recorder.sample(Sample::AverageScore, outcome.average_score);
         self.downloaded = downloaded;
         self.recency_buf = recency;
         self.tick += 1;
@@ -433,8 +493,15 @@ mod tests {
         }
     }
 
+    fn station(catalog: Catalog, policy: Policy) -> BaseStationSim {
+        crate::builder::StationBuilder::new(catalog)
+            .policy(policy)
+            .build()
+            .expect("test configurations are valid")
+    }
+
     fn on_demand_station(n: usize, budget: u64) -> BaseStationSim {
-        BaseStationSim::new(
+        station(
             Catalog::uniform_unit(n),
             Policy::OnDemand {
                 planner: OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp),
@@ -502,7 +569,7 @@ mod tests {
 
     #[test]
     fn async_policy_ignores_requests() {
-        let mut s = BaseStationSim::new(
+        let mut s = station(
             Catalog::uniform_unit(6),
             Policy::AsyncRoundRobin { k_objects: 2 },
         );
@@ -523,7 +590,7 @@ mod tests {
 
     #[test]
     fn lowest_recency_policy_picks_stalest_requested() {
-        let mut s = BaseStationSim::new(
+        let mut s = station(
             Catalog::uniform_unit(4),
             Policy::OnDemandLowestRecency { k_objects: 1 },
         );
@@ -555,7 +622,7 @@ mod tests {
     fn adaptive_budget_downloads_high_gain_objects_only() {
         let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
         // Sizes: one cheap object, one expensive one.
-        let mut s = BaseStationSim::new(
+        let mut s = station(
             Catalog::from_sizes(&[1, 30]),
             Policy::OnDemandAdaptive {
                 planner,
@@ -583,7 +650,7 @@ mod tests {
     #[test]
     fn adaptive_with_zero_threshold_downloads_everything_stale() {
         let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
-        let mut s = BaseStationSim::new(
+        let mut s = station(
             Catalog::from_sizes(&[1, 30]),
             Policy::OnDemandAdaptive {
                 planner,
@@ -603,7 +670,7 @@ mod tests {
     #[test]
     fn hybrid_spends_leftover_budget_on_background_refresh() {
         let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
-        let mut s = BaseStationSim::new(
+        let mut s = station(
             Catalog::uniform_unit(6),
             Policy::Hybrid {
                 planner,
@@ -630,14 +697,14 @@ mod tests {
     #[test]
     fn hybrid_with_no_leftover_reduces_to_on_demand() {
         let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
-        let mut hybrid = BaseStationSim::new(
+        let mut hybrid = station(
             Catalog::uniform_unit(8),
             Policy::Hybrid {
                 planner,
                 budget_units: 3,
             },
         );
-        let mut pure = BaseStationSim::new(
+        let mut pure = station(
             Catalog::uniform_unit(8),
             Policy::OnDemand {
                 planner,
@@ -661,7 +728,7 @@ mod tests {
         // planner downloads nothing — and the *measured* score honestly
         // reports the resulting staleness.
         let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
-        let mut s = BaseStationSim::new(
+        let mut s = station(
             Catalog::uniform_unit(4),
             Policy::OnDemand {
                 planner,
@@ -691,7 +758,7 @@ mod tests {
         let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
         let catalog = Catalog::uniform_unit(4);
         let mut log = ReportLog::new(&catalog);
-        let mut s = BaseStationSim::new(
+        let mut s = station(
             catalog,
             Policy::OnDemand {
                 planner,

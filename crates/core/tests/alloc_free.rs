@@ -2,8 +2,11 @@
 //!
 //! A counting `#[global_allocator]` wraps the system allocator; after a
 //! short warm-up (buffers grown, every requested object cached once)
-//! each [`BaseStationSim::step`] under [`Policy::OnDemand`] with the
-//! exact DP must perform **zero** allocations, even across update waves.
+//! each `BaseStationSim::step` under the on-demand policy with the
+//! exact DP must perform **zero** allocations, even across update waves
+//! — and with the default [`basecache_obs::NullRecorder`] wired through
+//! the whole request path, the observability layer must not change
+//! that.
 //!
 //! This file deliberately contains a single test: the allocator is
 //! process-global, and other concurrently running tests would perturb
@@ -14,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use basecache_core::planner::{OnDemandPlanner, SolverChoice};
 use basecache_core::recency::ScoringFunction;
-use basecache_core::station::{BaseStationSim, Policy};
+use basecache_core::StationBuilder;
 use basecache_net::{Catalog, ObjectId};
 use basecache_sim::RngStreams;
 use basecache_workload::GeneratedRequest;
@@ -62,13 +65,16 @@ fn on_demand_steady_state_steps_do_not_allocate() {
         })
         .collect();
 
-    let mut station = BaseStationSim::new(
-        catalog,
-        Policy::OnDemand {
-            planner: OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp),
-            budget_units: 5000,
-        },
-    );
+    // The builder wires the (no-op) recorder through the whole request
+    // path; the assertions below therefore also prove the observability
+    // layer is free when disabled.
+    let mut station = StationBuilder::new(catalog)
+        .on_demand(
+            OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp),
+            5000,
+        )
+        .build()
+        .expect("valid configuration");
 
     // Warm up: grow every buffer to its steady-state size — the first
     // round downloads (and caches) everything requested, and the wave
@@ -98,4 +104,40 @@ fn on_demand_steady_state_steps_do_not_allocate() {
         assert_eq!(outcome.served, 5000);
         assert!(outcome.objects_downloaded > 0, "wave forces redownloads");
     }
+
+    // Even with a live StatsRecorder the steady state stays off the
+    // heap: counters are `Cell`s and the distributions are fixed-size
+    // streaming estimators — only `snapshot()` allocates.
+    let mut observed = StationBuilder::new(Catalog::from_sizes(&sizes))
+        .on_demand(
+            OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp),
+            5000,
+        )
+        .recorder(Box::new(basecache_obs::StatsRecorder::new()))
+        .build()
+        .expect("valid configuration");
+    for _ in 0..3 {
+        observed.step(&requests);
+    }
+    observed.apply_update_wave();
+    for _ in 0..3 {
+        observed.step(&requests);
+    }
+    for round in 0..10 {
+        observed.apply_update_wave();
+        let before = allocation_count();
+        observed.step(&requests);
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "round {round}: instrumented step() allocated {} time(s)",
+            after - before
+        );
+    }
+    let snapshot = observed.obs_snapshot();
+    assert!(
+        !snapshot.is_empty(),
+        "the recorder saw the instrumented rounds"
+    );
 }

@@ -1,0 +1,45 @@
+//! The deprecated two-argument constructor keeps working for downstream
+//! code that has not migrated to [`StationBuilder`] yet. This is the one
+//! place in the repository allowed to call it (enforced by
+//! `scripts/check.sh`); everything else goes through the builder.
+#![allow(deprecated)]
+
+use basecache_core::planner::OnDemandPlanner;
+use basecache_core::station::{BaseStationSim, Policy};
+use basecache_core::StationBuilder;
+use basecache_net::{Catalog, ObjectId};
+use basecache_workload::GeneratedRequest;
+
+#[test]
+fn deprecated_constructor_matches_the_builder_step_for_step() {
+    let requests: Vec<GeneratedRequest> = (0..12)
+        .map(|i| GeneratedRequest {
+            object: ObjectId(i % 5),
+            target_recency: 1.0,
+        })
+        .collect();
+
+    let mut legacy = BaseStationSim::new(
+        Catalog::uniform_unit(5),
+        Policy::OnDemand {
+            planner: OnDemandPlanner::paper_default(),
+            budget_units: 3,
+        },
+    );
+    let mut built = StationBuilder::new(Catalog::uniform_unit(5))
+        .on_demand(OnDemandPlanner::paper_default(), 3)
+        .build()
+        .unwrap();
+
+    for t in 0..10u64 {
+        if t % 3 == 0 {
+            legacy.apply_update_wave();
+            built.apply_update_wave();
+        }
+        assert_eq!(legacy.step(&requests), built.step(&requests), "tick {t}");
+    }
+    assert_eq!(
+        legacy.stats().units_downloaded,
+        built.stats().units_downloaded
+    );
+}

@@ -1,0 +1,77 @@
+//! Observation must never perturb the simulation: a station running
+//! with a live [`StatsRecorder`] has to produce bit-identical plans,
+//! downloads and scores to an uninstrumented station driven by the same
+//! demand. The recorder only *reads* the request path — any divergence
+//! here means instrumentation leaked into the physics.
+
+use basecache_core::planner::{OnDemandPlanner, SolverChoice};
+use basecache_core::recency::ScoringFunction;
+use basecache_core::StationBuilder;
+use basecache_net::{Catalog, ObjectId};
+use basecache_obs::StatsRecorder;
+use basecache_sim::RngStreams;
+use basecache_workload::GeneratedRequest;
+
+fn planner() -> OnDemandPlanner {
+    OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp)
+}
+
+#[test]
+fn instrumented_runs_are_bit_identical_to_uninstrumented_ones() {
+    let num_objects = 80u32;
+    let mut rng = RngStreams::new(0x0B5).stream("obs/parity");
+    let sizes: Vec<u64> = (0..num_objects)
+        .map(|_| rng.random_range(1u64..=6))
+        .collect();
+
+    let mut plain = StationBuilder::new(Catalog::from_sizes(&sizes))
+        .on_demand(planner(), 40)
+        .build()
+        .unwrap();
+    let mut observed = StationBuilder::new(Catalog::from_sizes(&sizes))
+        .on_demand(planner(), 40)
+        .recorder(Box::new(StatsRecorder::new()))
+        .build()
+        .unwrap();
+
+    for t in 0..40u64 {
+        if t % 4 == 0 {
+            plain.apply_update_wave();
+            observed.apply_update_wave();
+        }
+        let requests: Vec<GeneratedRequest> = (0..60)
+            .map(|_| GeneratedRequest {
+                object: ObjectId(rng.random_range(0..num_objects)),
+                target_recency: rng.random_range(0.1f64..=1.0),
+            })
+            .collect();
+        let a = plain.step(&requests);
+        let b = observed.step(&requests);
+        assert_eq!(a, b, "tick {t}: outcomes diverged under observation");
+        assert_eq!(
+            plain.last_downloaded(),
+            observed.last_downloaded(),
+            "tick {t}: download plans diverged under observation"
+        );
+    }
+
+    // Aggregate statistics agree to the last bit.
+    assert_eq!(
+        plain.stats().units_downloaded,
+        observed.stats().units_downloaded
+    );
+    assert_eq!(
+        plain.stats().score.mean().map(f64::to_bits),
+        observed.stats().score.mean().map(f64::to_bits)
+    );
+
+    // And the recorder actually saw the run.
+    let snapshot = observed.obs_snapshot();
+    assert_eq!(snapshot.counter("rounds"), Some(40));
+    assert!(snapshot.span("step").is_some());
+    assert!(snapshot.span("solve").is_some());
+    assert!(
+        plain.obs_snapshot().is_empty(),
+        "NullRecorder records nothing"
+    );
+}

@@ -11,7 +11,7 @@
 use basecache_core::estimator::{ReportEstimator, TtlEstimator};
 use basecache_core::planner::OnDemandPlanner;
 use basecache_core::recency::DecayModel;
-use basecache_core::{BaseStationSim, Estimation, Policy};
+use basecache_core::StationBuilder;
 use basecache_net::{Catalog, ReportLog};
 use basecache_sim::{RngStreams, SimTime};
 use basecache_workload::Popularity;
@@ -92,25 +92,19 @@ fn run_variant(params: &Params, budget: u64, variant: Variant) -> f64 {
     let trace = record_trace(&config);
     let catalog = Catalog::uniform_unit(params.objects);
     let planner = OnDemandPlanner::paper_default();
-    let estimation = match variant {
-        Variant::Oracle => Estimation::Oracle,
-        Variant::Reports => Estimation::Estimator(Box::new(ReportEstimator::new(
+    let builder = StationBuilder::new(catalog.clone()).on_demand(planner, budget);
+    let builder = match variant {
+        Variant::Oracle => builder.oracle(),
+        Variant::Reports => builder.estimator(Box::new(ReportEstimator::new(
             params.objects,
             DecayModel::default(),
         ))),
-        Variant::Ttl => Estimation::Estimator(Box::new(TtlEstimator::new(
+        Variant::Ttl => builder.estimator(Box::new(TtlEstimator::new(
             params.ttl_assumed_period,
             DecayModel::default(),
         ))),
     };
-    let mut station = BaseStationSim::new(
-        catalog.clone(),
-        Policy::OnDemand {
-            planner,
-            budget_units: budget,
-        },
-    )
-    .with_estimation(estimation);
+    let mut station = builder.build().expect("estimator experiment is valid");
     let mut log = ReportLog::new(&catalog);
     let mut loss_rng = RngStreams::new(params.seed).stream("est/report-loss");
 

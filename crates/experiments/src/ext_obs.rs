@@ -1,0 +1,138 @@
+//! Extension experiment — observability profile of a representative run.
+//!
+//! Drives the paper's on-demand DP policy with a live
+//! [`StatsRecorder`] and reports where the round actually goes:
+//! per-stage wall-clock (recency fill, planning, the DP solve, cache
+//! refresh, serving), knapsack shape (items, capacity, DP cells
+//! touched) and delivered-quality distributions. The companion parity
+//! and allocation tests in `basecache-core` prove the instrumentation
+//! itself is free; this module is the read-out side.
+
+use basecache_core::planner::OnDemandPlanner;
+use basecache_core::Policy;
+use basecache_obs::{Snapshot, StatsRecorder};
+use basecache_workload::Popularity;
+
+use crate::runner::{record_trace, run_policy_observed, RunConfig, RunResult};
+
+/// Parameters of the profiled run.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// The run to profile.
+    pub config: RunConfig,
+    /// Per-tick download budget (data units).
+    pub budget: u64,
+}
+
+impl Params {
+    /// Full-fidelity setup: the Figure 3 scale.
+    pub fn paper() -> Self {
+        Self {
+            config: RunConfig {
+                objects: 500,
+                requests_per_tick: 100,
+                update_period: 5,
+                warmup_ticks: 50,
+                measure_ticks: 200,
+                popularity: Popularity::ZIPF1,
+                seed: 77,
+            },
+            budget: 20,
+        }
+    }
+
+    /// CI-sized setup.
+    pub fn quick() -> Self {
+        let mut p = Self::paper();
+        p.config.objects = 100;
+        p.config.requests_per_tick = 25;
+        p.config.warmup_ticks = 10;
+        p.config.measure_ticks = 60;
+        Self { budget: 10, ..p }
+    }
+}
+
+/// Run the profiled simulation, returning the run's headline statistics
+/// and everything the recorder observed.
+pub fn run(params: &Params) -> (RunResult, Snapshot) {
+    let trace = record_trace(&params.config);
+    run_policy_observed(
+        &params.config,
+        Policy::OnDemand {
+            planner: OnDemandPlanner::paper_default(),
+            budget_units: params.budget,
+        },
+        &trace,
+        Box::new(StatsRecorder::new()),
+    )
+}
+
+/// Render the snapshot as an aligned text report.
+pub fn to_table(result: &RunResult, snapshot: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== Observability profile (on-demand DP) ==");
+    let _ = writeln!(
+        out,
+        "   mean score {:.4}, {} units downloaded, {} requests served",
+        result.mean_score.unwrap_or(f64::NAN),
+        result.units_downloaded,
+        result.requests_served
+    );
+    let _ = writeln!(out, "counters:");
+    for c in &snapshot.counters {
+        let _ = writeln!(out, "  {:<24}{:>14}", c.name, c.value);
+    }
+    let _ = writeln!(out, "samples:");
+    let _ = writeln!(
+        out,
+        "  {:<24}{:>10}{:>12}{:>12}{:>12}",
+        "name", "count", "mean", "p95", "max"
+    );
+    for s in &snapshot.samples {
+        let _ = writeln!(
+            out,
+            "  {:<24}{:>10}{:>12.3}{:>12.3}{:>12.3}",
+            s.name, s.count, s.mean, s.p95, s.max
+        );
+    }
+    let _ = writeln!(out, "spans (wall clock):");
+    let _ = writeln!(
+        out,
+        "  {:<24}{:>10}{:>12}{:>12}",
+        "stage", "count", "mean_us", "p95_us"
+    );
+    for s in &snapshot.spans {
+        let _ = writeln!(
+            out,
+            "  {:<24}{:>10}{:>12.2}{:>12.2}",
+            s.name,
+            s.count,
+            s.mean_ns / 1_000.0,
+            s.p95_ns / 1_000.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_covers_the_whole_request_path() {
+        let mut p = Params::quick();
+        p.config.warmup_ticks = 2;
+        p.config.measure_ticks = 10;
+        let (result, snapshot) = run(&p);
+        assert!(result.requests_served > 0);
+        assert_eq!(snapshot.counter("rounds"), Some(12));
+        assert!(snapshot.counter("dp_cells_touched").unwrap_or(0) > 0);
+        for stage in ["step", "recency", "plan", "solve", "refresh", "serve"] {
+            assert!(snapshot.span(stage).is_some(), "missing span {stage}");
+        }
+        let table = to_table(&result, &snapshot);
+        assert!(table.contains("dp_cells_touched"));
+        assert!(table.contains("solve"));
+    }
+}

@@ -11,7 +11,7 @@
 //! whose recency actually fell.
 
 use basecache_core::planner::OnDemandPlanner;
-use basecache_core::{BaseStationSim, Policy};
+use basecache_core::{Policy, StationBuilder};
 use basecache_net::{Catalog, ObjectId, UpdateProcess};
 use basecache_sim::{RngStreams, Scheduler, SimTime};
 use basecache_workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
@@ -82,7 +82,10 @@ impl Params {
 
 fn run_policy_under_poisson(params: &Params, policy: Policy, trace: &RequestTrace) -> f64 {
     let catalog = Catalog::uniform_unit(params.objects);
-    let mut station = BaseStationSim::new(catalog, policy);
+    let mut station = StationBuilder::new(catalog)
+        .policy(policy)
+        .build()
+        .expect("poisson experiment policies are valid");
     let streams = RngStreams::new(params.seed);
 
     // Schedule each object's Poisson update stream.

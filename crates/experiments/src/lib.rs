@@ -30,6 +30,7 @@ pub mod ext_estimators;
 pub mod ext_hybrid;
 pub mod ext_latency;
 pub mod ext_multicell;
+pub mod ext_obs;
 pub mod ext_poisson;
 pub mod fig2;
 pub mod fig3;

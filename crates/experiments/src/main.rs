@@ -9,7 +9,7 @@ use std::process::ExitCode;
 
 use basecache_experiments::{
     ext_adaptive, ext_bounded_cache, ext_broadcast, ext_estimators, ext_hybrid, ext_latency,
-    ext_multicell, ext_poisson, fig2, fig3, fig4, fig5, fig6, report::Figure, table1,
+    ext_multicell, ext_obs, ext_poisson, fig2, fig3, fig4, fig5, fig6, report::Figure, table1,
 };
 use basecache_workload::Correlation;
 
@@ -52,7 +52,7 @@ fn parse_args() -> Result<Options, String> {
 fn usage() -> String {
     "usage: experiments [all|fig2|fig3|fig4|fig5a|fig5b|fig6a|fig6b|table1|\
      ext-adaptive|ext-hybrid|ext-estimators|ext-latency|ext-poisson|ext-multicell|\
-     ext-broadcast|ext-bounded-cache]... [--quick] [--csv DIR]"
+     ext-broadcast|ext-bounded-cache|ext-obs]... [--quick] [--csv DIR]"
         .to_string()
 }
 
@@ -232,6 +232,32 @@ fn main() -> ExitCode {
             ext_bounded_cache::Params::paper()
         };
         emit(&ext_bounded_cache::run(&p), &opts, "ext_bounded_cache.csv");
+    }
+
+    // Deliberately excluded from `all`: the profile's span timings are
+    // wall-clock, so its output can never be byte-identical across runs
+    // the way every other target's CSV is.
+    if opts.targets.iter().any(|t| t == "ext-obs") {
+        matched = true;
+        let p = if opts.quick {
+            ext_obs::Params::quick()
+        } else {
+            ext_obs::Params::paper()
+        };
+        let (result, snapshot) = ext_obs::run(&p);
+        print!("{}", ext_obs::to_table(&result, &snapshot));
+        println!();
+        if let Some(dir) = &opts.csv_dir {
+            match basecache_obs::export::write_csv(&snapshot, &dir.join("ext_obs.csv")).and_then(
+                |()| basecache_obs::export::write_json(&snapshot, &dir.join("ext_obs.json")),
+            ) {
+                Ok(()) => println!(
+                    "  (obs profile written to {}/ext_obs.{{csv,json}})",
+                    dir.display()
+                ),
+                Err(e) => eprintln!("  obs export failed: {e}"),
+            }
+        }
     }
 
     if !matched {

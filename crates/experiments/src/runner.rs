@@ -1,8 +1,9 @@
 //! Shared simulation drivers: warm-up/measure phases, periodic update
 //! waves, paired traces, and a std-threads parallel sweep.
 
-use basecache_core::{BaseStationSim, Policy};
+use basecache_core::{Policy, StationBuilder};
 use basecache_net::Catalog;
+use basecache_obs::{NullRecorder, Recorder, Snapshot};
 use basecache_sim::RngStreams;
 use basecache_workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
 
@@ -62,7 +63,23 @@ pub fn record_trace(config: &RunConfig) -> RequestTrace {
 /// Drive one policy over a recorded trace under the config's update
 /// schedule, returning measured-phase statistics.
 pub fn run_policy(config: &RunConfig, policy: Policy, trace: &RequestTrace) -> RunResult {
-    let mut station = BaseStationSim::new(Catalog::uniform_unit(config.objects), policy);
+    run_policy_observed(config, policy, trace, Box::new(NullRecorder)).0
+}
+
+/// Like [`run_policy`], but with an observability recorder wired into the
+/// station; also returns the recorder's snapshot (per-stage timings,
+/// counters and distributions — covering warm-up as well as measurement).
+pub fn run_policy_observed(
+    config: &RunConfig,
+    policy: Policy,
+    trace: &RequestTrace,
+    recorder: Box<dyn Recorder>,
+) -> (RunResult, Snapshot) {
+    let mut station = StationBuilder::new(Catalog::uniform_unit(config.objects))
+        .policy(policy)
+        .recorder(recorder)
+        .build()
+        .expect("runner policies are valid configurations");
     let total = config.warmup_ticks + config.measure_ticks;
     for t in 0..total {
         if config.update_period > 0 && t % config.update_period == 0 {
@@ -74,14 +91,16 @@ pub fn run_policy(config: &RunConfig, policy: Policy, trace: &RequestTrace) -> R
         let batch = trace.batch(t as usize).expect("trace covers the whole run");
         station.step(batch);
     }
+    let snapshot = station.obs_snapshot();
     let stats = station.stats();
-    RunResult {
+    let result = RunResult {
         units_downloaded: stats.units_downloaded,
         objects_downloaded: stats.objects_downloaded,
         mean_recency: stats.recency.mean(),
         mean_score: stats.score.mean(),
         requests_served: stats.requests_served,
-    }
+    };
+    (result, snapshot)
 }
 
 /// Map `inputs` to outputs in parallel worker threads (order-preserving).

@@ -75,6 +75,7 @@ pub struct DpScratch {
     n: usize,
     requested: u64,
     effective: u64,
+    cells_touched: u64,
     mode: Mode,
 }
 
@@ -101,6 +102,7 @@ impl DpScratch {
             n: 0,
             requested: 0,
             effective: 0,
+            cells_touched: 0,
             mode: Mode::Empty,
         }
     }
@@ -131,6 +133,14 @@ impl DpScratch {
     /// `min(requested, total item size)`.
     pub fn effective_capacity(&self) -> u64 {
         self.effective
+    }
+
+    /// DP table cells swept by the last solve — the work actually done
+    /// after the prefix/suffix bounds pruned the table. Computed
+    /// analytically from each row's sweep bounds (one addition per row),
+    /// so reading it costs the hot path nothing.
+    pub fn cells_touched(&self) -> u64 {
+        self.cells_touched
     }
 
     /// Optimal profit at the solved capacity.
@@ -234,6 +244,7 @@ impl DpScratch {
         self.n = n;
         self.requested = requested;
         self.effective = effective;
+        self.cells_touched = 0;
         self.values.clear();
         self.values.resize(eff + 1, 0.0);
         if with_keep {
@@ -319,6 +330,7 @@ impl DpByCapacity {
                     row[c / 64] |= 1 << (c % 64);
                 }
             }
+            scratch.cells_touched += (w_new - size + 1) as u64;
             flat += profit;
             scratch.kind.push(RowKind::Mixed);
             scratch.flat_from.push(if degenerate {
@@ -413,6 +425,7 @@ impl DpByCapacity {
                         row[c / 64] |= 1 << (c % 64);
                     }
                 }
+                scratch.cells_touched += (w_new - sweep_lo + 1) as u64;
             }
             flat += profit;
             scratch.kind.push(RowKind::Mixed);
@@ -516,6 +529,7 @@ impl DpByCapacity {
                         scratch.values[c] = candidate;
                     }
                 }
+                scratch.cells_touched += (w_new - size + 1) as u64;
                 flat += profit;
                 w_prev = w_new;
             }
@@ -620,6 +634,24 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "cap={cap} c={c}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn cells_touched_reflects_pruned_work() {
+        let inst = classic();
+        let mut scratch = DpScratch::new();
+        DpByCapacity.solve_trace_into(inst.items(), 23, &mut scratch);
+        let trace_cells = scratch.cells_touched();
+        assert!(trace_cells > 0);
+        // The single-capacity path adds suffix bounds, so it can only do
+        // less sweeping than the trace at the same capacity.
+        DpByCapacity.solve_into(inst.items(), 23, &mut scratch);
+        let single_cells = scratch.cells_touched();
+        assert!(single_cells > 0);
+        assert!(single_cells <= trace_cells);
+        // An empty instance touches nothing and resets the counter.
+        DpByCapacity.solve_into(&[], 23, &mut scratch);
+        assert_eq!(scratch.cells_touched(), 0);
     }
 
     #[test]

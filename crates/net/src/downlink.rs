@@ -10,6 +10,7 @@
 //! while the base station was waiting on the fixed network — which the
 //! extended experiments report alongside recency.
 
+use basecache_obs::{Event, Recorder, Sample};
 use basecache_sim::{SimDuration, SimTime};
 
 use crate::link::{Link, TransferTiming};
@@ -101,6 +102,20 @@ impl Downlink {
     pub fn link(&self) -> &Link {
         &self.link
     }
+
+    /// Report this downlink's cumulative activity to `recorder`: total
+    /// deliveries and delivered units as counters, plus the utilization
+    /// gauge over `[0, now]`. Call at report boundaries (end of a run or
+    /// of a measurement window), not per delivery — the counters are
+    /// cumulative, so per-round calls would double-count.
+    pub fn observe(&self, now: SimTime, recorder: &dyn Recorder) {
+        if !recorder.enabled() {
+            return;
+        }
+        recorder.add(Event::Deliveries, self.deliveries);
+        recorder.add(Event::DeliveredUnits, self.delivered_units);
+        recorder.sample(Sample::DownlinkUtilization, self.utilization(now));
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +161,21 @@ mod tests {
         let mut d = Downlink::new(1, SimDuration::ZERO);
         d.deliver(t(0), ClientId(0), ObjectId(0), 5);
         assert!((d.utilization(t(10)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_reports_cumulative_activity() {
+        let mut d = Downlink::new(1, SimDuration::ZERO);
+        d.deliver(t(0), ClientId(0), ObjectId(0), 3);
+        d.deliver(t(3), ClientId(1), ObjectId(1), 2);
+        let rec = basecache_obs::StatsRecorder::new();
+        d.observe(t(10), &rec);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("deliveries"), Some(2));
+        assert_eq!(snap.counter("delivered_units"), Some(5));
+        let util = snap.sample("downlink_utilization").unwrap();
+        assert!((util.mean - 0.5).abs() < 1e-12);
+        // A disabled recorder costs nothing and records nothing.
+        d.observe(t(10), &basecache_obs::NullRecorder);
     }
 }

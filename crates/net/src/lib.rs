@@ -58,4 +58,4 @@ pub use invalidation::{InvalidationReport, ReportLog};
 pub use link::{Link, SharedLink, TransferTiming};
 pub use object::{Catalog, ObjectId, ObjectSpec, Version};
 pub use server::{RemoteServer, UpdateProcess};
-pub use topology::{BaseStationId, CellId, ClientId, MobileClient, Topology};
+pub use topology::{BaseStationId, CellId, ClientId, MobileClient, Topology, TopologyError};

@@ -5,6 +5,7 @@
 //! matters for the analyses is *when objects update*, which is what
 //! [`UpdateProcess`] models.
 
+use basecache_obs::{Recorder, Sample};
 use basecache_sim::{SimDuration, SimTime, StreamRng};
 
 use crate::object::{Catalog, ObjectId, Version};
@@ -145,6 +146,29 @@ impl RemoteServer {
     pub fn total_updates(&self) -> u64 {
         self.update_count
     }
+
+    /// Report the mean version lag of a set of cached copies against this
+    /// server's authoritative versions as a [`Sample::StalenessLag`]
+    /// observation. `cached` yields `(object, cached_version)` pairs (e.g.
+    /// a cache's current contents); copies at or ahead of the server count
+    /// as zero lag. No observation is recorded for an empty set.
+    pub fn observe_staleness<I>(&self, cached: I, recorder: &dyn Recorder)
+    where
+        I: IntoIterator<Item = (ObjectId, Version)>,
+    {
+        if !recorder.enabled() {
+            return;
+        }
+        let mut lag_sum = 0u64;
+        let mut n = 0u64;
+        for (object, version) in cached {
+            lag_sum += version.lag(self.version_of(object));
+            n += 1;
+        }
+        if n > 0 {
+            recorder.sample(Sample::StalenessLag, lag_sum as f64 / n as f64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +262,29 @@ mod tests {
         assert!(s.is_stale(ObjectId(2), Version(0)));
         assert!(!s.is_stale(ObjectId(2), Version(1)));
         assert_eq!(s.total_updates(), 1);
+    }
+
+    #[test]
+    fn observe_staleness_averages_version_lag() {
+        let catalog = Catalog::uniform_unit(3);
+        let mut s = RemoteServer::new(&catalog);
+        s.apply_simultaneous_update(SimTime::from_ticks(5));
+        s.apply_simultaneous_update(SimTime::from_ticks(10));
+        // Cached copies at versions 0, 1 and 2 → lags 2, 1, 0 → mean 1.
+        let cached = [
+            (ObjectId(0), Version(0)),
+            (ObjectId(1), Version(1)),
+            (ObjectId(2), Version(2)),
+        ];
+        let rec = basecache_obs::StatsRecorder::new();
+        s.observe_staleness(cached, &rec);
+        let snap = rec.snapshot();
+        let lag = snap.sample("staleness_lag").unwrap();
+        assert!((lag.mean - 1.0).abs() < 1e-12);
+        // Empty set: no observation.
+        let rec2 = basecache_obs::StatsRecorder::new();
+        s.observe_staleness(std::iter::empty(), &rec2);
+        assert!(rec2.snapshot().is_empty());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Snapshot exporters: hand-rolled JSON and CSV (the workspace has no
+//! serialization dependency), consumed by `basecache-experiments`'
+//! reports and the bench harness.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::snapshot::Snapshot;
+
+/// Render a snapshot as pretty-printed JSON with `counters`, `samples`
+/// and `spans` sections.
+pub fn to_json(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"counters\": {");
+    for (i, c) in snapshot.counters.iter().enumerate() {
+        let comma = if i + 1 < snapshot.counters.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(out, "\n    \"{}\": {}{comma}", c.name, c.value);
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"samples\": [");
+    for (i, s) in snapshot.samples.iter().enumerate() {
+        let comma = if i + 1 < snapshot.samples.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"count\": {}, \"mean\": {}, \"std_dev\": {}, \
+             \"min\": {}, \"max\": {}, \"p95\": {}}}{comma}",
+            s.name,
+            s.count,
+            json_f64(s.mean),
+            json_f64(s.std_dev),
+            json_f64(s.min),
+            json_f64(s.max),
+            json_f64(s.p95),
+        );
+    }
+    if !snapshot.samples.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"spans\": [");
+    for (i, s) in snapshot.spans.iter().enumerate() {
+        let comma = if i + 1 < snapshot.spans.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \
+             \"mean_ns\": {}, \"p95_ns\": {}}}{comma}",
+            s.name,
+            s.count,
+            s.total_ns,
+            json_f64(s.mean_ns),
+            json_f64(s.p95_ns),
+        );
+    }
+    if !snapshot.spans.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Render a snapshot as CSV: one row per entry, with a `kind` column
+/// distinguishing counters, samples and spans.
+///
+/// Columns: `kind,name,count,value,mean,std_dev,min,max,p95`. Counters
+/// fill `value` only; samples fill the distribution columns; spans report
+/// nanoseconds with `value` = `total_ns`.
+pub fn to_csv(snapshot: &Snapshot) -> String {
+    let mut out = String::from("kind,name,count,value,mean,std_dev,min,max,p95\n");
+    for c in &snapshot.counters {
+        let _ = writeln!(out, "counter,{},1,{},,,,,", c.name, c.value);
+    }
+    for s in &snapshot.samples {
+        let _ = writeln!(
+            out,
+            "sample,{},{},,{},{},{},{},{}",
+            s.name, s.count, s.mean, s.std_dev, s.min, s.max, s.p95
+        );
+    }
+    for s in &snapshot.spans {
+        let _ = writeln!(
+            out,
+            "span,{},{},{},{},,,,{}",
+            s.name, s.count, s.total_ns, s.mean_ns, s.p95_ns
+        );
+    }
+    out
+}
+
+/// Write [`to_json`] to `path`, creating parent directories as needed.
+pub fn write_json(snapshot: &Snapshot, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_json(snapshot))
+}
+
+/// Write [`to_csv`] to `path`, creating parent directories as needed.
+pub fn write_csv(snapshot: &Snapshot, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_csv(snapshot))
+}
+
+/// A finite `f64` rendered so it round-trips as JSON (no NaN/inf tokens).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Event, Sample, Stage};
+    use crate::recorder::Recorder;
+    use crate::stats::StatsRecorder;
+
+    fn snapshot() -> Snapshot {
+        let rec = StatsRecorder::new();
+        rec.add(Event::Rounds, 3);
+        rec.add(Event::UnitsDownloaded, 120);
+        rec.sample(Sample::BatchSize, 10.0);
+        rec.sample(Sample::BatchSize, 20.0);
+        rec.span_ns(Stage::Plan, 1_500);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let json = to_json(&snapshot());
+        assert!(json.contains("\"rounds\": 3"));
+        assert!(json.contains("\"units_downloaded\": 120"));
+        assert!(json.contains("\"name\": \"batch_size\", \"count\": 2, \"mean\": 15"));
+        assert!(json.contains("\"name\": \"plan\", \"count\": 1, \"total_ns\": 1500"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_scaffolding() {
+        let json = to_json(&Snapshot::default());
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"samples\": []"));
+        assert!(json.contains("\"spans\": []"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_entry_plus_header() {
+        let csv = to_csv(&snapshot());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,count,value,mean,std_dev,min,max,p95");
+        assert_eq!(lines.len(), 1 + 2 + 1 + 1);
+        assert!(lines.iter().any(|l| l.starts_with("counter,rounds,1,3")));
+        assert!(lines.iter().any(|l| l.starts_with("sample,batch_size,2")));
+        assert!(lines.iter().any(|l| l.starts_with("span,plan,1,1500")));
+    }
+
+    #[test]
+    fn files_round_trip() {
+        let dir = std::env::temp_dir().join("basecache_obs_export_test");
+        let json_path = dir.join("snap.json");
+        let csv_path = dir.join("snap.csv");
+        write_json(&snapshot(), &json_path).unwrap();
+        write_csv(&snapshot(), &csv_path).unwrap();
+        assert!(std::fs::read_to_string(&json_path)
+            .unwrap()
+            .contains("rounds"));
+        assert!(std::fs::read_to_string(&csv_path)
+            .unwrap()
+            .contains("batch_size"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

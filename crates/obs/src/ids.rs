@@ -1,0 +1,227 @@
+//! Fixed identifier spaces for the hot-path instrumentation.
+//!
+//! Recorders index their storage by these enums rather than by string
+//! names so that recording an event never hashes, compares or allocates:
+//! every id maps to a dense array slot via [`Stage::index`] and friends,
+//! and the human-readable names are only materialized when a snapshot is
+//! exported.
+
+/// A timed section of the request path. RAII [`crate::Span`] guards feed
+/// elapsed nanoseconds into per-stage sinks keyed by this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// One whole base-station simulation step (a full scheduling round).
+    Step,
+    /// Building the (estimated) recency vector for the planner.
+    Recency,
+    /// The download decision: request aggregation + knapsack mapping.
+    Plan,
+    /// The knapsack solve inside the planning stage.
+    Solve,
+    /// Refreshing the cache with the downloaded copies.
+    Refresh,
+    /// Serving the round's client requests from the cache.
+    Serve,
+    /// Fetch handling on the fixed network (latency-aware pipeline).
+    Fetch,
+}
+
+impl Stage {
+    /// Every stage, in export order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Step,
+        Stage::Recency,
+        Stage::Plan,
+        Stage::Solve,
+        Stage::Refresh,
+        Stage::Serve,
+        Stage::Fetch,
+    ];
+
+    /// Number of stages (dense array size for recorder storage).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense storage index of this stage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable, export-facing name (`snake_case`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Step => "step",
+            Stage::Recency => "recency",
+            Stage::Plan => "plan",
+            Stage::Solve => "solve",
+            Stage::Refresh => "refresh",
+            Stage::Serve => "serve",
+            Stage::Fetch => "fetch",
+        }
+    }
+}
+
+/// A monotone counter: how many times something happened (or how much of
+/// something accumulated). Counters saturate instead of overflowing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Scheduling rounds simulated.
+    Rounds,
+    /// Client requests served.
+    RequestsServed,
+    /// Objects downloaded/refreshed from remote servers.
+    ObjectsDownloaded,
+    /// Data units downloaded from remote servers.
+    UnitsDownloaded,
+    /// Knapsack items handed to the solver (one per distinct stale
+    /// requested object).
+    KnapsackItems,
+    /// DP table cells touched by the bounded-sweep knapsack solver.
+    DpCellsTouched,
+    /// Invalidation reports ingested by the station's estimator.
+    ReportsIngested,
+    /// Fetches launched onto the fixed network (latency-aware pipeline).
+    FetchesIssued,
+    /// Object deliveries sent over the wireless downlink.
+    Deliveries,
+    /// Data units delivered over the wireless downlink.
+    DeliveredUnits,
+    /// Discrete events processed by a simulation scheduler.
+    SchedulerEvents,
+}
+
+impl Event {
+    /// Every counter id, in export order.
+    pub const ALL: [Event; 11] = [
+        Event::Rounds,
+        Event::RequestsServed,
+        Event::ObjectsDownloaded,
+        Event::UnitsDownloaded,
+        Event::KnapsackItems,
+        Event::DpCellsTouched,
+        Event::ReportsIngested,
+        Event::FetchesIssued,
+        Event::Deliveries,
+        Event::DeliveredUnits,
+        Event::SchedulerEvents,
+    ];
+
+    /// Number of counter ids.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense storage index of this counter.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable, export-facing name (`snake_case`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Event::Rounds => "rounds",
+            Event::RequestsServed => "requests_served",
+            Event::ObjectsDownloaded => "objects_downloaded",
+            Event::UnitsDownloaded => "units_downloaded",
+            Event::KnapsackItems => "knapsack_items",
+            Event::DpCellsTouched => "dp_cells_touched",
+            Event::ReportsIngested => "reports_ingested",
+            Event::FetchesIssued => "fetches_issued",
+            Event::Deliveries => "deliveries",
+            Event::DeliveredUnits => "delivered_units",
+            Event::SchedulerEvents => "scheduler_events",
+        }
+    }
+}
+
+/// A sampled value: each observation feeds a streaming distribution sink
+/// (Welford mean/variance + P² p95).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sample {
+    /// Requests in one scheduling round's batch.
+    BatchSize,
+    /// Knapsack value achieved by one round's plan (client benefit
+    /// recovered by downloading).
+    PlanProfit,
+    /// Average client score delivered by one round.
+    AverageScore,
+    /// Average true recency delivered by one round.
+    AverageRecency,
+    /// Capacity (budget, data units) of one round's knapsack instance.
+    KnapsackCapacity,
+    /// Downlink utilization gauge in `[0, 1]` at observation time.
+    DownlinkUtilization,
+    /// Fixed-network utilization gauge in `[0, 1]` at observation time.
+    LinkUtilization,
+    /// Ticks a client request waited for a remote fetch.
+    FetchLatencyTicks,
+    /// Mean version lag across cached copies at observation time.
+    StalenessLag,
+}
+
+impl Sample {
+    /// Every sample id, in export order.
+    pub const ALL: [Sample; 9] = [
+        Sample::BatchSize,
+        Sample::PlanProfit,
+        Sample::AverageScore,
+        Sample::AverageRecency,
+        Sample::KnapsackCapacity,
+        Sample::DownlinkUtilization,
+        Sample::LinkUtilization,
+        Sample::FetchLatencyTicks,
+        Sample::StalenessLag,
+    ];
+
+    /// Number of sample ids.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense storage index of this sample.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable, export-facing name (`snake_case`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Sample::BatchSize => "batch_size",
+            Sample::PlanProfit => "plan_profit",
+            Sample::AverageScore => "average_score",
+            Sample::AverageRecency => "average_recency",
+            Sample::KnapsackCapacity => "knapsack_capacity",
+            Sample::DownlinkUtilization => "downlink_utilization",
+            Sample::LinkUtilization => "link_utilization",
+            Sample::FetchLatencyTicks => "fetch_latency_ticks",
+            Sample::StalenessLag => "staleness_lag",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_in_order() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+        for (i, s) in Sample::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.extend(Event::ALL.iter().map(|e| e.name()));
+        names.extend(Sample::ALL.iter().map(|s| s.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate id name");
+    }
+}

@@ -1,0 +1,47 @@
+//! Zero-overhead observability for the basecache request path.
+//!
+//! The simulation layers (`basecache-core`, `basecache-net`) report what
+//! they do through the [`Recorder`] trait: monotone [`Event`] counters,
+//! sampled [`Sample`] distributions, and RAII [`Span`] timers keyed by
+//! [`Stage`]. Two implementations ship here:
+//!
+//! - [`NullRecorder`] — the default. Every method is a no-op and
+//!   `enabled()` is `false`, so spans never read the clock and the
+//!   steady-state hot path stays allocation-free and within measurement
+//!   noise of an uninstrumented build.
+//! - [`StatsRecorder`] — a live sink built on the workspace's streaming
+//!   accumulators (`Welford`, `P2Quantile`). Recording is allocation-free;
+//!   only [`Recorder::snapshot`] allocates, at report time.
+//!
+//! Snapshots export to JSON or CSV via [`export`], feeding the experiment
+//! reports and the bench harness's per-stage breakdowns.
+//!
+//! # Example
+//!
+//! ```
+//! use basecache_obs::{Event, Recorder, Sample, Stage, Span, StatsRecorder};
+//!
+//! let recorder = StatsRecorder::new();
+//! {
+//!     let _round = Span::enter(&recorder, Stage::Step);
+//!     recorder.incr(Event::Rounds);
+//!     recorder.sample(Sample::BatchSize, 12.0);
+//! }
+//! let snapshot = recorder.snapshot();
+//! assert_eq!(snapshot.counter("rounds"), Some(1));
+//! println!("{}", basecache_obs::export::to_json(&snapshot));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod ids;
+pub mod recorder;
+pub mod snapshot;
+pub mod stats;
+
+pub use ids::{Event, Sample, Stage};
+pub use recorder::{NullRecorder, Recorder, Span};
+pub use snapshot::{CounterSnapshot, SampleSnapshot, Snapshot, SpanSnapshot};
+pub use stats::StatsRecorder;

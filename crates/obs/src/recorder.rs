@@ -1,0 +1,136 @@
+//! The [`Recorder`] trait, the RAII [`Span`] timer, and the no-op
+//! [`NullRecorder`].
+//!
+//! A recorder is the single seam through which the hot path reports what
+//! it does. All methods take `&self` (implementations use interior
+//! mutability) so that a span guard borrowing the recorder never blocks
+//! further recording inside the timed section, and none of them may
+//! allocate in steady state — the allocation-free `step()` guarantee of
+//! `basecache-core` extends through instrumentation (see
+//! `crates/core/tests/alloc_free.rs`).
+
+use std::time::Instant;
+
+use crate::ids::{Event, Sample, Stage};
+use crate::snapshot::Snapshot;
+
+/// The instrumentation sink of the request path.
+///
+/// Implementations must be cheap and allocation-free on every recording
+/// method; [`Recorder::snapshot`] is the only method allowed to allocate
+/// (it is called at report time, never per round).
+pub trait Recorder: std::fmt::Debug + Send {
+    /// Whether this recorder is live. `false` lets instrumentation sites
+    /// skip timer reads entirely: [`Span::enter`] does not even call
+    /// [`Instant::now`] when the recorder is disabled.
+    fn enabled(&self) -> bool;
+
+    /// Add `n` to the monotone counter `event` (saturating).
+    fn add(&self, event: Event, n: u64);
+
+    /// Feed one observation into the distribution sink `sample`.
+    ///
+    /// Non-finite values are discarded (recording must never panic on a
+    /// degenerate measurement).
+    fn sample(&self, sample: Sample, value: f64);
+
+    /// Record an elapsed span of `ns` nanoseconds for `stage`.
+    fn span_ns(&self, stage: Stage, ns: u64);
+
+    /// Materialize everything recorded so far. Allocates; call at report
+    /// time, not per round.
+    fn snapshot(&self) -> Snapshot;
+
+    /// Increment the counter `event` by one.
+    #[inline]
+    fn incr(&self, event: Event) {
+        self.add(event, 1);
+    }
+}
+
+/// An RAII span timer: created via [`Span::enter`], records the elapsed
+/// wall-clock nanoseconds for its stage when dropped.
+///
+/// When the recorder is disabled the guard is inert — no clock read on
+/// entry or drop. The recorder type is a generic parameter (defaulting
+/// to `dyn Recorder` for the boxed-recorder call sites) so a
+/// monomorphic [`NullRecorder`] span compiles down to nothing at all —
+/// no virtual call, no branch the optimizer can't fold.
+#[derive(Debug)]
+#[must_use = "a span records its stage timing when dropped"]
+pub struct Span<'a, R: Recorder + ?Sized = dyn Recorder> {
+    recorder: &'a R,
+    stage: Stage,
+    start: Option<Instant>,
+}
+
+impl<'a, R: Recorder + ?Sized> Span<'a, R> {
+    /// Start timing `stage` against `recorder`.
+    #[inline]
+    pub fn enter(recorder: &'a R, stage: Stage) -> Self {
+        let start = recorder.enabled().then(Instant::now);
+        Self {
+            recorder,
+            stage,
+            start,
+        }
+    }
+}
+
+impl<R: Recorder + ?Sized> Drop for Span<'_, R> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recorder.span_ns(self.stage, ns);
+        }
+    }
+}
+
+/// The zero-overhead recorder: every method is a no-op, `enabled()` is
+/// `false`, and spans never read the clock. This is the default wiring of
+/// every simulation type, keeping the steady-state hot path within noise
+/// of an uninstrumented build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn add(&self, _event: Event, _n: u64) {}
+
+    #[inline]
+    fn sample(&self, _sample: Sample, _value: f64) {}
+
+    #[inline]
+    fn span_ns(&self, _stage: Stage, _ns: u64) {}
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_empty() {
+        let rec = NullRecorder;
+        assert!(!rec.enabled());
+        rec.incr(Event::Rounds);
+        rec.sample(Sample::BatchSize, 3.0);
+        rec.span_ns(Stage::Step, 100);
+        {
+            let _span = Span::enter(&rec, Stage::Plan);
+        }
+        let snap = rec.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.samples.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Materialized views of a recorder's state, produced at report time.
+
+/// A counter's exported state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Stable counter name (`snake_case`).
+    pub name: &'static str,
+    /// Accumulated (saturating) count.
+    pub value: u64,
+}
+
+/// A sampled distribution's exported summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSnapshot {
+    /// Stable sample name (`snake_case`).
+    pub name: &'static str,
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 with fewer than two observations).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Streaming P² estimate of the 95th percentile.
+    pub p95: f64,
+}
+
+/// A span stage's exported timing summary. All figures are nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Stable stage name (`snake_case`).
+    pub name: &'static str,
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Total nanoseconds across all spans (saturating).
+    pub total_ns: u64,
+    /// Mean nanoseconds per span.
+    pub mean_ns: f64,
+    /// Streaming P² estimate of the 95th-percentile span.
+    pub p95_ns: f64,
+}
+
+/// Everything a recorder observed, ready for export. Only ids that were
+/// actually touched appear; an untouched recorder snapshots to three
+/// empty lists.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counters with a non-zero value, in id order.
+    pub counters: Vec<CounterSnapshot>,
+    /// Distributions with at least one observation, in id order.
+    pub samples: Vec<SampleSnapshot>,
+    /// Stages with at least one span, in id order.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl Snapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.samples.is_empty() && self.spans.is_empty()
+    }
+
+    /// Look up a counter's value by name (`None` if never incremented).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a sample summary by name.
+    pub fn sample(&self, name: &str) -> Option<&SampleSnapshot> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a span summary by name.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+}

@@ -1,0 +1,250 @@
+//! The in-memory [`StatsRecorder`]: dense arrays of saturating counters
+//! and streaming distribution sinks (Welford + P² p95), allocation-free
+//! on every recording call.
+
+use std::cell::{Cell, RefCell};
+
+use basecache_sim::metrics::Welford;
+use basecache_sim::P2Quantile;
+
+use crate::ids::{Event, Sample, Stage};
+use crate::recorder::Recorder;
+use crate::snapshot::{CounterSnapshot, SampleSnapshot, Snapshot, SpanSnapshot};
+
+/// One sampled distribution's streaming state.
+#[derive(Debug, Clone)]
+struct Dist {
+    welford: Welford,
+    p95: P2Quantile,
+    min: f64,
+    max: f64,
+}
+
+impl Dist {
+    fn new() -> Self {
+        Self {
+            welford: Welford::new(),
+            p95: P2Quantile::new(0.95),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.welford.push(x);
+        self.p95.push(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+}
+
+/// One stage's streaming span-timing state.
+#[derive(Debug, Clone)]
+struct SpanStats {
+    count: u64,
+    total_ns: u64,
+    welford: Welford,
+    p95: P2Quantile,
+}
+
+impl SpanStats {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            total_ns: 0,
+            welford: Welford::new(),
+            p95: P2Quantile::new(0.95),
+        }
+    }
+}
+
+/// A live, single-threaded recorder: fixed-size interior-mutable storage,
+/// so recording a counter is one `Cell` add and recording a sample or
+/// span touches only pre-allocated streaming accumulators. `Send` but not
+/// `Sync` — give each station (or thread) its own.
+#[derive(Debug)]
+pub struct StatsRecorder {
+    counters: [Cell<u64>; Event::COUNT],
+    samples: RefCell<[Dist; Sample::COUNT]>,
+    spans: RefCell<[SpanStats; Stage::COUNT]>,
+}
+
+impl Default for StatsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsRecorder {
+    /// A recorder with every sink empty. All allocation happens here (the
+    /// P² estimators' five-marker seed buffers); recording never touches
+    /// the heap.
+    pub fn new() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| Cell::new(0)),
+            samples: RefCell::new(std::array::from_fn(|_| Dist::new())),
+            spans: RefCell::new(std::array::from_fn(|_| SpanStats::new())),
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, event: Event) -> u64 {
+        self.counters[event.index()].get()
+    }
+
+    /// Reset every sink to empty (e.g. at the end of a warm-up phase),
+    /// without deallocating.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.set(0);
+        }
+        for d in self.samples.borrow_mut().iter_mut() {
+            *d = Dist::new();
+        }
+        for s in self.spans.borrow_mut().iter_mut() {
+            *s = SpanStats::new();
+        }
+    }
+}
+
+impl Recorder for StatsRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&self, event: Event, n: u64) {
+        let cell = &self.counters[event.index()];
+        cell.set(cell.get().saturating_add(n));
+    }
+
+    #[inline]
+    fn sample(&self, sample: Sample, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.samples.borrow_mut()[sample.index()].push(value);
+    }
+
+    #[inline]
+    fn span_ns(&self, stage: Stage, ns: u64) {
+        let mut spans = self.spans.borrow_mut();
+        let s = &mut spans[stage.index()];
+        s.count = s.count.saturating_add(1);
+        s.total_ns = s.total_ns.saturating_add(ns);
+        let ns_f = ns as f64;
+        s.welford.push(ns_f);
+        s.p95.push(ns_f);
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let counters = Event::ALL
+            .iter()
+            .filter_map(|&e| {
+                let value = self.counter(e);
+                (value > 0).then_some(CounterSnapshot {
+                    name: e.name(),
+                    value,
+                })
+            })
+            .collect();
+        let dists = self.samples.borrow();
+        let samples = Sample::ALL
+            .iter()
+            .filter_map(|&s| {
+                let d = &dists[s.index()];
+                let count = d.welford.count();
+                (count > 0).then(|| SampleSnapshot {
+                    name: s.name(),
+                    count,
+                    mean: d.welford.mean().unwrap_or(0.0),
+                    std_dev: d.welford.std_dev().unwrap_or(0.0),
+                    min: d.min,
+                    max: d.max,
+                    p95: d.p95.estimate().unwrap_or(0.0),
+                })
+            })
+            .collect();
+        let span_stats = self.spans.borrow();
+        let spans = Stage::ALL
+            .iter()
+            .filter_map(|&st| {
+                let s = &span_stats[st.index()];
+                (s.count > 0).then(|| SpanSnapshot {
+                    name: st.name(),
+                    count: s.count,
+                    total_ns: s.total_ns,
+                    mean_ns: s.welford.mean().unwrap_or(0.0),
+                    p95_ns: s.p95.estimate().unwrap_or(0.0),
+                })
+            })
+            .collect();
+        Snapshot {
+            counters,
+            samples,
+            spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Span;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let rec = StatsRecorder::new();
+        rec.incr(Event::Rounds);
+        rec.add(Event::Rounds, 4);
+        assert_eq!(rec.counter(Event::Rounds), 5);
+        rec.add(Event::Rounds, u64::MAX);
+        assert_eq!(rec.counter(Event::Rounds), u64::MAX, "saturates, no panic");
+    }
+
+    #[test]
+    fn samples_summarize_the_distribution() {
+        let rec = StatsRecorder::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            rec.sample(Sample::BatchSize, x);
+        }
+        rec.sample(Sample::BatchSize, f64::NAN); // discarded
+        let snap = rec.snapshot();
+        let s = snap.sample("batch_size").expect("recorded");
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn spans_record_elapsed_time() {
+        let rec = StatsRecorder::new();
+        {
+            let _span = Span::enter(&rec, Stage::Plan);
+            std::hint::black_box(0u64);
+        }
+        rec.span_ns(Stage::Plan, 1_000);
+        let snap = rec.snapshot();
+        let plan = snap.span("plan").expect("recorded");
+        assert_eq!(plan.count, 2);
+        assert!(plan.total_ns >= 1_000);
+        assert!(snap.span("serve").is_none(), "untouched stage omitted");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let rec = StatsRecorder::new();
+        rec.incr(Event::Rounds);
+        rec.sample(Sample::PlanProfit, 1.0);
+        rec.span_ns(Stage::Step, 10);
+        rec.reset();
+        assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn untouched_recorder_snapshots_empty() {
+        assert!(StatsRecorder::new().snapshot().is_empty());
+    }
+}

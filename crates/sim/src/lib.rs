@@ -43,5 +43,5 @@ mod time;
 
 pub use quantile::P2Quantile;
 pub use rng::{split_mix64, RandomIter, RandomRange, RandomValue, RngStreams, StreamRng};
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, SchedulerStats};
 pub use time::{SimDuration, SimTime};

@@ -6,7 +6,10 @@ use std::fmt;
 
 use crate::SimTime;
 
-/// A monotone event counter.
+/// A monotone event counter. Increments saturate at [`u64::MAX`] rather
+/// than overflowing: a pegged counter is a degraded measurement, a
+/// wrapped one is a silently wrong measurement (and a panic in debug
+/// builds).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
@@ -16,16 +19,16 @@ impl Counter {
         Self::default()
     }
 
-    /// Increment by one.
+    /// Increment by one (saturating).
     #[inline]
     pub fn incr(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Increment by `n`.
+    /// Increment by `n` (saturating).
     #[inline]
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Current count.
@@ -223,6 +226,16 @@ mod tests {
         c.add(4);
         assert_eq!(c.get(), 5);
         assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.add(7);
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX, "incr at the ceiling stays pegged");
     }
 
     #[test]

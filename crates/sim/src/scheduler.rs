@@ -16,6 +16,19 @@ pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
     processed: u64,
+    max_pending: usize,
+}
+
+/// A point-in-time summary of a scheduler's activity, cheap to copy out
+/// for observability layers without borrowing the scheduler itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Events popped so far.
+    pub processed: u64,
+    /// Events still queued.
+    pub pending: usize,
+    /// High-water mark of the pending queue.
+    pub max_pending: usize,
 }
 
 #[derive(Debug)]
@@ -57,6 +70,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
+            max_pending: 0,
         }
     }
 
@@ -98,6 +112,7 @@ impl<E> Scheduler<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.max_pending = self.max_pending.max(self.heap.len());
     }
 
     /// Schedule `event` after `delay` from the current clock.
@@ -112,6 +127,22 @@ impl<E> Scheduler<E> {
         self.now = entry.at;
         self.processed += 1;
         Some((entry.at, entry.event))
+    }
+
+    /// High-water mark of the pending queue since creation.
+    #[inline]
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// Copy out a point-in-time activity summary.
+    #[inline]
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            processed: self.processed,
+            pending: self.heap.len(),
+            max_pending: self.max_pending,
+        }
     }
 
     /// Timestamp of the next event without popping it.
@@ -196,6 +227,22 @@ mod tests {
         s.schedule_in(SimDuration::from_ticks(6), "second");
         let (t, _) = s.pop().unwrap();
         assert_eq!(t, SimTime::from_ticks(10));
+    }
+
+    #[test]
+    fn stats_track_high_water_mark() {
+        let mut s = Scheduler::new();
+        for t in 1..=4 {
+            s.schedule_at(SimTime::from_ticks(t), ());
+        }
+        s.pop();
+        s.pop();
+        s.schedule_at(SimTime::from_ticks(9), ());
+        let stats = s.stats();
+        assert_eq!(stats.processed, 2);
+        assert_eq!(stats.pending, 3);
+        assert_eq!(stats.max_pending, 4, "peak was before the pops");
+        assert_eq!(s.max_pending(), 4);
     }
 
     #[test]

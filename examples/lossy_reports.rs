@@ -17,7 +17,7 @@
 use basecache::core::estimator::{RateEstimator, ReportEstimator, TtlEstimator};
 use basecache::core::planner::OnDemandPlanner;
 use basecache::core::recency::DecayModel;
-use basecache::core::{BaseStationSim, Estimation, Policy};
+use basecache::core::{Estimation, StationBuilder};
 use basecache::net::{Catalog, ReportLog};
 use basecache::sim::{RngStreams, SimTime};
 use basecache::workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
@@ -30,14 +30,12 @@ const REPORT_LOSS: f64 = 0.4;
 fn run(estimation: Estimation, trace: &RequestTrace) -> (f64, u64) {
     let catalog = Catalog::uniform_unit(OBJECTS);
     let mut log = ReportLog::new(&catalog);
-    let mut station = BaseStationSim::new(
-        catalog,
-        Policy::OnDemand {
-            planner: OnDemandPlanner::paper_default(),
-            budget_units: BUDGET,
-        },
-    )
-    .with_estimation(estimation);
+    let builder = StationBuilder::new(catalog).on_demand(OnDemandPlanner::paper_default(), BUDGET);
+    let builder = match estimation {
+        Estimation::Oracle => builder.oracle(),
+        Estimation::Estimator(est) => builder.estimator(est),
+    };
+    let mut station = builder.build().expect("example configuration is valid");
     let mut loss = RngStreams::new(9).stream("example/report-loss");
 
     for (t, batch) in trace.iter() {

@@ -20,6 +20,32 @@ echo "==> workspace tests (+ property suites)"
 cargo test --workspace -q
 cargo test --workspace --features proptest -q
 
+echo "==> builder migration lint (no deprecated BaseStationSim::new outside the shim)"
+# The deprecated constructor may appear only where it is defined, where the
+# builder delegates to it, and in the one shim test that pins its behavior.
+violations=$(grep -rn "BaseStationSim::new(" \
+    --include='*.rs' \
+    crates/ tests/ examples/ src/ \
+    | grep -v "crates/core/src/station.rs" \
+    | grep -v "crates/core/src/builder.rs" \
+    | grep -v "crates/core/tests/builder_shim.rs" \
+    || true)
+if [ -n "$violations" ]; then
+    echo "error: deprecated BaseStationSim::new used outside the builder shim:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
+echo "==> observability smoke test (ext-obs quick run + exporters)"
+obs_out=$(mktemp -d)
+cargo run -q -p basecache-experiments --release -- ext-obs --quick --csv "$obs_out"
+for f in ext_obs.csv ext_obs.json; do
+    test -s "$obs_out/$f" || { echo "error: ext-obs did not write $f" >&2; exit 1; }
+done
+grep -q '"counters"' "$obs_out/ext_obs.json" \
+    || { echo "error: ext_obs.json missing counters section" >&2; exit 1; }
+rm -rf "$obs_out"
+
 echo "==> planner bench (writes BENCH_planner.json)"
 cargo bench -p basecache-bench --bench planner
 

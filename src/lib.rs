@@ -17,6 +17,8 @@
 //! * [`knapsack`] (`basecache-knapsack`) — exact and approximate 0/1
 //!   knapsack solvers with a full solution-space trace.
 //! * [`sim`] (`basecache-sim`) — deterministic discrete-event engine.
+//! * [`obs`] (`basecache-obs`) — zero-overhead observability: recorders,
+//!   span timers, snapshot exporters.
 //! * [`net`] (`basecache-net`) — servers, links, downlink, cells.
 //! * [`cache`] (`basecache-cache`) — the base-station cache substrate.
 //! * [`workload`] (`basecache-workload`) — synthetic workloads and
@@ -50,5 +52,6 @@ pub use basecache_cache as cache;
 pub use basecache_core as core;
 pub use basecache_knapsack as knapsack;
 pub use basecache_net as net;
+pub use basecache_obs as obs;
 pub use basecache_sim as sim;
 pub use basecache_workload as workload;

@@ -6,7 +6,7 @@ use basecache::analytic::downloads::{async_ceiling, expected_downloads};
 use basecache::analytic::fluid::{fluid_average_score_curve, integrality_gap_bound, FluidObject};
 use basecache::analytic::recency::expected_async_recency;
 use basecache::core::profit::build_instance_from_scores;
-use basecache::core::{BaseStationSim, Policy};
+use basecache::core::StationBuilder;
 use basecache::knapsack::DpByCapacity;
 use basecache::net::Catalog;
 use basecache::sim::RngStreams;
@@ -21,12 +21,10 @@ fn simulate_downloads(pop: Popularity, objects: usize, rate: usize, period: u64)
     let generator = RequestGenerator::new(pop.build(objects), rate, TargetRecency::AlwaysFresh);
     let mut rng = RngStreams::new(99).stream("validate/requests");
     let trace = RequestTrace::record(&generator, (warmup + measure) as usize, &mut rng);
-    let mut station = BaseStationSim::new(
-        Catalog::uniform_unit(objects),
-        Policy::OnDemandLowestRecency {
-            k_objects: usize::MAX,
-        },
-    );
+    let mut station = StationBuilder::new(Catalog::uniform_unit(objects))
+        .on_demand_lowest_recency(usize::MAX)
+        .build()
+        .unwrap();
     for (t, batch) in trace.iter() {
         if (t as u64).is_multiple_of(period) {
             station.apply_update_wave();
@@ -75,10 +73,10 @@ fn fig3_async_analytic_matches_simulation() {
         );
         let mut rng = RngStreams::new(7).stream("validate/fig3");
         let trace = RequestTrace::record(&generator, (warmup + measure) as usize, &mut rng);
-        let mut station = BaseStationSim::new(
-            Catalog::uniform_unit(objects),
-            Policy::AsyncRoundRobin { k_objects: k },
-        );
+        let mut station = StationBuilder::new(Catalog::uniform_unit(objects))
+            .async_round_robin(k)
+            .build()
+            .unwrap();
         for (t, batch) in trace.iter() {
             if (t as u64).is_multiple_of(period) {
                 station.apply_update_wave();

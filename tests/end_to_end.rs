@@ -3,7 +3,7 @@
 
 use basecache::core::planner::{OnDemandPlanner, SolverChoice};
 use basecache::core::recency::ScoringFunction;
-use basecache::core::{BaseStationSim, Policy};
+use basecache::core::{Policy, StationBuilder};
 use basecache::net::Catalog;
 use basecache::sim::RngStreams;
 use basecache::workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
@@ -19,7 +19,10 @@ fn trace(objects: usize, per_tick: usize, ticks: usize, seed: u64) -> RequestTra
 }
 
 fn run(policy: Policy, trace: &RequestTrace, objects: usize, update_period: u64) -> (u64, f64) {
-    let mut station = BaseStationSim::new(Catalog::uniform_unit(objects), policy);
+    let mut station = StationBuilder::new(Catalog::uniform_unit(objects))
+        .policy(policy)
+        .build()
+        .unwrap();
     for (t, batch) in trace.iter() {
         if (t as u64).is_multiple_of(update_period) {
             station.apply_update_wave();
@@ -179,13 +182,10 @@ fn no_updates_means_everything_converges_to_fresh() {
     // later request is served fresh with zero downloads.
     let t = trace(40, 20, 50, 13);
     let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
-    let mut station = BaseStationSim::new(
-        Catalog::uniform_unit(40),
-        Policy::OnDemand {
-            planner,
-            budget_units: u64::MAX,
-        },
-    );
+    let mut station = StationBuilder::new(Catalog::uniform_unit(40))
+        .on_demand(planner, u64::MAX)
+        .build()
+        .unwrap();
     for (_, batch) in t.iter() {
         station.step(batch);
     }

@@ -6,7 +6,7 @@ use basecache::core::bound::{budget_for_fraction, knee_budget};
 use basecache::core::planner::OnDemandPlanner;
 use basecache::core::profit::build_instance_from_scores;
 use basecache::core::request::RequestBatch;
-use basecache::core::{BaseStationSim, Policy};
+use basecache::core::StationBuilder;
 use basecache::knapsack::DpByCapacity;
 use basecache::net::Catalog;
 use basecache::sim::RngStreams;
@@ -29,12 +29,10 @@ fn claim_skew_increases_on_demand_savings() {
         let generator = RequestGenerator::new(pop.build(objects), 30, TargetRecency::AlwaysFresh);
         let mut rng = RngStreams::new(17).stream("claims/requests");
         let trace = RequestTrace::record(&generator, 100, &mut rng);
-        let mut station = BaseStationSim::new(
-            Catalog::uniform_unit(objects),
-            Policy::OnDemandLowestRecency {
-                k_objects: usize::MAX,
-            },
-        );
+        let mut station = StationBuilder::new(Catalog::uniform_unit(objects))
+            .on_demand_lowest_recency(usize::MAX)
+            .build()
+            .unwrap();
         for (t, batch) in trace.iter() {
             if t % 5 == 0 {
                 station.apply_update_wave();
@@ -65,14 +63,14 @@ fn claim_async_cache_is_never_fully_fresh_under_budget() {
     let mut rng = RngStreams::new(23).stream("claims/requests");
     let trace = RequestTrace::record(&generator, 60, &mut rng);
 
-    let mut asy = BaseStationSim::new(
-        Catalog::uniform_unit(objects),
-        Policy::AsyncRoundRobin { k_objects: k },
-    );
-    let mut od = BaseStationSim::new(
-        Catalog::uniform_unit(objects),
-        Policy::OnDemandLowestRecency { k_objects: k },
-    );
+    let mut asy = StationBuilder::new(Catalog::uniform_unit(objects))
+        .async_round_robin(k)
+        .build()
+        .unwrap();
+    let mut od = StationBuilder::new(Catalog::uniform_unit(objects))
+        .on_demand_lowest_recency(k)
+        .build()
+        .unwrap();
     for (t, batch) in trace.iter() {
         // High update frequency: every time unit.
         let _ = t;

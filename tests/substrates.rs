@@ -7,7 +7,7 @@ use basecache::core::pipeline::LatencyAwareSim;
 use basecache::core::planner::OnDemandPlanner;
 use basecache::core::recency::DecayModel;
 use basecache::core::request::RequestBatch;
-use basecache::core::{BaseStationSim, Estimation, Policy};
+use basecache::core::{Estimation, StationBuilder};
 use basecache::net::{BroadcastSchedule, Catalog, Downlink, Link, ObjectId, ReportLog};
 use basecache::sim::{RngStreams, SimDuration, SimTime};
 use basecache::workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
@@ -125,14 +125,12 @@ fn rate_estimator_survives_heavy_report_loss() {
     let score_with = |estimation: Estimation| -> f64 {
         let catalog = Catalog::uniform_unit(objects);
         let mut log = ReportLog::new(&catalog);
-        let mut station = BaseStationSim::new(
-            catalog,
-            Policy::OnDemand {
-                planner: OnDemandPlanner::paper_default(),
-                budget_units: 12,
-            },
-        )
-        .with_estimation(estimation);
+        let builder = StationBuilder::new(catalog).on_demand(OnDemandPlanner::paper_default(), 12);
+        let builder = match estimation {
+            Estimation::Oracle => builder.oracle(),
+            Estimation::Estimator(est) => builder.estimator(est),
+        };
+        let mut station = builder.build().unwrap();
         for (t, batch) in trace.iter() {
             if t % 4 == 0 {
                 station.apply_update_wave();
