@@ -83,6 +83,22 @@ fn bench_round_paths(results: &mut Vec<Measurement>) -> (f64, f64, f64) {
         black_box(scratch.achieved_value())
     });
 
+    // And with the full flight recorder — stats + trace ring + round
+    // series + top-K attribution behind the Tee — to show the whole
+    // composition stays in the same cost class as the stats sink alone.
+    let flight = basecache_obs::FlightRecorder::new(4096, 64, 8);
+    let flight_path = bench("planner/round/scratch_reuse_flight", || {
+        planner.plan_requests_recorded(
+            &generated,
+            &catalog,
+            &recency,
+            BUDGET,
+            &mut scratch,
+            &flight,
+        );
+        black_box(scratch.achieved_value())
+    });
+
     let vs_seed = seed.median_ns() / scratch_path.median_ns();
     let vs_batch = batch_path.median_ns() / scratch_path.median_ns();
     let observed_overhead = observed_path.median_ns() / scratch_path.median_ns();
@@ -90,6 +106,7 @@ fn bench_round_paths(results: &mut Vec<Measurement>) -> (f64, f64, f64) {
     results.push(batch_path);
     results.push(scratch_path);
     results.push(observed_path);
+    results.push(flight_path);
     (vs_seed, vs_batch, observed_overhead)
 }
 

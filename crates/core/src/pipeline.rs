@@ -280,6 +280,7 @@ impl LatencyAwareSim {
     /// Simulate one time unit.
     pub fn step(&mut self, requests: &[GeneratedRequest]) -> LatencyStepOutcome {
         let now = SimTime::from_ticks(self.tick);
+        self.recorder.begin_round(self.tick);
         self.recorder.incr(Event::Rounds);
 
         // 1. Ingest completed downloads and release waiting clients.
@@ -310,7 +311,13 @@ impl LatencyAwareSim {
                     self.stats.wait_p95.push(wait);
                     self.recorder.sample(Sample::FetchLatencyTicks, wait);
                     self.stats.waited += 1;
-                    self.downlink.deliver(now, ClientId(0), w.object, size);
+                    self.downlink.deliver_recorded(
+                        now,
+                        ClientId(0),
+                        w.object,
+                        size,
+                        &*self.recorder,
+                    );
                     served_after_wait += 1;
                 } else {
                     still_parked.push(w);
@@ -349,8 +356,13 @@ impl LatencyAwareSim {
                     .score
                     .push(self.scoring.score(x, r.target_recency));
                 self.stats.immediate += 1;
-                self.downlink
-                    .deliver(now, ClientId(0), r.object, self.catalog.size_of(r.object));
+                self.downlink.deliver_recorded(
+                    now,
+                    ClientId(0),
+                    r.object,
+                    self.catalog.size_of(r.object),
+                    &*self.recorder,
+                );
                 served_immediately += 1;
             } else {
                 self.waiting.push(Waiting {
@@ -369,6 +381,7 @@ impl LatencyAwareSim {
             served_after_wait,
             still_waiting: self.waiting.len(),
         };
+        self.recorder.end_round(self.tick);
         self.tick += 1;
         outcome
     }

@@ -226,6 +226,16 @@ impl OnDemandPlanner {
 
         recorder.add(Event::KnapsackItems, scratch.items.len() as u64);
         recorder.sample(Sample::KnapsackCapacity, budget as f64);
+        if recorder.enabled() {
+            // The budget-free optimum: downloading every requested stale
+            // object. Realized profit over this bound is the knapsack's
+            // efficiency, a per-round series column.
+            let mut bound = 0.0;
+            for item in scratch.items.iter() {
+                bound += item.profit();
+            }
+            recorder.sample(Sample::PlanProfitBound, bound);
+        }
 
         scratch.downloads.clear();
         {

@@ -15,7 +15,7 @@
 
 use basecache_cache::CacheStore;
 use basecache_net::{Catalog, InvalidationReport, ObjectId, RemoteServer};
-use basecache_obs::{Event, NullRecorder, Recorder, Sample, Snapshot, Span, Stage};
+use basecache_obs::{Attr, Event, NullRecorder, Recorder, Sample, Snapshot, Span, Stage};
 use basecache_sim::metrics::Welford;
 use basecache_sim::SimTime;
 use basecache_workload::GeneratedRequest;
@@ -336,7 +336,9 @@ impl BaseStationSim {
     pub fn step(&mut self, requests: &[GeneratedRequest]) -> StepOutcome {
         let policy = self.policy;
         let recorder: &dyn Recorder = &*self.recorder;
+        let observing = recorder.enabled();
         let _step_span = Span::enter(recorder, Stage::Step);
+        recorder.begin_round(self.tick);
         recorder.incr(Event::Rounds);
         recorder.sample(Sample::BatchSize, requests.len() as f64);
 
@@ -435,15 +437,35 @@ impl BaseStationSim {
                 est.on_refresh(id, now);
             }
             units += size;
+            if observing {
+                recorder.attribute(Attr::DownlinkUnitsByObject, id.0, size);
+            }
         }
         drop(refresh_span);
         recorder.add(Event::ObjectsDownloaded, downloaded.len() as u64);
         recorder.add(Event::UnitsDownloaded, units);
+        if observing {
+            let budget = match policy {
+                Policy::OnDemand { budget_units, .. } | Policy::Hybrid { budget_units, .. } => {
+                    Some(budget_units)
+                }
+                Policy::OnDemandAdaptive { max_budget, .. } => Some(max_budget),
+                Policy::OnDemandLowestRecency { .. } | Policy::AsyncRoundRobin { .. } => None,
+            };
+            if let Some(budget) = budget.filter(|&b| b > 0) {
+                recorder.sample(Sample::DownlinkUtilization, units as f64 / budget as f64);
+            }
+        }
 
         // Serve every request from the (possibly just refreshed) cache.
         let serve_span = Span::enter(recorder, Stage::Serve);
         let mut recency_acc = Welford::new();
         let mut score_acc = Welford::new();
+        // Hit accounting is observational only: `downloaded` is sorted
+        // ascending for the planner policies but not guaranteed for the
+        // round-robin refresher, so pick the probe accordingly.
+        let downloads_sorted = downloaded.windows(2).all(|w| w[0] <= w[1]);
+        let mut hits = 0usize;
         for r in requests {
             let x = match self.cache.peek(r.object) {
                 Some(entry) => self
@@ -456,9 +478,28 @@ impl BaseStationSim {
             score_acc.push(score);
             self.stats.recency.push(x);
             self.stats.score.push(score);
+            if observing {
+                let downloaded_now = if downloads_sorted {
+                    downloaded.binary_search(&r.object).is_ok()
+                } else {
+                    downloaded.contains(&r.object)
+                };
+                if !downloaded_now {
+                    hits += 1;
+                }
+                // Staleness charged in thousandths, so a request served
+                // at recency 0.4 adds 600 to its object's tally.
+                let staleness = ((1.0 - x) * 1_000.0).round() as u64;
+                if staleness > 0 {
+                    recorder.attribute(Attr::ServeStalenessByObject, r.object.0, staleness);
+                }
+            }
         }
         drop(serve_span);
         recorder.add(Event::RequestsServed, requests.len() as u64);
+        if observing && !requests.is_empty() {
+            recorder.sample(Sample::CacheHitRatio, hits as f64 / requests.len() as f64);
+        }
 
         self.stats.units_downloaded += units;
         self.stats.objects_downloaded += downloaded.len() as u64;
@@ -474,6 +515,7 @@ impl BaseStationSim {
         };
         recorder.sample(Sample::AverageRecency, outcome.average_recency);
         recorder.sample(Sample::AverageScore, outcome.average_score);
+        recorder.end_round(self.tick);
         self.downloaded = downloaded;
         self.recency_buf = recency;
         self.tick += 1;

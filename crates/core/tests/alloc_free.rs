@@ -140,4 +140,38 @@ fn on_demand_steady_state_steps_do_not_allocate() {
         !snapshot.is_empty(),
         "the recorder saw the instrumented rounds"
     );
+
+    // The full flight recorder — Tee(Stats, Tee(Trace, Tee(Series,
+    // TopK))) — also stays off the heap once warm: the trace ring and
+    // series are preallocated and overwrite/decimate in place, and the
+    // top-K channels evict by replacement. Only export allocates.
+    let mut flighted = StationBuilder::new(Catalog::from_sizes(&sizes))
+        .on_demand(
+            OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp),
+            5000,
+        )
+        .recorder(Box::new(basecache_obs::FlightRecorder::new(4096, 64, 8)))
+        .build()
+        .expect("valid configuration");
+    for _ in 0..3 {
+        flighted.step(&requests);
+    }
+    flighted.apply_update_wave();
+    for _ in 0..3 {
+        flighted.step(&requests);
+    }
+    for round in 0..10 {
+        flighted.apply_update_wave();
+        let before = allocation_count();
+        flighted.step(&requests);
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "round {round}: flight-recorded step() allocated {} time(s)",
+            after - before
+        );
+    }
+    let fsnap = flighted.obs_snapshot();
+    assert!(!fsnap.is_empty() && !fsnap.attrs.is_empty());
 }

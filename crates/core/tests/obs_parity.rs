@@ -1,14 +1,16 @@
 //! Observation must never perturb the simulation: a station running
-//! with a live [`StatsRecorder`] has to produce bit-identical plans,
-//! downloads and scores to an uninstrumented station driven by the same
-//! demand. The recorder only *reads* the request path — any divergence
-//! here means instrumentation leaked into the physics.
+//! with a live [`StatsRecorder`] — or the full [`FlightRecorder`]
+//! composition (stats + trace ring + round series + top-K attribution
+//! behind a [`basecache_obs::Tee`]) — has to produce bit-identical
+//! plans, downloads and scores to an uninstrumented station driven by
+//! the same demand. The recorders only *read* the request path — any
+//! divergence here means instrumentation leaked into the physics.
 
 use basecache_core::planner::{OnDemandPlanner, SolverChoice};
 use basecache_core::recency::ScoringFunction;
 use basecache_core::StationBuilder;
 use basecache_net::{Catalog, ObjectId};
-use basecache_obs::StatsRecorder;
+use basecache_obs::{FlightRecorder, StatsRecorder};
 use basecache_sim::RngStreams;
 use basecache_workload::GeneratedRequest;
 
@@ -33,11 +35,18 @@ fn instrumented_runs_are_bit_identical_to_uninstrumented_ones() {
         .recorder(Box::new(StatsRecorder::new()))
         .build()
         .unwrap();
+    // The full flight recorder: Tee(Stats, Tee(Trace, Tee(Series, TopK))).
+    let mut flighted = StationBuilder::new(Catalog::from_sizes(&sizes))
+        .on_demand(planner(), 40)
+        .recorder(Box::new(FlightRecorder::new(1024, 16, 4)))
+        .build()
+        .unwrap();
 
     for t in 0..40u64 {
         if t % 4 == 0 {
             plain.apply_update_wave();
             observed.apply_update_wave();
+            flighted.apply_update_wave();
         }
         let requests: Vec<GeneratedRequest> = (0..60)
             .map(|_| GeneratedRequest {
@@ -47,25 +56,37 @@ fn instrumented_runs_are_bit_identical_to_uninstrumented_ones() {
             .collect();
         let a = plain.step(&requests);
         let b = observed.step(&requests);
+        let c = flighted.step(&requests);
         assert_eq!(a, b, "tick {t}: outcomes diverged under observation");
+        assert_eq!(
+            a, c,
+            "tick {t}: outcomes diverged under the flight recorder"
+        );
         assert_eq!(
             plain.last_downloaded(),
             observed.last_downloaded(),
             "tick {t}: download plans diverged under observation"
         );
+        assert_eq!(
+            plain.last_downloaded(),
+            flighted.last_downloaded(),
+            "tick {t}: download plans diverged under the flight recorder"
+        );
     }
 
     // Aggregate statistics agree to the last bit.
-    assert_eq!(
-        plain.stats().units_downloaded,
-        observed.stats().units_downloaded
-    );
-    assert_eq!(
-        plain.stats().score.mean().map(f64::to_bits),
-        observed.stats().score.mean().map(f64::to_bits)
-    );
+    for station in [&observed, &flighted] {
+        assert_eq!(
+            plain.stats().units_downloaded,
+            station.stats().units_downloaded
+        );
+        assert_eq!(
+            plain.stats().score.mean().map(f64::to_bits),
+            station.stats().score.mean().map(f64::to_bits)
+        );
+    }
 
-    // And the recorder actually saw the run.
+    // And the recorders actually saw the run.
     let snapshot = observed.obs_snapshot();
     assert_eq!(snapshot.counter("rounds"), Some(40));
     assert!(snapshot.span("step").is_some());
@@ -73,5 +94,31 @@ fn instrumented_runs_are_bit_identical_to_uninstrumented_ones() {
     assert!(
         plain.obs_snapshot().is_empty(),
         "NullRecorder records nothing"
+    );
+
+    // The flight recorder saw the same aggregates *and* populated its
+    // side channels: trace ring, round series, and top-K attribution.
+    let fsnap = flighted.obs_snapshot();
+    assert_eq!(fsnap.counter("rounds"), snapshot.counter("rounds"));
+    assert_eq!(
+        fsnap.counter("units_downloaded"),
+        snapshot.counter("units_downloaded"),
+        "the Stats leg of the Tee matches the standalone StatsRecorder"
+    );
+    assert!(
+        !fsnap.attrs.is_empty(),
+        "top-K attribution flowed through the Tee"
+    );
+    let flight = flighted
+        .recorder()
+        .as_any()
+        .downcast_ref::<FlightRecorder>()
+        .expect("built with a FlightRecorder");
+    assert_eq!(flight.series().rounds_seen(), 40);
+    assert!(!flight.trace().is_empty());
+    let trace_json = flight.trace().to_chrome_trace();
+    assert!(
+        basecache_obs::json::parse(&trace_json).is_ok(),
+        "exported trace is valid JSON"
     );
 }

@@ -1,19 +1,26 @@
-//! Extension experiment — observability profile of a representative run.
+//! Extension experiment — flight-recorder profile of a representative
+//! run.
 //!
 //! Drives the paper's on-demand DP policy with a live
-//! [`StatsRecorder`] and reports where the round actually goes:
-//! per-stage wall-clock (recency fill, planning, the DP solve, cache
-//! refresh, serving), knapsack shape (items, capacity, DP cells
-//! touched) and delivered-quality distributions. The companion parity
-//! and allocation tests in `basecache-core` prove the instrumentation
-//! itself is free; this module is the read-out side.
+//! [`FlightRecorder`] — aggregate stats, a bounded event trace, a
+//! decimated per-round time series, and top-K attribution — and reports
+//! where the round actually goes: per-stage wall-clock (recency fill,
+//! planning, the DP solve, cache refresh, serving), knapsack shape
+//! (items, capacity, DP cells touched), delivered-quality
+//! distributions, and *which* objects and clients dominated the
+//! downlink. Under `--csv` the harness additionally writes the trace as
+//! Chrome-trace-event JSON (`ext_obs_trace.json`, loadable in Perfetto)
+//! and the round series as CSV (`ext_obs_series.csv`). The companion
+//! parity and allocation tests in `basecache-core` prove the
+//! instrumentation itself is free; this module is the read-out side.
 
 use basecache_core::planner::OnDemandPlanner;
-use basecache_core::Policy;
-use basecache_obs::{Snapshot, StatsRecorder};
+use basecache_core::{Policy, StationBuilder};
+use basecache_net::Catalog;
+use basecache_obs::{Attr, FlightRecorder, Snapshot, TopEntry};
 use basecache_workload::Popularity;
 
-use crate::runner::{record_trace, run_policy_observed, RunConfig, RunResult};
+use crate::runner::{record_trace, RunConfig, RunResult};
 
 /// Parameters of the profiled run.
 #[derive(Debug, Clone)]
@@ -52,24 +59,123 @@ impl Params {
     }
 }
 
-/// Run the profiled simulation, returning the run's headline statistics
-/// and everything the recorder observed.
-pub fn run(params: &Params) -> (RunResult, Snapshot) {
-    let trace = record_trace(&params.config);
-    run_policy_observed(
-        &params.config,
-        Policy::OnDemand {
-            planner: OnDemandPlanner::paper_default(),
-            budget_units: params.budget,
-        },
-        &trace,
-        Box::new(StatsRecorder::new()),
-    )
+/// Everything the flight recorder captured over the profiled run,
+/// already materialized (the recorder itself dies with the station).
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Headline statistics of the run (measured phase).
+    pub result: RunResult,
+    /// Aggregate counters / distributions / span timings.
+    pub snapshot: Snapshot,
+    /// The bounded event trace as Chrome-trace-event JSON.
+    pub trace_json: String,
+    /// Trace entries that fell off the ring (0 = full history kept).
+    pub trace_dropped: u64,
+    /// The per-round time series as CSV.
+    pub series_csv: String,
+    /// Retained series rows and the decimation stride they sit at.
+    pub series_rows: usize,
+    /// Current decimation stride (1 = every round retained).
+    pub series_stride: u64,
+    /// Rounds the series observed (before decimation).
+    pub rounds_seen: u64,
+    /// Heaviest downlink consumers by object (units, descending).
+    pub top_objects: Vec<TopEntry>,
+    /// Heaviest downlink consumers by client (units, descending).
+    pub top_clients: Vec<TopEntry>,
+    /// Objects served stalest (weight = thousandths of lost recency).
+    pub top_stale: Vec<TopEntry>,
 }
 
-/// Render the snapshot as an aligned text report.
-pub fn to_table(result: &RunResult, snapshot: &Snapshot) -> String {
+/// Trace ring capacity for the profiled run. Big enough to hold every
+/// event of the quick config; the paper config overflows it, which the
+/// report calls out via `trace_dropped` (bounded memory is the point).
+const TRACE_CAPACITY: usize = 8192;
+/// Round-series row budget (decimation doubles the stride as needed).
+const SERIES_CAPACITY: usize = 256;
+/// Entities tracked per attribution channel.
+const TOP_K: usize = 8;
+
+/// Run the profiled simulation with a full flight recorder wired into
+/// the station, and materialize everything it captured.
+pub fn run(params: &Params) -> Profile {
+    let trace = record_trace(&params.config);
+    let config = &params.config;
+    let mut station = StationBuilder::new(Catalog::uniform_unit(config.objects))
+        .policy(Policy::OnDemand {
+            planner: OnDemandPlanner::paper_default(),
+            budget_units: params.budget,
+        })
+        .recorder(Box::new(FlightRecorder::new(
+            TRACE_CAPACITY,
+            SERIES_CAPACITY,
+            TOP_K,
+        )))
+        .build()
+        .expect("profiled policy is a valid configuration");
+    let total = config.warmup_ticks + config.measure_ticks;
+    for t in 0..total {
+        if config.update_period > 0 && t % config.update_period == 0 {
+            station.apply_update_wave();
+        }
+        if t == config.warmup_ticks {
+            station.reset_stats();
+        }
+        let batch = trace.batch(t as usize).expect("trace covers the whole run");
+        station.step(batch);
+    }
+    let snapshot = station.obs_snapshot();
+    let stats = station.stats();
+    let result = RunResult {
+        units_downloaded: stats.units_downloaded,
+        objects_downloaded: stats.objects_downloaded,
+        mean_recency: stats.recency.mean(),
+        mean_score: stats.score.mean(),
+        requests_served: stats.requests_served,
+    };
+    let flight = station
+        .recorder()
+        .as_any()
+        .downcast_ref::<FlightRecorder>()
+        .expect("station was built with a FlightRecorder");
+    Profile {
+        result,
+        snapshot,
+        trace_json: flight.trace().to_chrome_trace(),
+        trace_dropped: flight.trace().dropped(),
+        series_csv: flight.series().to_csv(),
+        series_rows: flight.series().len(),
+        series_stride: flight.series().stride(),
+        rounds_seen: flight.series().rounds_seen(),
+        top_objects: flight.topk().top(Attr::DownlinkUnitsByObject),
+        top_clients: flight.topk().top(Attr::DownlinkUnitsByClient),
+        top_stale: flight.topk().top(Attr::ServeStalenessByObject),
+    }
+}
+
+fn write_top(out: &mut String, title: &str, unit: &str, entries: &[TopEntry], prefix: &str) {
     use std::fmt::Write as _;
+    if entries.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "{title}:");
+    let _ = writeln!(out, "  {:<12}{:>14}{:>10}", "who", unit, "±err");
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "  {:<12}{:>14}{:>10}",
+            format!("{prefix}#{}", e.key),
+            e.weight,
+            e.error
+        );
+    }
+}
+
+/// Render the profile as an aligned text report.
+pub fn to_table(profile: &Profile) -> String {
+    use std::fmt::Write as _;
+    let result = &profile.result;
+    let snapshot = &profile.snapshot;
     let mut out = String::new();
     let _ = writeln!(out, "== Observability profile (on-demand DP) ==");
     let _ = writeln!(
@@ -112,6 +218,42 @@ pub fn to_table(result: &RunResult, snapshot: &Snapshot) -> String {
             s.p95_ns / 1_000.0
         );
     }
+    write_top(
+        &mut out,
+        "top downlink consumers (objects, data units)",
+        "units",
+        &profile.top_objects,
+        "obj",
+    );
+    write_top(
+        &mut out,
+        "top downlink consumers (clients, data units)",
+        "units",
+        &profile.top_clients,
+        "client",
+    );
+    write_top(
+        &mut out,
+        "stalest served objects (milli-recency lost)",
+        "m-recency",
+        &profile.top_stale,
+        "obj",
+    );
+    let _ = writeln!(
+        out,
+        "round series: {} rows retained of {} rounds (stride {})",
+        profile.series_rows, profile.rounds_seen, profile.series_stride
+    );
+    let _ = writeln!(
+        out,
+        "trace ring: {} entries dropped{}",
+        profile.trace_dropped,
+        if profile.trace_dropped == 0 {
+            " (full history)"
+        } else {
+            " (bounded memory: oldest rounds evicted)"
+        }
+    );
     out
 }
 
@@ -119,20 +261,61 @@ pub fn to_table(result: &RunResult, snapshot: &Snapshot) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn profile_covers_the_whole_request_path() {
+    fn tiny() -> Params {
         let mut p = Params::quick();
         p.config.warmup_ticks = 2;
         p.config.measure_ticks = 10;
-        let (result, snapshot) = run(&p);
-        assert!(result.requests_served > 0);
-        assert_eq!(snapshot.counter("rounds"), Some(12));
-        assert!(snapshot.counter("dp_cells_touched").unwrap_or(0) > 0);
+        p
+    }
+
+    #[test]
+    fn profile_covers_the_whole_request_path() {
+        let profile = run(&tiny());
+        assert!(profile.result.requests_served > 0);
+        assert_eq!(profile.snapshot.counter("rounds"), Some(12));
+        assert!(profile.snapshot.counter("dp_cells_touched").unwrap_or(0) > 0);
         for stage in ["step", "recency", "plan", "solve", "refresh", "serve"] {
-            assert!(snapshot.span(stage).is_some(), "missing span {stage}");
+            assert!(
+                profile.snapshot.span(stage).is_some(),
+                "missing span {stage}"
+            );
         }
-        let table = to_table(&result, &snapshot);
+        let table = to_table(&profile);
         assert!(table.contains("dp_cells_touched"));
         assert!(table.contains("solve"));
+    }
+
+    #[test]
+    fn flight_recorder_side_channels_are_populated() {
+        let profile = run(&tiny());
+        // The trace validates as Chrome-trace-event JSON and kept
+        // everything (tiny run ≪ ring capacity).
+        assert_eq!(profile.trace_dropped, 0);
+        let parsed = basecache_obs::json::parse(&profile.trace_json).expect("valid trace JSON");
+        assert!(parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .is_some());
+        // One series row per round, stride still 1.
+        assert_eq!(profile.rounds_seen, 12);
+        assert_eq!(profile.series_rows, 12);
+        assert_eq!(profile.series_stride, 1);
+        assert!(profile.series_csv.starts_with("tick,"));
+        assert_eq!(profile.series_csv.lines().count(), 13, "header + 12 rows");
+        // Attribution saw the downlink (Zipf demand downloads something
+        // every round) and the report names the heavy hitters.
+        assert!(!profile.top_objects.is_empty());
+        let table = to_table(&profile);
+        assert!(table.contains("top downlink consumers"), "{table}");
+        assert!(table.contains("round series:"), "{table}");
+    }
+
+    #[test]
+    fn top_objects_are_sorted_heaviest_first() {
+        let profile = run(&tiny());
+        let weights: Vec<u64> = profile.top_objects.iter().map(|e| e.weight).collect();
+        let mut sorted = weights.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(weights, sorted);
     }
 }

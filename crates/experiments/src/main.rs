@@ -244,16 +244,23 @@ fn main() -> ExitCode {
         } else {
             ext_obs::Params::paper()
         };
-        let (result, snapshot) = ext_obs::run(&p);
-        print!("{}", ext_obs::to_table(&result, &snapshot));
+        let profile = ext_obs::run(&p);
+        print!("{}", ext_obs::to_table(&profile));
         println!();
         if let Some(dir) = &opts.csv_dir {
-            match basecache_obs::export::write_csv(&snapshot, &dir.join("ext_obs.csv")).and_then(
-                |()| basecache_obs::export::write_json(&snapshot, &dir.join("ext_obs.json")),
-            ) {
+            let write_all = || -> std::io::Result<()> {
+                basecache_obs::export::write_csv(&profile.snapshot, &dir.join("ext_obs.csv"))?;
+                basecache_obs::export::write_json(&profile.snapshot, &dir.join("ext_obs.json"))?;
+                std::fs::write(dir.join("ext_obs_trace.json"), &profile.trace_json)?;
+                std::fs::write(dir.join("ext_obs_series.csv"), &profile.series_csv)?;
+                Ok(())
+            };
+            match write_all() {
                 Ok(()) => println!(
-                    "  (obs profile written to {}/ext_obs.{{csv,json}})",
-                    dir.display()
+                    "  (obs profile written to {dir}/ext_obs.{{csv,json}}; \
+                     Perfetto trace to {dir}/ext_obs_trace.json; \
+                     round series to {dir}/ext_obs_series.csv)",
+                    dir = dir.display()
                 ),
                 Err(e) => eprintln!("  obs export failed: {e}"),
             }

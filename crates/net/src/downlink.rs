@@ -10,7 +10,7 @@
 //! while the base station was waiting on the fixed network — which the
 //! extended experiments report alongside recency.
 
-use basecache_obs::{Event, Recorder, Sample};
+use basecache_obs::{Attr, Event, Recorder, Sample};
 use basecache_sim::{SimDuration, SimTime};
 
 use crate::link::{Link, TransferTiming};
@@ -76,6 +76,27 @@ impl Downlink {
             object,
             timing,
         }
+    }
+
+    /// [`Self::deliver`] with per-entity attribution: the delivered
+    /// units are charged to the receiving client and to the object on
+    /// the recorder's attribution channels, so a top-K sink can answer
+    /// "which clients (and objects) ate the downlink". Physically
+    /// identical to [`Self::deliver`] — attribution only reads.
+    pub fn deliver_recorded(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        object: ObjectId,
+        size: u64,
+        recorder: &dyn Recorder,
+    ) -> Delivery {
+        let delivery = self.deliver(now, client, object, size);
+        if recorder.enabled() {
+            recorder.attribute(Attr::DownlinkUnitsByClient, client.0, size);
+            recorder.attribute(Attr::DownlinkUnitsByObject, object.0, size);
+        }
+        delivery
     }
 
     /// Number of deliveries made.

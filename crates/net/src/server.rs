@@ -5,7 +5,7 @@
 //! matters for the analyses is *when objects update*, which is what
 //! [`UpdateProcess`] models.
 
-use basecache_obs::{Recorder, Sample};
+use basecache_obs::{Attr, Recorder, Sample};
 use basecache_sim::{SimDuration, SimTime, StreamRng};
 
 use crate::object::{Catalog, ObjectId, Version};
@@ -152,6 +152,10 @@ impl RemoteServer {
     /// observation. `cached` yields `(object, cached_version)` pairs (e.g.
     /// a cache's current contents); copies at or ahead of the server count
     /// as zero lag. No observation is recorded for an empty set.
+    ///
+    /// Each lagging copy is also charged to its object on the
+    /// [`Attr::ServeStalenessByObject`] channel (weight = version lag),
+    /// so a top-K sink can name the stalest cached objects.
     pub fn observe_staleness<I>(&self, cached: I, recorder: &dyn Recorder)
     where
         I: IntoIterator<Item = (ObjectId, Version)>,
@@ -162,8 +166,12 @@ impl RemoteServer {
         let mut lag_sum = 0u64;
         let mut n = 0u64;
         for (object, version) in cached {
-            lag_sum += version.lag(self.version_of(object));
+            let lag = version.lag(self.version_of(object));
+            lag_sum += lag;
             n += 1;
+            if lag > 0 {
+                recorder.attribute(Attr::ServeStalenessByObject, object.0, lag);
+            }
         }
         if n > 0 {
             recorder.sample(Sample::StalenessLag, lag_sum as f64 / n as f64);

@@ -8,8 +8,8 @@ use std::path::Path;
 
 use crate::snapshot::Snapshot;
 
-/// Render a snapshot as pretty-printed JSON with `counters`, `samples`
-/// and `spans` sections.
+/// Render a snapshot as pretty-printed JSON with `counters`, `samples`,
+/// `spans` and `attrs` sections.
 pub fn to_json(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"counters\": {");
@@ -68,33 +68,77 @@ pub fn to_json(snapshot: &Snapshot) -> String {
     if !snapshot.spans.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],\n  \"attrs\": [");
+    for (i, a) in snapshot.attrs.iter().enumerate() {
+        let comma = if i + 1 < snapshot.attrs.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"channel\": \"{}\", \"label\": {}, \"weight\": {}, \
+             \"error\": {}}}{comma}",
+            a.channel,
+            json_str(&a.label),
+            a.weight,
+            a.error,
+        );
+    }
+    if !snapshot.attrs.is_empty() {
+        out.push_str("\n  ");
+    }
     out.push_str("]\n}\n");
     out
 }
 
 /// Render a snapshot as CSV: one row per entry, with a `kind` column
-/// distinguishing counters, samples and spans.
+/// distinguishing counters, samples, spans and attribution rows.
 ///
 /// Columns: `kind,name,count,value,mean,std_dev,min,max,p95`. Counters
 /// fill `value` only; samples fill the distribution columns; spans report
-/// nanoseconds with `value` = `total_ns`.
+/// nanoseconds with `value` = `total_ns`; attribution rows name the
+/// entity as `channel/label`, fill `value` with the estimated weight and
+/// `max` with its Space-Saving error bound. Fields are quoted per
+/// RFC 4180 when they contain commas, quotes or newlines — attribution
+/// labels are dynamic, so this is load-bearing, not defensive.
 pub fn to_csv(snapshot: &Snapshot) -> String {
     let mut out = String::from("kind,name,count,value,mean,std_dev,min,max,p95\n");
     for c in &snapshot.counters {
-        let _ = writeln!(out, "counter,{},1,{},,,,,", c.name, c.value);
+        let _ = writeln!(out, "counter,{},,{},,,,,", csv_field(c.name), c.value);
     }
     for s in &snapshot.samples {
         let _ = writeln!(
             out,
             "sample,{},{},,{},{},{},{},{}",
-            s.name, s.count, s.mean, s.std_dev, s.min, s.max, s.p95
+            csv_field(s.name),
+            s.count,
+            s.mean,
+            s.std_dev,
+            s.min,
+            s.max,
+            s.p95
         );
     }
     for s in &snapshot.spans {
         let _ = writeln!(
             out,
             "span,{},{},{},{},,,,{}",
-            s.name, s.count, s.total_ns, s.mean_ns, s.p95_ns
+            csv_field(s.name),
+            s.count,
+            s.total_ns,
+            s.mean_ns,
+            s.p95_ns
+        );
+    }
+    for a in &snapshot.attrs {
+        let name = format!("{}/{}", a.channel, a.label);
+        let _ = writeln!(
+            out,
+            "attr,{},,{},,,,{},",
+            csv_field(&name),
+            a.weight,
+            a.error
         );
     }
     out
@@ -125,12 +169,46 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// A string rendered as a quoted JSON string with escapes. Static id
+/// names never need this, but attribution labels are dynamic.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A CSV field quoted per RFC 4180 when it contains a comma, quote or
+/// line break; passed through verbatim otherwise.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{Event, Sample, Stage};
+    use crate::ids::{Attr, Event, Sample, Stage};
     use crate::recorder::Recorder;
+    use crate::snapshot::AttrSnapshot;
     use crate::stats::StatsRecorder;
+    use crate::topk::TopKRecorder;
 
     fn snapshot() -> Snapshot {
         let rec = StatsRecorder::new();
@@ -140,6 +218,15 @@ mod tests {
         rec.sample(Sample::BatchSize, 20.0);
         rec.span_ns(Stage::Plan, 1_500);
         rec.snapshot()
+    }
+
+    fn snapshot_with_attrs() -> Snapshot {
+        let topk = TopKRecorder::new(4);
+        topk.attribute(Attr::DownlinkUnitsByObject, 7, 40);
+        topk.attribute(Attr::ServeStalenessByClient, 3, 9);
+        let mut snap = snapshot();
+        snap.attrs = topk.snapshot().attrs;
+        snap
     }
 
     #[test]
@@ -157,17 +244,107 @@ mod tests {
         assert!(json.contains("\"counters\": {}"));
         assert!(json.contains("\"samples\": []"));
         assert!(json.contains("\"spans\": []"));
+        assert!(json.contains("\"attrs\": []"));
+        crate::json::parse(&json).expect("scaffolding parses");
     }
 
     #[test]
     fn csv_has_one_row_per_entry_plus_header() {
-        let csv = to_csv(&snapshot());
+        let csv = to_csv(&snapshot_with_attrs());
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "kind,name,count,value,mean,std_dev,min,max,p95");
-        assert_eq!(lines.len(), 1 + 2 + 1 + 1);
-        assert!(lines.iter().any(|l| l.starts_with("counter,rounds,1,3")));
+        assert_eq!(lines.len(), 1 + 2 + 1 + 1 + 2);
+        // Counters leave the observation-count column empty: a counter
+        // has a value, not a number of observations.
+        assert!(lines.iter().any(|l| l.starts_with("counter,rounds,,3")));
         assert!(lines.iter().any(|l| l.starts_with("sample,batch_size,2")));
         assert!(lines.iter().any(|l| l.starts_with("span,plan,1,1500")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("attr,downlink_units_by_object/obj#7,,40")));
+    }
+
+    #[test]
+    fn csv_quotes_comma_bearing_names_per_rfc4180() {
+        let mut snap = Snapshot::default();
+        snap.attrs.push(AttrSnapshot {
+            channel: "downlink_units_by_object",
+            label: "obj#7, partition \"A\"".to_string(),
+            weight: 12,
+            error: 0,
+        });
+        let csv = to_csv(&snap);
+        let row = csv.lines().nth(1).expect("one attr row");
+        assert_eq!(
+            row,
+            "attr,\"downlink_units_by_object/obj#7, partition \"\"A\"\"\",,12,,,,0,"
+        );
+        // The quoted field still reads back as one field: splitting on
+        // raw commas outside quotes yields the 9 schema columns.
+        let mut fields = 1;
+        let mut in_quotes = false;
+        for c in row.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fields, 9);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let snap = snapshot_with_attrs();
+        let parsed = crate::json::parse(&to_json(&snap)).expect("exporter emits valid JSON");
+
+        for c in &snap.counters {
+            assert_eq!(
+                parsed
+                    .get("counters")
+                    .and_then(|v| v.get(c.name))
+                    .and_then(|v| v.as_f64()),
+                Some(c.value as f64),
+                "counter {} must survive the round trip",
+                c.name
+            );
+        }
+        let samples = parsed.get("samples").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(samples.len(), snap.samples.len());
+        for (got, want) in samples.iter().zip(&snap.samples) {
+            assert_eq!(got.get("name").and_then(|v| v.as_str()), Some(want.name));
+            assert_eq!(
+                got.get("count").and_then(|v| v.as_f64()),
+                Some(want.count as f64)
+            );
+            assert_eq!(got.get("mean").and_then(|v| v.as_f64()), Some(want.mean));
+            assert_eq!(got.get("p95").and_then(|v| v.as_f64()), Some(want.p95));
+        }
+        let spans = parsed.get("spans").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(spans.len(), snap.spans.len());
+        for (got, want) in spans.iter().zip(&snap.spans) {
+            assert_eq!(got.get("name").and_then(|v| v.as_str()), Some(want.name));
+            assert_eq!(
+                got.get("total_ns").and_then(|v| v.as_f64()),
+                Some(want.total_ns as f64)
+            );
+        }
+        let attrs = parsed.get("attrs").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(attrs.len(), snap.attrs.len());
+        for (got, want) in attrs.iter().zip(&snap.attrs) {
+            assert_eq!(
+                got.get("channel").and_then(|v| v.as_str()),
+                Some(want.channel)
+            );
+            assert_eq!(
+                got.get("label").and_then(|v| v.as_str()),
+                Some(want.label.as_str())
+            );
+            assert_eq!(
+                got.get("weight").and_then(|v| v.as_f64()),
+                Some(want.weight as f64)
+            );
+        }
     }
 
     #[test]

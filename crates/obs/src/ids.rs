@@ -156,11 +156,17 @@ pub enum Sample {
     FetchLatencyTicks,
     /// Mean version lag across cached copies at observation time.
     StalenessLag,
+    /// Fraction of one round's requests served without a download of
+    /// their object that round.
+    CacheHitRatio,
+    /// Upper bound on one round's achievable knapsack value (the value
+    /// of downloading *every* requested stale object, budget ignored).
+    PlanProfitBound,
 }
 
 impl Sample {
     /// Every sample id, in export order.
-    pub const ALL: [Sample; 9] = [
+    pub const ALL: [Sample; 11] = [
         Sample::BatchSize,
         Sample::PlanProfit,
         Sample::AverageScore,
@@ -170,6 +176,8 @@ impl Sample {
         Sample::LinkUtilization,
         Sample::FetchLatencyTicks,
         Sample::StalenessLag,
+        Sample::CacheHitRatio,
+        Sample::PlanProfitBound,
     ];
 
     /// Number of sample ids.
@@ -193,6 +201,65 @@ impl Sample {
             Sample::LinkUtilization => "link_utilization",
             Sample::FetchLatencyTicks => "fetch_latency_ticks",
             Sample::StalenessLag => "staleness_lag",
+            Sample::CacheHitRatio => "cache_hit_ratio",
+            Sample::PlanProfitBound => "plan_profit_bound",
+        }
+    }
+}
+
+/// An attribution channel: a weighted stream of `(key, weight)` pairs
+/// where the key is a dense entity id (`ObjectId.0`, `ClientId.0`) and
+/// the weight is what that entity consumed or suffered. Top-K sinks
+/// ([`crate::TopK`]) answer "which entities dominated this channel"
+/// without per-entity storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Attr {
+    /// Data units of download budget spent per object (key: `ObjectId`).
+    DownlinkUnitsByObject,
+    /// Data units delivered over the wireless downlink per client
+    /// (key: `ClientId`).
+    DownlinkUnitsByClient,
+    /// Staleness suffered at serve time per object (key: `ObjectId`;
+    /// weight: quantized `1 - recency` summed over serves).
+    ServeStalenessByObject,
+    /// Staleness suffered at serve time per client (key: `ClientId`).
+    ServeStalenessByClient,
+}
+
+impl Attr {
+    /// Every attribution channel, in export order.
+    pub const ALL: [Attr; 4] = [
+        Attr::DownlinkUnitsByObject,
+        Attr::DownlinkUnitsByClient,
+        Attr::ServeStalenessByObject,
+        Attr::ServeStalenessByClient,
+    ];
+
+    /// Number of attribution channels.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense storage index of this channel.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable, export-facing name (`snake_case`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Attr::DownlinkUnitsByObject => "downlink_units_by_object",
+            Attr::DownlinkUnitsByClient => "downlink_units_by_client",
+            Attr::ServeStalenessByObject => "serve_staleness_by_object",
+            Attr::ServeStalenessByClient => "serve_staleness_by_client",
+        }
+    }
+
+    /// Render `key` the way the owning entity displays itself
+    /// (`obj#7`, `client#3`).
+    pub fn label(self, key: u32) -> String {
+        match self {
+            Attr::DownlinkUnitsByObject | Attr::ServeStalenessByObject => format!("obj#{key}"),
+            Attr::DownlinkUnitsByClient | Attr::ServeStalenessByClient => format!("client#{key}"),
         }
     }
 }
@@ -212,6 +279,9 @@ mod tests {
         for (i, s) in Sample::ALL.iter().enumerate() {
             assert_eq!(s.index(), i);
         }
+        for (i, a) in Attr::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+        }
     }
 
     #[test]
@@ -219,9 +289,18 @@ mod tests {
         let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
         names.extend(Event::ALL.iter().map(|e| e.name()));
         names.extend(Sample::ALL.iter().map(|s| s.name()));
+        names.extend(Attr::ALL.iter().map(|a| a.name()));
         let n = names.len();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n, "duplicate id name");
+    }
+
+    #[test]
+    fn attr_labels_match_entity_display() {
+        assert_eq!(Attr::DownlinkUnitsByObject.label(7), "obj#7");
+        assert_eq!(Attr::ServeStalenessByObject.label(0), "obj#0");
+        assert_eq!(Attr::DownlinkUnitsByClient.label(3), "client#3");
+        assert_eq!(Attr::ServeStalenessByClient.label(9), "client#9");
     }
 }

@@ -13,8 +13,18 @@
 //!   accumulators (`Welford`, `P2Quantile`). Recording is allocation-free;
 //!   only [`Recorder::snapshot`] allocates, at report time.
 //!
+//! Beyond the aggregate sinks, the crate is a deterministic *flight
+//! recorder*: [`RoundSeries`] keeps a bounded, decimating per-round time
+//! series keyed by sim time; [`TraceRecorder`] keeps a ring of dense
+//! events exportable as Chrome-trace/Perfetto JSON; [`TopKRecorder`]
+//! summarizes which objects and clients dominated the downlink and the
+//! staleness tail (Space-Saving heavy hitters); and [`Tee`] /
+//! [`FlightRecorder`] compose any of them behind the one [`Recorder`]
+//! parameter a station accepts.
+//!
 //! Snapshots export to JSON or CSV via [`export`], feeding the experiment
-//! reports and the bench harness's per-stage breakdowns.
+//! reports and the bench harness's per-stage breakdowns. The [`json`]
+//! module holds the minimal parser used to read those reports back.
 //!
 //! # Example
 //!
@@ -37,11 +47,20 @@
 
 pub mod export;
 pub mod ids;
+pub mod json;
 pub mod recorder;
+pub mod series;
 pub mod snapshot;
 pub mod stats;
+pub mod tee;
+pub mod topk;
+pub mod trace;
 
-pub use ids::{Event, Sample, Stage};
+pub use ids::{Attr, Event, Sample, Stage};
 pub use recorder::{NullRecorder, Recorder, Span};
-pub use snapshot::{CounterSnapshot, SampleSnapshot, Snapshot, SpanSnapshot};
+pub use series::{RoundRow, RoundSeries};
+pub use snapshot::{AttrSnapshot, CounterSnapshot, SampleSnapshot, Snapshot, SpanSnapshot};
 pub use stats::StatsRecorder;
+pub use tee::{FlightRecorder, Tee};
+pub use topk::{TopEntry, TopK, TopKRecorder};
+pub use trace::{TraceEntry, TraceEvent, TraceRecorder};

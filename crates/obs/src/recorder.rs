@@ -9,9 +9,10 @@
 //! `basecache-core` extends through instrumentation (see
 //! `crates/core/tests/alloc_free.rs`).
 
+use std::any::Any;
 use std::time::Instant;
 
-use crate::ids::{Event, Sample, Stage};
+use crate::ids::{Attr, Event, Sample, Stage};
 use crate::snapshot::Snapshot;
 
 /// The instrumentation sink of the request path.
@@ -46,6 +47,28 @@ pub trait Recorder: std::fmt::Debug + Send {
     fn incr(&self, event: Event) {
         self.add(event, 1);
     }
+
+    /// A scheduling round is starting at sim-time `tick`. Round-aware
+    /// sinks (time series, trace rings) use this to open a new row or
+    /// emit a round marker; aggregate sinks ignore it.
+    #[inline]
+    fn begin_round(&self, _tick: u64) {}
+
+    /// The round begun at sim-time `tick` has finished: counters,
+    /// samples and spans for the round are all in.
+    #[inline]
+    fn end_round(&self, _tick: u64) {}
+
+    /// Charge `weight` to entity `key` on the attribution channel
+    /// `attr`. Aggregate sinks ignore it; top-K sinks fold it into
+    /// their heavy-hitter summaries without allocating.
+    #[inline]
+    fn attribute(&self, _attr: Attr, _key: u32, _weight: u64) {}
+
+    /// Downcast support, so a composed recorder handed to a station as
+    /// `Box<dyn Recorder>` can be recovered as its concrete type at
+    /// report time (e.g. to export a trace or a time series).
+    fn as_any(&self) -> &dyn Any;
 }
 
 /// An RAII span timer: created via [`Span::enter`], records the elapsed
@@ -111,6 +134,10 @@ impl Recorder for NullRecorder {
 
     fn snapshot(&self) -> Snapshot {
         Snapshot::default()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 

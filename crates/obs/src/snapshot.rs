@@ -43,8 +43,24 @@ pub struct SpanSnapshot {
     pub p95_ns: f64,
 }
 
+/// One heavy hitter on an attribution channel, exported from a top-K
+/// summary. Labels are dynamic (`obj#7`, `client#3`) — the one place a
+/// snapshot carries owned strings instead of static id names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSnapshot {
+    /// Stable channel name (`snake_case`), e.g. `downlink_units_by_object`.
+    pub channel: &'static str,
+    /// Entity label rendered by the channel (`obj#7`, `client#3`).
+    pub label: String,
+    /// Estimated total weight charged to this entity (upper bound).
+    pub weight: u64,
+    /// Maximum overestimate in `weight` (Space-Saving error bound; 0
+    /// means the count is exact).
+    pub error: u64,
+}
+
 /// Everything a recorder observed, ready for export. Only ids that were
-/// actually touched appear; an untouched recorder snapshots to three
+/// actually touched appear; an untouched recorder snapshots to four
 /// empty lists.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
@@ -54,12 +70,18 @@ pub struct Snapshot {
     pub samples: Vec<SampleSnapshot>,
     /// Stages with at least one span, in id order.
     pub spans: Vec<SpanSnapshot>,
+    /// Top-K heavy hitters per attribution channel, heaviest first
+    /// within each channel.
+    pub attrs: Vec<AttrSnapshot>,
 }
 
 impl Snapshot {
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.samples.is_empty() && self.spans.is_empty()
+        self.counters.is_empty()
+            && self.samples.is_empty()
+            && self.spans.is_empty()
+            && self.attrs.is_empty()
     }
 
     /// Look up a counter's value by name (`None` if never incremented).
@@ -78,5 +100,10 @@ impl Snapshot {
     /// Look up a span summary by name.
     pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
         self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// All heavy hitters on one attribution channel, heaviest first.
+    pub fn attrs_on<'a>(&'a self, channel: &'a str) -> impl Iterator<Item = &'a AttrSnapshot> + 'a {
+        self.attrs.iter().filter(move |a| a.channel == channel)
     }
 }

@@ -184,7 +184,12 @@ impl Recorder for StatsRecorder {
             counters,
             samples,
             spans,
+            ..Snapshot::default()
         }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

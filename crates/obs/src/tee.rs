@@ -1,0 +1,286 @@
+//! [`Tee`]: compose two recorders behind one [`Recorder`] parameter, and
+//! [`FlightRecorder`]: the canonical Stats + Trace + Series + TopK stack.
+//!
+//! A station takes exactly one recorder. `Tee` fans every recording call
+//! out to two sinks, and nests — `Tee(Stats, Tee(Trace, Tee(Series,
+//! TopK)))` is still one `Recorder`, fully monomorphized when used as a
+//! generic parameter. Each delegate keeps its allocation-free recording
+//! guarantee, so the composition does too: a tee'd call is two (or four)
+//! inlined calls, no dispatch, no heap.
+
+use crate::ids::{Attr, Event, Sample, Stage};
+use crate::recorder::Recorder;
+use crate::series::RoundSeries;
+use crate::snapshot::Snapshot;
+use crate::stats::StatsRecorder;
+use crate::topk::TopKRecorder;
+use crate::trace::TraceRecorder;
+
+/// Fan every recording call out to two delegate recorders.
+///
+/// The fields are public so a composition handed to a station as
+/// `Box<dyn Recorder>` can be recovered (via [`Recorder::as_any`]) and
+/// taken apart at report time.
+#[derive(Debug)]
+pub struct Tee<A: Recorder, B: Recorder> {
+    /// First delegate. Its snapshot sections win when both delegates
+    /// populate the same section.
+    pub left: A,
+    /// Second delegate.
+    pub right: B,
+}
+
+impl<A: Recorder, B: Recorder> Tee<A, B> {
+    /// Compose `left` and `right` behind one recorder.
+    pub fn new(left: A, right: B) -> Self {
+        Self { left, right }
+    }
+}
+
+impl<A: Recorder + 'static, B: Recorder + 'static> Recorder for Tee<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.left.enabled() || self.right.enabled()
+    }
+
+    #[inline]
+    fn add(&self, event: Event, n: u64) {
+        self.left.add(event, n);
+        self.right.add(event, n);
+    }
+
+    #[inline]
+    fn sample(&self, sample: Sample, value: f64) {
+        self.left.sample(sample, value);
+        self.right.sample(sample, value);
+    }
+
+    #[inline]
+    fn span_ns(&self, stage: Stage, ns: u64) {
+        self.left.span_ns(stage, ns);
+        self.right.span_ns(stage, ns);
+    }
+
+    /// Merge the delegates' snapshots: for the aggregate sections
+    /// (counters/samples/spans) the left delegate wins when non-empty;
+    /// attribution rows are concatenated (distinct channels don't
+    /// collide).
+    fn snapshot(&self) -> Snapshot {
+        let mut left = self.left.snapshot();
+        let right = self.right.snapshot();
+        if left.counters.is_empty() {
+            left.counters = right.counters;
+        }
+        if left.samples.is_empty() {
+            left.samples = right.samples;
+        }
+        if left.spans.is_empty() {
+            left.spans = right.spans;
+        }
+        left.attrs.extend(right.attrs);
+        left
+    }
+
+    #[inline]
+    fn begin_round(&self, tick: u64) {
+        self.left.begin_round(tick);
+        self.right.begin_round(tick);
+    }
+
+    #[inline]
+    fn end_round(&self, tick: u64) {
+        self.left.end_round(tick);
+        self.right.end_round(tick);
+    }
+
+    #[inline]
+    fn attribute(&self, attr: Attr, key: u32, weight: u64) {
+        self.left.attribute(attr, key, weight);
+        self.right.attribute(attr, key, weight);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// The full deterministic flight recorder: aggregate statistics, an
+/// event-ring trace, a per-round time series, and top-K attribution,
+/// composed from nested [`Tee`]s behind one [`Recorder`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    tee: Tee<StatsRecorder, Tee<TraceRecorder, Tee<RoundSeries, TopKRecorder>>>,
+}
+
+impl FlightRecorder {
+    /// A flight recorder whose trace ring holds `trace_capacity` events,
+    /// whose series keeps `series_capacity` rounds (decimating beyond),
+    /// and whose attribution tracks the `top_k` heaviest entities per
+    /// channel. All allocation happens here.
+    pub fn new(trace_capacity: usize, series_capacity: usize, top_k: usize) -> Self {
+        Self {
+            tee: Tee::new(
+                StatsRecorder::new(),
+                Tee::new(
+                    TraceRecorder::with_capacity(trace_capacity),
+                    Tee::new(
+                        RoundSeries::with_capacity(series_capacity),
+                        TopKRecorder::new(top_k),
+                    ),
+                ),
+            ),
+        }
+    }
+
+    /// The aggregate-statistics sink.
+    pub fn stats(&self) -> &StatsRecorder {
+        &self.tee.left
+    }
+
+    /// The event-ring trace sink.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.tee.right.left
+    }
+
+    /// The per-round time-series sink.
+    pub fn series(&self) -> &RoundSeries {
+        &self.tee.right.right.left
+    }
+
+    /// The top-K attribution sink.
+    pub fn topk(&self) -> &TopKRecorder {
+        &self.tee.right.right.right
+    }
+
+    /// Reset every sink (e.g. at the end of a warm-up phase) without
+    /// deallocating.
+    pub fn reset(&self) {
+        self.stats().reset();
+        self.trace().reset();
+        self.series().reset();
+        self.topk().reset();
+    }
+}
+
+impl Recorder for FlightRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&self, event: Event, n: u64) {
+        self.tee.add(event, n);
+    }
+
+    #[inline]
+    fn sample(&self, sample: Sample, value: f64) {
+        self.tee.sample(sample, value);
+    }
+
+    #[inline]
+    fn span_ns(&self, stage: Stage, ns: u64) {
+        self.tee.span_ns(stage, ns);
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.tee.snapshot()
+    }
+
+    #[inline]
+    fn begin_round(&self, tick: u64) {
+        self.tee.begin_round(tick);
+    }
+
+    #[inline]
+    fn end_round(&self, tick: u64) {
+        self.tee.end_round(tick);
+    }
+
+    #[inline]
+    fn attribute(&self, attr: Attr, key: u32, weight: u64) {
+        self.tee.attribute(attr, key, weight);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::NullRecorder;
+
+    #[test]
+    fn tee_forwards_to_both_delegates() {
+        let tee = Tee::new(StatsRecorder::new(), StatsRecorder::new());
+        tee.incr(Event::Rounds);
+        tee.sample(Sample::BatchSize, 5.0);
+        tee.span_ns(Stage::Plan, 100);
+        assert_eq!(tee.left.counter(Event::Rounds), 1);
+        assert_eq!(tee.right.counter(Event::Rounds), 1);
+        assert!(tee.left.snapshot().sample("batch_size").is_some());
+        assert!(tee.right.snapshot().span("plan").is_some());
+    }
+
+    #[test]
+    fn tee_of_nulls_is_disabled() {
+        let tee = Tee::new(NullRecorder, NullRecorder);
+        assert!(!tee.enabled());
+        assert!(tee.snapshot().is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_routes_every_signal_to_its_sink() {
+        let flight = FlightRecorder::new(256, 64, 4);
+        assert!(flight.enabled());
+        flight.begin_round(3);
+        flight.incr(Event::Rounds);
+        flight.add(Event::UnitsDownloaded, 12);
+        flight.sample(Sample::BatchSize, 9.0);
+        flight.span_ns(Stage::Plan, 400);
+        flight.attribute(Attr::DownlinkUnitsByObject, 7, 12);
+        flight.end_round(3);
+
+        assert_eq!(flight.stats().counter(Event::Rounds), 1);
+        assert!(!flight.trace().is_empty());
+        let rows = flight.series().rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tick, 3);
+        assert_eq!(rows[0].units_fetched, 12);
+        assert_eq!(flight.topk().top(Attr::DownlinkUnitsByObject)[0].key, 7);
+
+        // The merged snapshot carries aggregates AND attribution.
+        let snap = flight.snapshot();
+        assert_eq!(snap.counter("rounds"), Some(1));
+        assert!(snap.span("plan").is_some());
+        let attrs: Vec<_> = snap.attrs_on("downlink_units_by_object").collect();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].label, "obj#7");
+    }
+
+    #[test]
+    fn flight_recorder_reset_clears_every_sink() {
+        let flight = FlightRecorder::new(64, 16, 4);
+        flight.begin_round(0);
+        flight.incr(Event::Rounds);
+        flight.attribute(Attr::ServeStalenessByClient, 1, 5);
+        flight.end_round(0);
+        flight.reset();
+        assert!(flight.snapshot().is_empty());
+        assert!(flight.trace().is_empty());
+        assert!(flight.series().is_empty());
+    }
+
+    #[test]
+    fn boxed_flight_recorder_recovers_by_downcast() {
+        let boxed: Box<dyn Recorder> = Box::new(FlightRecorder::new(64, 16, 4));
+        boxed.incr(Event::Rounds);
+        let flight = boxed
+            .as_any()
+            .downcast_ref::<FlightRecorder>()
+            .expect("concrete type recoverable");
+        assert_eq!(flight.stats().counter(Event::Rounds), 1);
+    }
+}

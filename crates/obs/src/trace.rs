@@ -1,0 +1,407 @@
+//! [`TraceRecorder`]: a flight-recorder ring buffer of dense events with
+//! logical timestamps, plus a Chrome-trace-event exporter.
+//!
+//! The ring holds the last `capacity` recorder events as `Copy` entries
+//! stamped with a monotone sequence number and the sim tick of the
+//! enclosing round — logical time, never wall-clock, so two identical
+//! runs produce identical rings (span durations aside). When the ring is
+//! full the oldest entry is overwritten and a dropped counter advances:
+//! a crash or an anomaly late in a million-round run still leaves the
+//! most recent window intact, which is exactly what a flight recorder is
+//! for.
+//!
+//! [`TraceRecorder::to_chrome_trace`] renders the ring as Chrome
+//! trace-event JSON (the `{"traceEvents": [...]}` dialect) loadable in
+//! Perfetto or `chrome://tracing`. Wall-clock span durations are real;
+//! their *placement* on the timeline is synthetic and deterministic:
+//! rounds are laid out back to back, and within a round each stage
+//! stacks its spans end to end on its own named track.
+
+use std::cell::RefCell;
+
+use crate::ids::{Attr, Event, Sample, Stage};
+use crate::recorder::Recorder;
+use crate::snapshot::Snapshot;
+
+/// One dense flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A scheduling round began.
+    RoundBegin,
+    /// The current scheduling round finished.
+    RoundEnd,
+    /// A stage span completed, taking `ns` wall-clock nanoseconds.
+    Span {
+        /// Which stage ran.
+        stage: Stage,
+        /// Elapsed nanoseconds.
+        ns: u64,
+    },
+    /// A counter advanced by `n`.
+    Count {
+        /// Which counter.
+        event: Event,
+        /// Increment.
+        n: u64,
+    },
+    /// A distribution sample was observed.
+    Value {
+        /// Which sample id.
+        sample: Sample,
+        /// Observed value.
+        value: f64,
+    },
+    /// Weight was charged to an entity on an attribution channel.
+    Attribute {
+        /// Which channel.
+        attr: Attr,
+        /// Entity key (`ObjectId.0` / `ClientId.0`).
+        key: u32,
+        /// Charged weight.
+        weight: u64,
+    },
+}
+
+/// A ring entry: an event plus its logical timestamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Monotone per-recorder sequence number (0-based, counts every
+    /// recorded event including ones later overwritten).
+    pub seq: u64,
+    /// Sim tick of the enclosing round (0 before the first round).
+    pub tick: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEntry>,
+    /// Next write position.
+    head: usize,
+    len: usize,
+    seq: u64,
+    tick: u64,
+    dropped: u64,
+}
+
+/// A bounded flight recorder behind the [`Recorder`] seam. Compose with
+/// other sinks via [`crate::Tee`]; recover from `Box<dyn Recorder>` with
+/// [`Recorder::as_any`].
+#[derive(Debug)]
+pub struct TraceRecorder {
+    capacity: usize,
+    state: RefCell<Ring>,
+}
+
+impl TraceRecorder {
+    /// A ring holding at most `capacity` events (min 16). All allocation
+    /// happens here; recording never touches the heap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(16);
+        Self {
+            capacity,
+            state: RefCell::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                head: 0,
+                len: 0,
+                seq: 0,
+                tick: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut st = self.state.borrow_mut();
+        let entry = TraceEntry {
+            seq: st.seq,
+            tick: st.tick,
+            event,
+        };
+        st.seq += 1;
+        if st.buf.len() < self.capacity {
+            st.buf.push(entry);
+            st.len = st.buf.len();
+            st.head = st.len % self.capacity;
+        } else {
+            let head = st.head;
+            st.buf[head] = entry;
+            st.head = (head + 1) % self.capacity;
+            st.dropped += 1;
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.state.borrow().len
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.state.borrow().dropped
+    }
+
+    /// Copy out the retained entries, oldest first. Allocates; call at
+    /// report time.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        let st = self.state.borrow();
+        let mut out = Vec::with_capacity(st.len);
+        if st.len == 0 {
+            return out;
+        }
+        let start = (st.head + self.capacity - st.len) % self.capacity;
+        for i in 0..st.len {
+            out.push(st.buf[(start + i) % self.capacity]);
+        }
+        out
+    }
+
+    /// Forget everything without deallocating the ring.
+    pub fn reset(&self) {
+        let mut st = self.state.borrow_mut();
+        st.buf.clear();
+        st.head = 0;
+        st.len = 0;
+        st.seq = 0;
+        st.tick = 0;
+        st.dropped = 0;
+    }
+
+    /// Render the ring as Chrome trace-event JSON, loadable in Perfetto
+    /// or `chrome://tracing`.
+    ///
+    /// Layout is synthetic but deterministic: each round occupies a
+    /// contiguous slab of the timeline starting where the previous
+    /// round's longest track ended; within a round, each stage stacks
+    /// its spans end to end on its own named thread track. Span
+    /// durations are the recorded nanoseconds; counters and samples
+    /// appear as counter (`"C"`) events at the round's base timestamp.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        // Name the per-stage tracks.
+        for stage in Stage::ALL {
+            lines.push(format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                stage.index() + 1,
+                stage.name()
+            ));
+        }
+        // Synthetic timeline state, all in nanoseconds.
+        let mut round_base: u64 = 0;
+        let mut stage_end = [0u64; Stage::COUNT];
+        let mut round_max: u64 = 0;
+        for entry in self.entries() {
+            match entry.event {
+                TraceEvent::RoundBegin => {
+                    // Open a fresh slab where the previous round's
+                    // longest track ended; trailing spans (the
+                    // whole-round Step span drops after RoundEnd) have
+                    // already accrued into round_max.
+                    round_base = round_max;
+                    stage_end = [round_base; Stage::COUNT];
+                    lines.push(format!(
+                        "{{\"name\": \"round {}\", \"ph\": \"i\", \"s\": \"g\", \
+                         \"ts\": {}, \"pid\": 1, \"tid\": 0}}",
+                        entry.tick,
+                        micros(round_base)
+                    ));
+                }
+                TraceEvent::RoundEnd => {}
+                TraceEvent::Span { stage, ns } => {
+                    let ts = stage_end[stage.index()];
+                    stage_end[stage.index()] = ts.saturating_add(ns);
+                    round_max = round_max.max(stage_end[stage.index()]);
+                    lines.push(format!(
+                        "{{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+                         \"pid\": 1, \"tid\": {}, \"args\": {{\"tick\": {}}}}}",
+                        stage.name(),
+                        micros(ts),
+                        micros(ns),
+                        stage.index() + 1,
+                        entry.tick
+                    ));
+                }
+                TraceEvent::Count { event, n } => {
+                    lines.push(format!(
+                        "{{\"name\": \"{}\", \"ph\": \"C\", \"ts\": {}, \"pid\": 1, \
+                         \"args\": {{\"value\": {}}}}}",
+                        event.name(),
+                        micros(round_base),
+                        n
+                    ));
+                }
+                TraceEvent::Value { sample, value } => {
+                    if !value.is_finite() {
+                        continue;
+                    }
+                    lines.push(format!(
+                        "{{\"name\": \"{}\", \"ph\": \"C\", \"ts\": {}, \"pid\": 1, \
+                         \"args\": {{\"value\": {}}}}}",
+                        sample.name(),
+                        micros(round_base),
+                        value
+                    ));
+                }
+                // Attribution is summarized by top-K sinks; it would
+                // only add noise to the timeline view.
+                TraceEvent::Attribute { .. } => {}
+            }
+        }
+        let mut out = String::from("{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n");
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n]\n}\n");
+        out
+    }
+}
+
+/// Nanoseconds rendered as the microsecond `ts`/`dur` unit Chrome trace
+/// events use, with sub-µs precision preserved as a decimal fraction.
+fn micros(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        format!("{whole}.{frac:03}")
+    }
+}
+
+impl Recorder for TraceRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&self, event: Event, n: u64) {
+        self.push(TraceEvent::Count { event, n });
+    }
+
+    #[inline]
+    fn sample(&self, sample: Sample, value: f64) {
+        self.push(TraceEvent::Value { sample, value });
+    }
+
+    #[inline]
+    fn span_ns(&self, stage: Stage, ns: u64) {
+        self.push(TraceEvent::Span { stage, ns });
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+
+    #[inline]
+    fn begin_round(&self, tick: u64) {
+        self.state.borrow_mut().tick = tick;
+        self.push(TraceEvent::RoundBegin);
+    }
+
+    #[inline]
+    fn end_round(&self, _tick: u64) {
+        self.push(TraceEvent::RoundEnd);
+    }
+
+    #[inline]
+    fn attribute(&self, attr: Attr, key: u32, weight: u64) {
+        self.push(TraceEvent::Attribute { attr, key, weight });
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_window() {
+        let trace = TraceRecorder::with_capacity(16);
+        for i in 0..40u64 {
+            trace.add(Event::Rounds, i);
+        }
+        assert_eq!(trace.len(), 16);
+        assert_eq!(trace.dropped(), 24);
+        let entries = trace.entries();
+        assert_eq!(entries.len(), 16);
+        // Oldest retained is event 24, newest is 39, in order.
+        assert_eq!(entries[0].seq, 24);
+        assert_eq!(entries[15].seq, 39);
+        assert!(entries.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    }
+
+    #[test]
+    fn entries_carry_the_enclosing_round_tick() {
+        let trace = TraceRecorder::with_capacity(64);
+        trace.begin_round(7);
+        trace.span_ns(Stage::Plan, 500);
+        trace.end_round(7);
+        trace.begin_round(8);
+        trace.span_ns(Stage::Plan, 700);
+        let entries = trace.entries();
+        assert_eq!(entries[0].tick, 7); // RoundBegin
+        assert_eq!(entries[1].tick, 7); // the 500ns plan span
+        assert_eq!(entries[4].tick, 8); // the 700ns plan span
+    }
+
+    #[test]
+    fn chrome_trace_lays_rounds_out_back_to_back() {
+        let trace = TraceRecorder::with_capacity(64);
+        trace.begin_round(0);
+        trace.span_ns(Stage::Plan, 2_000);
+        trace.span_ns(Stage::Serve, 1_000);
+        trace.end_round(0);
+        trace.span_ns(Stage::Step, 4_000); // drops after end_round
+        trace.begin_round(1);
+        trace.span_ns(Stage::Plan, 1_000);
+        trace.end_round(1);
+        let json = trace.to_chrome_trace();
+        assert!(json.contains("\"traceEvents\""));
+        // Round 0's spans start at ts 0 (µs); round 1 starts after the
+        // longest round-0 track — the 4µs step span.
+        assert!(json.contains("\"name\": \"plan\", \"ph\": \"X\", \"ts\": 0, \"dur\": 2"));
+        assert!(json.contains("\"name\": \"step\", \"ph\": \"X\", \"ts\": 0, \"dur\": 4"));
+        assert!(json.contains("\"name\": \"plan\", \"ph\": \"X\", \"ts\": 4, \"dur\": 1"));
+        assert!(json.contains("\"name\": \"round 1\""));
+    }
+
+    #[test]
+    fn same_stage_spans_stack_end_to_end_within_a_round() {
+        let trace = TraceRecorder::with_capacity(64);
+        trace.begin_round(0);
+        trace.span_ns(Stage::Fetch, 1_000);
+        trace.span_ns(Stage::Fetch, 2_000);
+        trace.end_round(0);
+        let json = trace.to_chrome_trace();
+        assert!(json.contains("\"name\": \"fetch\", \"ph\": \"X\", \"ts\": 0, \"dur\": 1"));
+        assert!(json.contains("\"name\": \"fetch\", \"ph\": \"X\", \"ts\": 1, \"dur\": 2"));
+    }
+
+    #[test]
+    fn sub_microsecond_timestamps_keep_precision() {
+        assert_eq!(micros(1_500), "1.500");
+        assert_eq!(micros(2_000), "2");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(0), "0");
+    }
+
+    #[test]
+    fn reset_clears_the_ring() {
+        let trace = TraceRecorder::with_capacity(16);
+        trace.begin_round(0);
+        trace.span_ns(Stage::Plan, 1);
+        trace.reset();
+        assert!(trace.is_empty());
+        assert_eq!(trace.dropped(), 0);
+        assert!(trace.entries().is_empty());
+    }
+}

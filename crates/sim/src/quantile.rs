@@ -125,8 +125,25 @@ impl P2Quantile {
     }
 
     /// The current quantile estimate; `None` before any observation.
+    ///
+    /// # Small-sample behavior
+    ///
     /// With fewer than five observations, the exact small-sample
-    /// quantile is returned.
+    /// quantile of what has arrived is returned (rank `⌈p·n⌉` of the
+    /// sorted observations — for an extreme quantile like p95 on 1–4
+    /// observations this is simply the maximum).
+    ///
+    /// From the fifth observation the P² markers take over, and the
+    /// estimate is the *middle marker*, which is initialized to the
+    /// median of the first five observations regardless of `p`. An
+    /// extreme quantile (p95, p99) therefore starts at the initial
+    /// median and only converges toward the true tail as further
+    /// observations push the marker outward — expect tens of
+    /// observations before a p95 readout is meaningful. This is
+    /// inherent to the P² algorithm (Jain & Chlamtac initialize all
+    /// five markers from the first five samples), not a bug; consumers
+    /// that report tail quantiles of short streams should check
+    /// [`Self::count`] first.
     pub fn estimate(&self) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -221,5 +238,73 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn rejects_degenerate_quantile() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn p95_of_fewer_than_five_observations_is_the_maximum() {
+        // Rank ⌈0.95·n⌉ is n for n ≤ 4, so the exact small-sample
+        // fallback returns the largest observation seen so far.
+        let mut q = P2Quantile::new(0.95);
+        q.push(2.0);
+        assert_eq!(q.estimate(), Some(2.0));
+        q.push(9.0);
+        assert_eq!(q.estimate(), Some(9.0));
+        q.push(4.0);
+        q.push(1.0);
+        assert_eq!(q.estimate(), Some(9.0));
+        assert_eq!(q.count(), 4);
+    }
+
+    #[test]
+    fn p95_at_exactly_five_observations_is_the_initial_median() {
+        // Documented small-sample quirk: once the markers initialize
+        // (five observations), the estimate is the middle marker — the
+        // median of the first five — even for an extreme quantile.
+        let mut q = P2Quantile::new(0.95);
+        for x in [10.0, 30.0, 20.0, 50.0, 40.0] {
+            q.push(x);
+        }
+        assert_eq!(q.estimate(), Some(30.0), "median of the first five");
+        // With more data the marker migrates toward the tail.
+        for _ in 0..200 {
+            q.push(30.0);
+        }
+        q.push(100.0);
+        let est = q.estimate().unwrap();
+        assert!(
+            est >= 30.0,
+            "p95 may not fall below the initial median here"
+        );
+    }
+
+    #[test]
+    fn constant_input_stays_exact_through_both_regimes() {
+        let mut q = P2Quantile::new(0.95);
+        for n in 1..=50 {
+            q.push(7.0);
+            assert_eq!(q.estimate(), Some(7.0), "after {n} constant observations");
+        }
+        assert_eq!(q.count(), 50);
+    }
+
+    #[test]
+    fn constant_then_outlier_keeps_interior_markers_sane() {
+        // A single outlier in a constant stream must not drag the
+        // median marker toward it. The parabolic update does smear the
+        // marker by a fraction of a unit (it interpolates between cell
+        // heights), so "sane" means near 5, not bit-exact 5.
+        let mut q = P2Quantile::new(0.5);
+        for _ in 0..100 {
+            q.push(5.0);
+        }
+        q.push(1_000.0);
+        for _ in 0..100 {
+            q.push(5.0);
+        }
+        let est = q.estimate().unwrap();
+        assert!(
+            (est - 5.0).abs() < 0.5,
+            "median stays near the constant, far from the outlier: {est}"
+        );
     }
 }

@@ -174,6 +174,41 @@ impl<E> Scheduler<E> {
         }
         handled
     }
+
+    /// [`Self::run_until`] with a clock-advance hook for observability
+    /// layers: whenever draining an event moves the clock forward,
+    /// `on_advance(previous, current)` fires *before* the events at the
+    /// new instant are handled. Events at the same instant share one
+    /// advance notification, so the hook sees each distinct simulated
+    /// time exactly once — a natural "round boundary" for recorders that
+    /// group work by simulated time.
+    ///
+    /// The scheduler sits below the observability crate in the workspace,
+    /// so the hook is a plain callback rather than a recorder; callers
+    /// wire it to whatever sink they use. The hook never fires for an
+    /// empty drain or for events at the current instant.
+    pub fn run_until_observed<F, A>(
+        &mut self,
+        horizon: SimTime,
+        mut handler: F,
+        mut on_advance: A,
+    ) -> u64
+    where
+        F: FnMut(&mut Self, SimTime, E),
+        A: FnMut(SimTime, SimTime),
+    {
+        let mut handled = 0;
+        let mut last = self.now;
+        while let Some((t, ev)) = self.pop_until(horizon) {
+            if t > last {
+                on_advance(last, t);
+                last = t;
+            }
+            handler(self, t, ev);
+            handled += 1;
+        }
+        handled
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +288,30 @@ mod tests {
         assert!(s.pop_until(SimTime::from_ticks(5)).is_some());
         assert!(s.pop_until(SimTime::from_ticks(5)).is_none());
         assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_observed_fires_once_per_distinct_instant() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_ticks(2), "a");
+        s.schedule_at(SimTime::from_ticks(2), "b"); // same instant: no extra advance
+        s.schedule_at(SimTime::from_ticks(5), "c");
+        let mut advances = Vec::new();
+        let handled = s.run_until_observed(
+            SimTime::from_ticks(10),
+            |_, _, _| {},
+            |from, to| advances.push((from.ticks(), to.ticks())),
+        );
+        assert_eq!(handled, 3);
+        assert_eq!(advances, vec![(0, 2), (2, 5)]);
+        // An empty drain fires no advance at all.
+        advances.clear();
+        s.run_until_observed(
+            SimTime::from_ticks(20),
+            |_, _, _| {},
+            |from, to| advances.push((from.ticks(), to.ticks())),
+        );
+        assert!(advances.is_empty());
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Offline tooling for the flight recorder: trace-file validation and
+//! summaries, plus a benchmark regression gate.
+//!
+//! Three jobs, shared by the `basecache-trace` binary and by
+//! `scripts/check.sh`:
+//!
+//! 1. [`validate_trace`] — check that an exported trace is well-formed
+//!    Chrome trace-event JSON (the format Perfetto and `chrome://tracing`
+//!    load), not just syntactically valid JSON.
+//! 2. [`summarize_trace`] — per-stage span totals and counter tallies,
+//!    for a quick look without opening a trace viewer.
+//! 3. [`diff_benches`] — compare two `BENCH_planner.json` files result by
+//!    result with a noise threshold, so CI can fail on a real regression
+//!    without flapping on timer jitter.
+//!
+//! Everything parses through [`basecache_obs::json`] — no external
+//! dependencies, same as the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use basecache_obs::json::{parse, Value};
+
+/// Counts extracted from a validated trace file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Complete ("X") span events.
+    pub spans: usize,
+    /// Counter ("C") events.
+    pub counters: usize,
+    /// Instant ("i") events (round markers).
+    pub instants: usize,
+    /// Metadata ("M") events (thread names).
+    pub metadata: usize,
+}
+
+/// Validate `text` as a Chrome trace-event JSON file.
+///
+/// Beyond JSON well-formedness this checks the envelope
+/// (`traceEvents` array present) and, per event, the fields each phase
+/// requires: every event needs a string `ph` and `name`; spans ("X")
+/// additionally need numeric `ts` and `dur`; counters ("C") need `ts`
+/// and an `args` object; instants ("i") need `ts`. Unknown phases are
+/// rejected — the exporter only emits these four.
+pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
+    let root = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\" key")?
+        .as_array()
+        .ok_or("\"traceEvents\" is not an array")?;
+    let mut stats = TraceStats::default();
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: &str| format!("event #{i}: {msg}");
+        let obj = ev.as_object().ok_or_else(|| fail("not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| fail("missing string \"ph\""))?;
+        if obj.get("name").and_then(Value::as_str).is_none() {
+            return Err(fail("missing string \"name\""));
+        }
+        let has_num = |key: &str| obj.get(key).and_then(Value::as_f64).is_some();
+        match ph {
+            "M" => stats.metadata += 1,
+            "X" => {
+                if !has_num("ts") || !has_num("dur") {
+                    return Err(fail("span (\"X\") without numeric ts/dur"));
+                }
+                stats.spans += 1;
+            }
+            "C" => {
+                if !has_num("ts") {
+                    return Err(fail("counter (\"C\") without numeric ts"));
+                }
+                if obj.get("args").and_then(Value::as_object).is_none() {
+                    return Err(fail("counter (\"C\") without args object"));
+                }
+                stats.counters += 1;
+            }
+            "i" => {
+                if !has_num("ts") {
+                    return Err(fail("instant (\"i\") without numeric ts"));
+                }
+                stats.instants += 1;
+            }
+            other => return Err(fail(&format!("unexpected phase {other:?}"))),
+        }
+        stats.events += 1;
+    }
+    Ok(stats)
+}
+
+/// Per-stage and per-counter totals of a trace file, as a printable
+/// table. Validates first; errors are the same as [`validate_trace`].
+pub fn summarize_trace(text: &str) -> Result<String, String> {
+    let stats = validate_trace(text)?;
+    let root = parse(text).expect("validated above");
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("validated above");
+
+    // tid → thread name, from "M" metadata.
+    let mut names: BTreeMap<u64, String> = BTreeMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(Value::as_str) == Some("M") {
+            if let (Some(tid), Some(name)) = (
+                ev.get("tid").and_then(Value::as_f64),
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str),
+            ) {
+                names.insert(tid as u64, name.to_string());
+            }
+        }
+    }
+
+    // Stage totals (spans, keyed by tid) and counter last-values.
+    let mut span_us: BTreeMap<u64, (u64, f64)> = BTreeMap::new();
+    let mut counter_totals: BTreeMap<String, f64> = BTreeMap::new();
+    for ev in events {
+        match ev.get("ph").and_then(Value::as_str) {
+            Some("X") => {
+                let tid = ev.get("tid").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+                let dur = ev.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+                let e = span_us.entry(tid).or_default();
+                e.0 += 1;
+                e.1 += dur;
+            }
+            Some("C") => {
+                let name = ev.get("name").and_then(Value::as_str).unwrap_or("?");
+                if let Some(args) = ev.get("args").and_then(Value::as_object) {
+                    for v in args.values() {
+                        if let Some(x) = v.as_f64() {
+                            *counter_totals.entry(name.to_string()).or_default() += x;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} events: {} spans, {} counters, {} round markers, {} metadata\n",
+        stats.events, stats.spans, stats.counters, stats.instants, stats.metadata
+    ));
+    if !span_us.is_empty() {
+        out.push_str("\nstage                 spans      total_us\n");
+        for (tid, (count, total)) in &span_us {
+            let name = names.get(tid).map(String::as_str).unwrap_or("?");
+            out.push_str(&format!("{name:<20} {count:>6} {total:>13.3}\n"));
+        }
+    }
+    if !counter_totals.is_empty() {
+        out.push_str("\ncounter                        sum\n");
+        for (name, total) in &counter_totals {
+            out.push_str(&format!("{name:<24} {total:>12.3}\n"));
+        }
+    }
+    Ok(out)
+}
+
+/// One benchmark result compared across two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Benchmark name (e.g. `planner/round/scratch_reuse`).
+    pub name: String,
+    /// Median in the baseline file, nanoseconds.
+    pub base_ns: f64,
+    /// Median in the candidate file, nanoseconds.
+    pub new_ns: f64,
+    /// Signed change, percent of baseline (positive = slower).
+    pub delta_pct: f64,
+    /// Whether the slowdown exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// Result of diffing two bench JSON files.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Rows for every name present in both files, in baseline order.
+    pub rows: Vec<DiffRow>,
+    /// Names only in the baseline (removed benches).
+    pub only_in_base: Vec<String>,
+    /// Names only in the candidate (new benches).
+    pub only_in_new: Vec<String>,
+    /// The threshold the rows were judged against, percent.
+    pub threshold_pct: f64,
+}
+
+impl DiffReport {
+    /// Rows whose slowdown exceeded the threshold.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| r.regressed)
+    }
+
+    /// Whether any row regressed.
+    pub fn has_regressions(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<40} {:>12} {:>12} {:>9}",
+            "benchmark", "base_ns", "new_ns", "delta"
+        )?;
+        for r in &self.rows {
+            let flag = if r.regressed { "  << REGRESSION" } else { "" };
+            writeln!(
+                f,
+                "{:<40} {:>12.1} {:>12.1} {:>+8.1}%{}",
+                r.name, r.base_ns, r.new_ns, r.delta_pct, flag
+            )?;
+        }
+        for name in &self.only_in_base {
+            writeln!(f, "{name:<40} (removed: only in baseline)")?;
+        }
+        for name in &self.only_in_new {
+            writeln!(f, "{name:<40} (new: only in candidate)")?;
+        }
+        write!(
+            f,
+            "threshold: +{:.1}%, {} regression(s)",
+            self.threshold_pct,
+            self.regressions().count()
+        )
+    }
+}
+
+/// Extract `name → median_ns` from a `BENCH_planner.json` document,
+/// preserving file order of the `results` array.
+fn bench_medians(text: &str, which: &str) -> Result<Vec<(String, f64)>, String> {
+    let root = parse(text).map_err(|e| format!("{which}: not valid JSON: {e}"))?;
+    let results = root
+        .get("results")
+        .ok_or_else(|| format!("{which}: missing \"results\" array"))?
+        .as_array()
+        .ok_or_else(|| format!("{which}: \"results\" is not an array"))?;
+    let mut out = Vec::with_capacity(results.len());
+    for (i, r) in results.iter().enumerate() {
+        let name = r
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{which}: result #{i} has no string \"name\""))?;
+        let median = r
+            .get("median_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{which}: result {name:?} has no numeric \"median_ns\""))?;
+        out.push((name.to_string(), median));
+    }
+    Ok(out)
+}
+
+/// Diff two `BENCH_planner.json` documents by `median_ns`.
+///
+/// A row regresses when the candidate's median is more than
+/// `threshold_pct` percent above the baseline's. Speedups never
+/// regress, however large. Benches present in only one file are listed
+/// but don't fail the gate — renames and additions are routine.
+pub fn diff_benches(base: &str, new: &str, threshold_pct: f64) -> Result<DiffReport, String> {
+    let base_rows = bench_medians(base, "baseline")?;
+    let new_rows = bench_medians(new, "candidate")?;
+    let new_map: BTreeMap<&str, f64> = new_rows.iter().map(|(n, m)| (n.as_str(), *m)).collect();
+    let base_names: BTreeMap<&str, ()> = base_rows.iter().map(|(n, _)| (n.as_str(), ())).collect();
+
+    let mut report = DiffReport {
+        threshold_pct,
+        ..DiffReport::default()
+    };
+    for (name, base_ns) in &base_rows {
+        match new_map.get(name.as_str()) {
+            Some(&new_ns) => {
+                let delta_pct = if *base_ns > 0.0 {
+                    (new_ns - base_ns) / base_ns * 100.0
+                } else {
+                    0.0
+                };
+                report.rows.push(DiffRow {
+                    name: name.clone(),
+                    base_ns: *base_ns,
+                    new_ns,
+                    delta_pct,
+                    regressed: delta_pct > threshold_pct,
+                });
+            }
+            None => report.only_in_base.push(name.clone()),
+        }
+    }
+    for (name, _) in &new_rows {
+        if !base_names.contains_key(name.as_str()) {
+            report.only_in_new.push(name.clone());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use basecache_obs::{Event, Recorder, Sample, Stage, TraceRecorder};
+
+    fn sample_trace() -> String {
+        let rec = TraceRecorder::with_capacity(64);
+        for tick in 0..3u64 {
+            rec.begin_round(tick);
+            rec.span_ns(Stage::Plan, 1_500);
+            rec.span_ns(Stage::Step, 4_000);
+            rec.incr(Event::Rounds);
+            rec.sample(Sample::BatchSize, 5.0);
+            rec.end_round(tick + 1);
+        }
+        rec.to_chrome_trace()
+    }
+
+    #[test]
+    fn exported_trace_validates() {
+        let stats = validate_trace(&sample_trace()).unwrap();
+        assert_eq!(stats.spans, 6);
+        assert_eq!(stats.counters, 6, "one Rounds + one BatchSize per round");
+        assert_eq!(stats.instants, 3);
+        assert!(stats.metadata >= 1, "thread names present");
+    }
+
+    #[test]
+    fn garbage_and_wrong_shapes_are_rejected() {
+        assert!(validate_trace("not json").is_err());
+        assert!(validate_trace("{}").unwrap_err().contains("traceEvents"));
+        assert!(validate_trace(r#"{"traceEvents": 5}"#).is_err());
+        // A span without dur must be called out.
+        let bad = r#"{"traceEvents": [{"ph": "X", "name": "plan", "pid": 1, "tid": 1, "ts": 0}]}"#;
+        assert!(validate_trace(bad).unwrap_err().contains("ts/dur"));
+        // Unknown phases are not silently accepted.
+        let odd = r#"{"traceEvents": [{"ph": "B", "name": "x", "ts": 0}]}"#;
+        assert!(validate_trace(odd)
+            .unwrap_err()
+            .contains("unexpected phase"));
+    }
+
+    #[test]
+    fn summary_reports_stage_totals() {
+        let text = summarize_trace(&sample_trace()).unwrap();
+        assert!(text.contains("plan"), "stage name from metadata: {text}");
+        assert!(text.contains("6 spans"), "{text}");
+        assert!(text.contains("rounds"), "counter tally present: {text}");
+    }
+
+    fn bench_json(pairs: &[(&str, f64)]) -> String {
+        let rows: Vec<String> = pairs
+            .iter()
+            .map(|(n, m)| format!(r#"{{"name": "{n}", "median_ns": {m}}}"#))
+            .collect();
+        format!(
+            r#"{{"bench": "planner", "results": [{}]}}"#,
+            rows.join(", ")
+        )
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let a = bench_json(&[("planner/a", 100.0), ("planner/b", 2000.0)]);
+        let report = diff_benches(&a, &a, 10.0).unwrap();
+        assert!(!report.has_regressions());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.delta_pct == 0.0));
+        assert!(report.only_in_base.is_empty() && report.only_in_new.is_empty());
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_regresses() {
+        let base = bench_json(&[("planner/a", 100.0), ("planner/b", 100.0)]);
+        let new = bench_json(&[("planner/a", 125.0), ("planner/b", 105.0)]);
+        let report = diff_benches(&base, &new, 10.0).unwrap();
+        assert!(report.has_regressions());
+        let names: Vec<&str> = report.regressions().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["planner/a"], "+5% stays under a 10% threshold");
+        // Raising the threshold clears it.
+        assert!(!diff_benches(&base, &new, 30.0).unwrap().has_regressions());
+    }
+
+    #[test]
+    fn speedups_never_regress() {
+        let base = bench_json(&[("planner/a", 1000.0)]);
+        let new = bench_json(&[("planner/a", 10.0)]);
+        let report = diff_benches(&base, &new, 5.0).unwrap();
+        assert!(!report.has_regressions());
+        assert!(report.rows[0].delta_pct < -90.0);
+    }
+
+    #[test]
+    fn renames_are_reported_but_do_not_fail() {
+        let base = bench_json(&[("planner/old", 100.0)]);
+        let new = bench_json(&[("planner/new", 100.0)]);
+        let report = diff_benches(&base, &new, 5.0).unwrap();
+        assert!(!report.has_regressions());
+        assert_eq!(report.only_in_base, ["planner/old"]);
+        assert_eq!(report.only_in_new, ["planner/new"]);
+    }
+
+    #[test]
+    fn malformed_bench_files_error_with_context() {
+        let good = bench_json(&[("planner/a", 100.0)]);
+        assert!(diff_benches("nope", &good, 5.0)
+            .unwrap_err()
+            .contains("baseline"));
+        assert!(diff_benches(&good, "{}", 5.0)
+            .unwrap_err()
+            .contains("candidate"));
+        let no_median = r#"{"results": [{"name": "x"}]}"#;
+        assert!(diff_benches(&good, no_median, 5.0)
+            .unwrap_err()
+            .contains("median_ns"));
+    }
+
+    #[test]
+    fn report_display_flags_regressions() {
+        let base = bench_json(&[("planner/a", 100.0)]);
+        let new = bench_json(&[("planner/a", 150.0)]);
+        let report = diff_benches(&base, &new, 10.0).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("+50.0%"), "{text}");
+    }
+}

@@ -1,0 +1,121 @@
+//! `basecache-trace` — flight-recorder companion CLI.
+//!
+//! ```text
+//! basecache-trace validate  <trace.json>
+//! basecache-trace summarize <trace.json>
+//! basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--warn-only]
+//! ```
+//!
+//! `validate` and `summarize` operate on Chrome-trace-event files
+//! exported by the observability layer (load them in Perfetto or
+//! `chrome://tracing` for the visual version). `diff` compares two
+//! `BENCH_planner.json` runs by `median_ns` and exits nonzero when any
+//! bench slowed down by more than the threshold (default 10%), which
+//! makes it usable as a CI regression gate; `--warn-only` reports but
+//! always exits zero. Exit codes: 0 ok, 1 regression/invalid input,
+//! 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         basecache-trace validate  <trace.json>\n  \
+         basecache-trace summarize <trace.json>\n  \
+         basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--warn-only]"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("basecache-trace: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => return usage(),
+    };
+    match cmd {
+        "validate" => {
+            let [path] = rest else { return usage() };
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match basecache_trace::validate_trace(&text) {
+                Ok(stats) => {
+                    println!(
+                        "{path}: valid trace-event JSON ({} events: {} spans, {} counters, {} round markers)",
+                        stats.events, stats.spans, stats.counters, stats.instants
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: INVALID: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "summarize" => {
+            let [path] = rest else { return usage() };
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match basecache_trace::summarize_trace(&text) {
+                Ok(summary) => {
+                    print!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "diff" => {
+            let mut threshold_pct = 10.0f64;
+            let mut warn_only = false;
+            let mut files = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--threshold-pct" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => threshold_pct = v,
+                        None => return usage(),
+                    },
+                    "--warn-only" => warn_only = true,
+                    other if !other.starts_with('-') => files.push(other.to_string()),
+                    _ => return usage(),
+                }
+            }
+            let [base_path, new_path] = files.as_slice() else {
+                return usage();
+            };
+            let (base, new) = match (read(base_path), read(new_path)) {
+                (Ok(b), Ok(n)) => (b, n),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            match basecache_trace::diff_benches(&base, &new, threshold_pct) {
+                Ok(report) => {
+                    println!("{report}");
+                    if report.has_regressions() && !warn_only {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("basecache-trace diff: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -39,14 +39,34 @@ fi
 echo "==> observability smoke test (ext-obs quick run + exporters)"
 obs_out=$(mktemp -d)
 cargo run -q -p basecache-experiments --release -- ext-obs --quick --csv "$obs_out"
-for f in ext_obs.csv ext_obs.json; do
+for f in ext_obs.csv ext_obs.json ext_obs_trace.json ext_obs_series.csv; do
     test -s "$obs_out/$f" || { echo "error: ext-obs did not write $f" >&2; exit 1; }
 done
 grep -q '"counters"' "$obs_out/ext_obs.json" \
     || { echo "error: ext_obs.json missing counters section" >&2; exit 1; }
+
+echo "==> trace smoke test (exported trace parses as Chrome trace-event JSON)"
+cargo run -q -p basecache-trace --release -- validate "$obs_out/ext_obs_trace.json"
+head -1 "$obs_out/ext_obs_series.csv" | grep -q '^tick,' \
+    || { echo "error: ext_obs_series.csv missing header" >&2; exit 1; }
 rm -rf "$obs_out"
 
 echo "==> planner bench (writes BENCH_planner.json)"
+# Keep the committed baseline aside so the fresh run can be gated
+# against it.
+bench_baseline=$(mktemp)
+cp BENCH_planner.json "$bench_baseline"
 cargo bench -p basecache-bench --bench planner
+
+echo "==> bench regression gate (fresh run vs committed baseline)"
+# Same-machine noise on a shared container is real; the cross-run gate
+# is warn-only with a generous threshold. A self-diff must be exactly
+# clean — that part is a hard failure.
+cargo run -q -p basecache-trace --release -- diff \
+    "$bench_baseline" BENCH_planner.json --threshold-pct 50 --warn-only
+cargo run -q -p basecache-trace --release -- diff \
+    BENCH_planner.json BENCH_planner.json --threshold-pct 0.001 >/dev/null \
+    || { echo "error: bench self-diff was not clean" >&2; exit 1; }
+rm -f "$bench_baseline"
 
 echo "==> all checks passed"
