@@ -1,0 +1,84 @@
+//! Cluster-round scaling benches: one full `ClusterSim::step` —
+//! mobility, demand declaration, backhaul arbitration, every cell's
+//! planning round, aggregation — at 1, 4 and 16 cells, sequentially
+//! and on the worker pool.
+//!
+//! The client population is fixed while the cell count sweeps, so the
+//! series shows what sharding the same service area costs and what the
+//! pool buys back. The parallel figures depend on the machine: with
+//! one hardware thread the pool only adds channel overhead, and the
+//! recorded speedup honestly reports that. The parallel/sequential
+//! parity is exact either way (`crates/cluster/tests/parity.rs`).
+
+use std::hint::black_box;
+
+use basecache_cluster::{ClusterSim, ExecutionMode};
+use basecache_core::planner::OnDemandPlanner;
+use basecache_core::StationBuilder;
+use basecache_net::{ArbiterPolicy, BackhaulArbiter, Catalog};
+use basecache_sim::{RngStreams, WorkerPool};
+use basecache_workload::{ClusterWorkload, MobilityModel, Popularity, TargetRecency};
+
+use crate::harness::{bench_n, Measurement};
+
+/// Cell counts swept by the cluster-round benches.
+pub const CELL_COUNTS: [u32; 3] = [1, 4, 16];
+
+const OBJECTS: usize = 200;
+const CLIENTS: u32 = 320;
+const TOTAL_BUDGET: u64 = 480;
+const SAMPLES: usize = 10;
+
+fn build_cluster(cells: u32) -> ClusterSim {
+    let sizes: Vec<u64> = (0..OBJECTS as u64).map(|i| 1 + i % 5).collect();
+    let stations = (0..cells)
+        .map(|_| {
+            StationBuilder::new(Catalog::from_sizes(&sizes))
+                .on_demand(OnDemandPlanner::paper_default(), 0)
+                .build()
+                .expect("valid configuration")
+        })
+        .collect();
+    let workload = ClusterWorkload::new(
+        cells,
+        CLIENTS,
+        Popularity::Uniform,
+        Popularity::ZIPF1.build(OBJECTS),
+        TargetRecency::Uniform { lo: 0.4, hi: 1.0 },
+        2,
+        MobilityModel::MarkovRing { move_prob: 0.2 },
+        &RngStreams::new(82),
+    );
+    ClusterSim::new(
+        stations,
+        workload,
+        BackhaulArbiter::new(ArbiterPolicy::ProportionalToDemand, TOTAL_BUDGET),
+    )
+    .expect("one station per cell")
+}
+
+/// Bench the cluster round at each cell count, sequentially and on the
+/// pool. Returns the parallel speedup (sequential / parallel median
+/// time) at the largest cell count.
+pub fn bench_cluster_rounds(results: &mut Vec<Measurement>) -> f64 {
+    let mut speedup_at_max = 0.0;
+    for cells in CELL_COUNTS {
+        let mut sequential = build_cluster(cells);
+        let seq = bench_n(
+            &format!("cluster_round/sequential/{cells}"),
+            SAMPLES,
+            || black_box(sequential.step()),
+        );
+
+        let mut parallel =
+            build_cluster(cells).with_mode(ExecutionMode::Parallel(WorkerPool::new(4)));
+        let par = bench_n(&format!("cluster_round/parallel/{cells}"), SAMPLES, || {
+            black_box(parallel.step())
+        });
+
+        speedup_at_max = seq.median_ns() / par.median_ns();
+        results.push(seq);
+        results.push(par);
+    }
+    speedup_at_max
+}

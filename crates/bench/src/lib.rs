@@ -13,6 +13,7 @@ use basecache_workload::{
     TargetRecency,
 };
 
+pub mod cluster_suite;
 pub mod harness;
 pub mod planner_suite;
 

@@ -221,6 +221,7 @@ fn write_json(
     vs_seed: f64,
     vs_batch: f64,
     observed_overhead: f64,
+    cluster_speedup: f64,
     stages: &Snapshot,
 ) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
@@ -238,6 +239,9 @@ fn write_json(
     ));
     out.push_str(&format!(
         "  \"stats_recorder_overhead\": {observed_overhead:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"cluster_parallel_speedup_at_16_cells\": {cluster_speedup:.2},\n"
     ));
     out.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
@@ -291,6 +295,15 @@ pub fn run() {
     bench_profit_mapping(&mut results);
     bench_budget_bound_selection(&mut results);
     bench_lowest_recency_first(&mut results);
+    let cluster_speedup = crate::cluster_suite::bench_cluster_rounds(&mut results);
+    println!("cluster round at 16 cells: {cluster_speedup:.2}x parallel speedup on this machine\n");
     let stages = stage_breakdown();
-    write_json(&results, vs_seed, vs_batch, observed_overhead, &stages);
+    write_json(
+        &results,
+        vs_seed,
+        vs_batch,
+        observed_overhead,
+        cluster_speedup,
+        &stages,
+    );
 }

@@ -1,0 +1,381 @@
+//! The cluster simulation: N cells, one shared backhaul, one roaming
+//! client population.
+
+use std::fmt;
+
+use basecache_core::{BaseStationSim, StepOutcome};
+use basecache_net::{BackhaulArbiter, CellId};
+use basecache_obs::{Attr, Event, NullRecorder, Recorder, Sample, Snapshot};
+use basecache_sim::WorkerPool;
+use basecache_workload::{ClusterWorkload, GeneratedRequest};
+
+/// One cell: a base station plus the per-cell buffers the cluster
+/// round reuses (request batch copy, recency scratch for the demand
+/// probe). Owning the buffers here lets a whole cell move onto a
+/// worker thread as a single value.
+#[derive(Debug)]
+pub struct Cell {
+    station: BaseStationSim,
+    batch: Vec<GeneratedRequest>,
+    recency: Vec<f64>,
+}
+
+impl Cell {
+    fn new(station: BaseStationSim) -> Self {
+        Self {
+            station,
+            batch: Vec::new(),
+            recency: Vec::new(),
+        }
+    }
+
+    /// The cell's base station.
+    pub fn station(&self) -> &BaseStationSim {
+        &self.station
+    }
+
+    /// Data units of stale requested demand in the current batch: each
+    /// distinct requested object whose *estimated* recency is below 1
+    /// counts its catalog size once. This is what the cell declares to
+    /// the backhaul arbiter.
+    fn declared_demand(&mut self) -> u64 {
+        self.station.estimated_recency_into(&mut self.recency);
+        let mut demand = 0u64;
+        for r in &self.batch {
+            let slot = &mut self.recency[r.object.index()];
+            if *slot < 1.0 {
+                demand += self.station.catalog().size_of(r.object);
+                // Count each object once: mark it fresh in the scratch.
+                *slot = 1.0;
+            }
+        }
+        demand
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        // Swap the batch out so the station can borrow it while the
+        // cell stays mutably owned.
+        let batch = std::mem::take(&mut self.batch);
+        let outcome = self.station.step(&batch);
+        self.batch = batch;
+        outcome
+    }
+}
+
+/// How the cluster steps its cells each round.
+#[derive(Debug)]
+pub enum ExecutionMode {
+    /// Step cells one after another on the calling thread.
+    Sequential,
+    /// Fan cells out over a reusable [`WorkerPool`], reassembling
+    /// results in cell order (bit-identical to sequential).
+    Parallel(WorkerPool),
+}
+
+/// Construction errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The number of stations does not match the workload's cell count.
+    CellCountMismatch {
+        /// Stations supplied.
+        stations: usize,
+        /// Cells in the workload.
+        cells: u32,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CellCountMismatch { stations, cells } => write!(
+                f,
+                "{stations} station(s) supplied for a {cells}-cell workload"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// What one cluster round produced, aggregated across cells in cell
+/// order (so the figures are identical under sequential and parallel
+/// execution). Per-cell outcomes are available from
+/// [`ClusterSim::last_outcomes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterStepOutcome {
+    /// The time unit just simulated (0-based).
+    pub tick: u64,
+    /// Client handoffs performed at the start of this round.
+    pub handoffs: u64,
+    /// Requests served across all cells.
+    pub served: usize,
+    /// Requests served without a same-round download (cache hits).
+    pub cache_hits: usize,
+    /// Objects downloaded across all cells.
+    pub objects_downloaded: usize,
+    /// Data units downloaded across all cells.
+    pub units_downloaded: u64,
+    /// Stale requested demand declared to the arbiter, in data units.
+    pub demand_units: u64,
+    /// Budget the arbiter actually allocated, in data units.
+    pub budget_units: u64,
+    /// Served-weighted mean client score (1.0 when no requests).
+    pub average_score: f64,
+    /// Served-weighted mean delivered recency (1.0 when no requests).
+    pub average_recency: f64,
+}
+
+/// The sharded multi-cell simulation.
+///
+/// Each round: advance the roaming workload (handoffs + per-cell
+/// batches), let every cell declare its stale demand, split the global
+/// backhaul budget across cells with the arbiter, step every cell
+/// under its allocation (sequentially or on the worker pool), and
+/// aggregate the round into the cluster-level recorder.
+#[derive(Debug)]
+pub struct ClusterSim {
+    cells: Vec<Cell>,
+    workload: ClusterWorkload,
+    arbiter: BackhaulArbiter,
+    mode: ExecutionMode,
+    recorder: Box<dyn Recorder>,
+    tick: u64,
+    demands: Vec<u64>,
+    budgets: Vec<u64>,
+    last_outcomes: Vec<StepOutcome>,
+}
+
+impl ClusterSim {
+    /// Assemble a cluster from one station per workload cell. Station
+    /// `i` serves cell `i`. The default execution mode is sequential
+    /// and the default recorder is the no-op [`NullRecorder`].
+    pub fn new(
+        stations: Vec<BaseStationSim>,
+        workload: ClusterWorkload,
+        arbiter: BackhaulArbiter,
+    ) -> Result<Self, ClusterError> {
+        if stations.len() != workload.cells() as usize {
+            return Err(ClusterError::CellCountMismatch {
+                stations: stations.len(),
+                cells: workload.cells(),
+            });
+        }
+        let cells: Vec<Cell> = stations.into_iter().map(Cell::new).collect();
+        let n = cells.len();
+        Ok(Self {
+            cells,
+            workload,
+            arbiter,
+            mode: ExecutionMode::Sequential,
+            recorder: Box::new(NullRecorder),
+            tick: 0,
+            demands: vec![0; n],
+            budgets: vec![0; n],
+            last_outcomes: Vec::with_capacity(n),
+        })
+    }
+
+    /// Replace the execution mode (e.g. install a worker pool).
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Install a cluster-level recorder for the aggregate round
+    /// observables (per-cell recorders are installed per station via
+    /// `StationBuilder::recorder`).
+    pub fn with_recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The station serving `cell`.
+    pub fn station(&self, cell: CellId) -> &BaseStationSim {
+        self.cells[cell.0 as usize].station()
+    }
+
+    /// The roaming client population.
+    pub fn workload(&self) -> &ClusterWorkload {
+        &self.workload
+    }
+
+    /// The backhaul arbiter in force.
+    pub fn arbiter(&self) -> &BackhaulArbiter {
+        &self.arbiter
+    }
+
+    /// The cluster-level recorder.
+    pub fn recorder(&self) -> &dyn Recorder {
+        &*self.recorder
+    }
+
+    /// Materialize the cluster-level recorder's state.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        self.recorder.snapshot()
+    }
+
+    /// The current time unit (number of rounds taken).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Per-cell outcomes of the most recent round, in cell order.
+    pub fn last_outcomes(&self) -> &[StepOutcome] {
+        &self.last_outcomes
+    }
+
+    /// Per-cell budget allocations of the most recent round.
+    pub fn last_budgets(&self) -> &[u64] {
+        &self.budgets
+    }
+
+    /// Per-cell demand declarations of the most recent round.
+    pub fn last_demands(&self) -> &[u64] {
+        &self.demands
+    }
+
+    /// Update every remote object in every cell simultaneously (the
+    /// paper's update waves, cluster-wide).
+    pub fn apply_update_wave(&mut self) {
+        for cell in &mut self.cells {
+            cell.station.apply_update_wave();
+        }
+    }
+
+    /// Simulate one cluster round. See the type-level docs for the
+    /// phase sequence.
+    pub fn step(&mut self) -> ClusterStepOutcome {
+        // 1. Mobility: clients move, then emit this round's batches.
+        let handoffs = self.workload.advance();
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            cell.batch.clear();
+            cell.batch
+                .extend_from_slice(self.workload.batch(CellId(i as u32)));
+        }
+
+        // 2. Demand declaration + backhaul arbitration.
+        self.demands.clear();
+        for cell in &mut self.cells {
+            self.demands.push(cell.declared_demand());
+        }
+        self.arbiter.allocate_into(&self.demands, &mut self.budgets);
+        for (cell, &budget) in self.cells.iter_mut().zip(&self.budgets) {
+            cell.station.set_download_budget(budget);
+        }
+
+        // 3. Step every cell under its allocation.
+        self.last_outcomes.clear();
+        match &self.mode {
+            ExecutionMode::Sequential => {
+                for cell in &mut self.cells {
+                    let outcome = cell.step();
+                    self.last_outcomes.push(outcome);
+                }
+            }
+            ExecutionMode::Parallel(pool) => {
+                let cells = std::mem::take(&mut self.cells);
+                let results = pool.scatter_gather(cells, |mut cell: Cell| {
+                    let outcome = cell.step();
+                    (cell, outcome)
+                });
+                for (cell, outcome) in results {
+                    self.cells.push(cell);
+                    self.last_outcomes.push(outcome);
+                }
+            }
+        }
+
+        // 4. Aggregate in cell order (deterministic under both modes).
+        let mut served = 0usize;
+        let mut hits = 0usize;
+        let mut objects = 0usize;
+        let mut units = 0u64;
+        let mut score_sum = 0.0f64;
+        let mut recency_sum = 0.0f64;
+        for outcome in &self.last_outcomes {
+            served += outcome.served;
+            hits += outcome.cache_hits;
+            objects += outcome.objects_downloaded;
+            units += outcome.units_downloaded;
+            score_sum += outcome.average_score * outcome.served as f64;
+            recency_sum += outcome.average_recency * outcome.served as f64;
+        }
+        let demand_units: u64 = self.demands.iter().sum();
+        let budget_units: u64 = self.budgets.iter().sum();
+        let outcome = ClusterStepOutcome {
+            tick: self.tick,
+            handoffs,
+            served,
+            cache_hits: hits,
+            objects_downloaded: objects,
+            units_downloaded: units,
+            demand_units,
+            budget_units,
+            average_score: if served > 0 {
+                score_sum / served as f64
+            } else {
+                1.0
+            },
+            average_recency: if served > 0 {
+                recency_sum / served as f64
+            } else {
+                1.0
+            },
+        };
+        self.record_round(&outcome);
+        self.tick += 1;
+        outcome
+    }
+
+    fn record_round(&self, outcome: &ClusterStepOutcome) {
+        let recorder: &dyn Recorder = &*self.recorder;
+        recorder.begin_round(outcome.tick);
+        recorder.incr(Event::Rounds);
+        recorder.add(Event::Handoffs, outcome.handoffs);
+        recorder.add(Event::RequestsServed, outcome.served as u64);
+        recorder.add(Event::ObjectsDownloaded, outcome.objects_downloaded as u64);
+        recorder.add(Event::UnitsDownloaded, outcome.units_downloaded);
+        recorder.sample(Sample::BatchSize, outcome.served as f64);
+        recorder.sample(Sample::AverageScore, outcome.average_score);
+        recorder.sample(Sample::AverageRecency, outcome.average_recency);
+        if outcome.served > 0 {
+            recorder.sample(
+                Sample::CacheHitRatio,
+                outcome.cache_hits as f64 / outcome.served as f64,
+            );
+        }
+        let total = self.arbiter.total_budget();
+        if total > 0 {
+            recorder.sample(
+                Sample::DownlinkUtilization,
+                outcome.units_downloaded as f64 / total as f64,
+            );
+        }
+        if recorder.enabled() {
+            for (i, cell_outcome) in self.last_outcomes.iter().enumerate() {
+                let key = i as u32;
+                if cell_outcome.units_downloaded > 0 {
+                    recorder.attribute(
+                        Attr::DownlinkUnitsByCell,
+                        key,
+                        cell_outcome.units_downloaded,
+                    );
+                }
+                // Staleness charged in thousandths per served request,
+                // matching the station's per-object convention.
+                let staleness =
+                    ((1.0 - cell_outcome.average_recency) * cell_outcome.served as f64 * 1_000.0)
+                        .round() as u64;
+                if staleness > 0 {
+                    recorder.attribute(Attr::ServeStalenessByCell, key, staleness);
+                }
+            }
+        }
+        recorder.end_round(outcome.tick);
+    }
+}

@@ -1,0 +1,40 @@
+//! Multi-cell cluster layer above the single base station.
+//!
+//! The paper models one base station serving one wireless cell; the
+//! production regime is many cells whose stations compete for a shared
+//! fixed-network backhaul while clients roam between them. This crate
+//! shards the simulation across N cells — each owning its own
+//! [`basecache_core::BaseStationSim`] (with its own cache, estimator
+//! and `PlannerScratch`) — and adds the three mechanisms that make a
+//! cluster more than N independent runs:
+//!
+//! 1. **Client mobility** — a
+//!    [`basecache_workload::ClusterWorkload`] moves clients between
+//!    cells (Markov ring / random waypoint) and routes each client's
+//!    forked request stream to its current cell, so cached recency
+//!    earned in one cell is lost on handoff and re-fetched in another.
+//! 2. **Shared backhaul arbitration** — a
+//!    [`basecache_net::BackhaulArbiter`] splits the global per-round
+//!    budget `B_total` across cells (static / proportional-to-demand /
+//!    water-filling), turning each cell's knapsack bound into a
+//!    negotiated allocation applied via
+//!    `BaseStationSim::set_download_budget` before every round.
+//! 3. **Parallel per-cell planning** — cells step on a reusable
+//!    [`basecache_sim::WorkerPool`]; results are reassembled in cell
+//!    order, so the parallel round is bit-identical to the sequential
+//!    one (proved by `tests/parity.rs`).
+//!
+//! The whole cluster round is observable through the existing
+//! [`basecache_obs::Recorder`] seam: cluster-aggregate counters and
+//! samples (cache-hit ratio, backhaul utilization, handoffs) plus
+//! per-cell [`basecache_obs::Attr`] attribution
+//! (`downlink_units_by_cell`, `serve_staleness_by_cell`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod drive;
+
+pub use cluster::{Cell, ClusterError, ClusterSim, ClusterStepOutcome, ExecutionMode};
+pub use drive::{run_rounds, DriveConfig};

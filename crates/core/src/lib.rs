@@ -80,4 +80,4 @@ pub use planner::{DownloadPlan, LowestRecencyFirst, OnDemandPlanner, SolverChoic
 pub use recency::{DecayModel, ScoringFunction};
 pub use request::RequestBatch;
 pub use scratch::PlannerScratch;
-pub use station::{BaseStationSim, Estimation, Policy, StepOutcome};
+pub use station::{BaseStationSim, Estimation, Policy, StationStats, StepOutcome};

@@ -108,11 +108,14 @@ pub struct StepOutcome {
     pub average_score: f64,
     /// Number of client requests served.
     pub served: usize,
+    /// Requests served without a same-round download of their object
+    /// (the round's cache hits).
+    pub cache_hits: usize,
 }
 
 /// Accumulated measurements since construction or the last
 /// [`BaseStationSim::reset_stats`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StationStats {
     /// Total data units downloaded from remote servers.
     pub units_downloaded: u64,
@@ -247,6 +250,37 @@ impl BaseStationSim {
         &*self.recorder
     }
 
+    /// The policy's per-tick download allowance: data units for the
+    /// budgeted policies, objects for the `k`-object ones (identical on
+    /// unit-size catalogs).
+    pub fn download_budget(&self) -> u64 {
+        match self.policy {
+            Policy::OnDemand { budget_units, .. } | Policy::Hybrid { budget_units, .. } => {
+                budget_units
+            }
+            Policy::OnDemandAdaptive { max_budget, .. } => max_budget,
+            Policy::OnDemandLowestRecency { k_objects } | Policy::AsyncRoundRobin { k_objects } => {
+                k_objects as u64
+            }
+        }
+    }
+
+    /// Re-budget the policy for the next tick without rebuilding the
+    /// station. A backhaul arbiter calls this every round to turn its
+    /// global allocation into the cell's local knapsack capacity. The
+    /// value is interpreted per [`Self::download_budget`].
+    pub fn set_download_budget(&mut self, budget: u64) {
+        match &mut self.policy {
+            Policy::OnDemand { budget_units, .. } | Policy::Hybrid { budget_units, .. } => {
+                *budget_units = budget;
+            }
+            Policy::OnDemandAdaptive { max_budget, .. } => *max_budget = budget,
+            Policy::OnDemandLowestRecency { k_objects } | Policy::AsyncRoundRobin { k_objects } => {
+                *k_objects = budget as usize;
+            }
+        }
+    }
+
     /// Materialize everything the installed recorder observed (empty
     /// under the default [`NullRecorder`]). Allocates; call at report
     /// time.
@@ -281,6 +315,13 @@ impl BaseStationSim {
         let mut out = Vec::new();
         self.fill_estimated_recency(&mut out);
         out
+    }
+
+    /// Fill `out` with [`Self::estimated_recency_vec`] without
+    /// allocating beyond `out`'s own capacity growth. Per-round callers
+    /// (the cluster's demand probe) reuse one buffer across ticks.
+    pub fn estimated_recency_into(&self, out: &mut Vec<f64>) {
+        self.fill_estimated_recency(out);
     }
 
     /// Fill `out` with [`Self::recency_vec`] without allocating (beyond
@@ -461,9 +502,11 @@ impl BaseStationSim {
         let serve_span = Span::enter(recorder, Stage::Serve);
         let mut recency_acc = Welford::new();
         let mut score_acc = Welford::new();
-        // Hit accounting is observational only: `downloaded` is sorted
-        // ascending for the planner policies but not guaranteed for the
-        // round-robin refresher, so pick the probe accordingly.
+        // `downloaded` is sorted ascending for the planner policies but
+        // not guaranteed for the round-robin refresher, so pick the hit
+        // probe accordingly. Hits are counted unconditionally: they feed
+        // the outcome (and cluster-level aggregation), not just the
+        // recorder, and outcomes must not depend on observation.
         let downloads_sorted = downloaded.windows(2).all(|w| w[0] <= w[1]);
         let mut hits = 0usize;
         for r in requests {
@@ -478,15 +521,15 @@ impl BaseStationSim {
             score_acc.push(score);
             self.stats.recency.push(x);
             self.stats.score.push(score);
+            let downloaded_now = if downloads_sorted {
+                downloaded.binary_search(&r.object).is_ok()
+            } else {
+                downloaded.contains(&r.object)
+            };
+            if !downloaded_now {
+                hits += 1;
+            }
             if observing {
-                let downloaded_now = if downloads_sorted {
-                    downloaded.binary_search(&r.object).is_ok()
-                } else {
-                    downloaded.contains(&r.object)
-                };
-                if !downloaded_now {
-                    hits += 1;
-                }
                 // Staleness charged in thousandths, so a request served
                 // at recency 0.4 adds 600 to its object's tally.
                 let staleness = ((1.0 - x) * 1_000.0).round() as u64;
@@ -512,6 +555,7 @@ impl BaseStationSim {
             average_recency: recency_acc.mean().unwrap_or(1.0),
             average_score: score_acc.mean().unwrap_or(1.0),
             served: requests.len(),
+            cache_hits: hits,
         };
         recorder.sample(Sample::AverageRecency, outcome.average_recency);
         recorder.sample(Sample::AverageScore, outcome.average_score);

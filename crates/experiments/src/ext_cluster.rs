@@ -1,0 +1,243 @@
+//! Extension experiment — sharding one service area into N cells under
+//! a fixed global backhaul budget.
+//!
+//! The paper studies one base station with its own downlink budget.
+//! A deployment shards the coverage area: the *same* client population
+//! roams over N cells (`basecache_workload::ClusterWorkload`), each
+//! cell runs its own on-demand planner, and one backhaul arbiter
+//! splits a *fixed* global budget `B_total` across the cells every
+//! round. The sweep asks what sharding costs and what arbitration buys
+//! back:
+//!
+//! * More cells fragment the budget and the caches — a client's handoff
+//!   abandons the recency its requests earned in the origin cell — so
+//!   the delivered score degrades as N grows.
+//! * A demand-aware split (proportional, water-filling) tracks the
+//!   hot cells and recovers part of that loss relative to a static
+//!   even split, most visibly when placement is skewed.
+//!
+//! One series per arbiter policy (mean delivered score vs N) plus a
+//! handoffs-per-round series documenting the mobility pressure.
+
+use basecache_cluster::{run_rounds, ClusterSim, DriveConfig};
+use basecache_core::planner::OnDemandPlanner;
+use basecache_core::StationBuilder;
+use basecache_net::{ArbiterPolicy, BackhaulArbiter, Catalog};
+use basecache_sim::RngStreams;
+use basecache_workload::{ClusterWorkload, MobilityModel, Popularity, TargetRecency};
+
+use crate::report::{Figure, Series};
+
+/// Parameters of the cell-sharding sweep.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Objects in every cell's catalog.
+    pub objects: usize,
+    /// Roaming clients (fixed — they spread over the cells).
+    pub clients: u32,
+    /// Requests per client per round.
+    pub requests_per_client: usize,
+    /// Global backhaul budget per round, in data units (fixed — the
+    /// arbiter splits it across cells).
+    pub total_budget: u64,
+    /// Per-round probability that a client hops to a ring neighbour.
+    pub move_prob: f64,
+    /// Cluster-wide update wave period in rounds.
+    pub update_period: u64,
+    /// Rounds simulated per point.
+    pub rounds: u64,
+    /// Cell counts to sweep.
+    pub cell_counts: Vec<u32>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full-fidelity setup.
+    pub fn paper() -> Self {
+        Self {
+            objects: 300,
+            clients: 400,
+            requests_per_client: 2,
+            total_budget: 240,
+            move_prob: 0.2,
+            update_period: 5,
+            rounds: 150,
+            cell_counts: vec![1, 2, 4, 8, 16],
+            seed: 16_000,
+        }
+    }
+
+    /// CI-sized setup.
+    pub fn quick() -> Self {
+        Self {
+            objects: 80,
+            clients: 120,
+            total_budget: 90,
+            rounds: 40,
+            cell_counts: vec![1, 4, 8],
+            ..Self::paper()
+        }
+    }
+}
+
+/// The arbitration policies each point compares.
+pub const POLICIES: [ArbiterPolicy; 3] = [
+    ArbiterPolicy::Static,
+    ArbiterPolicy::ProportionalToDemand,
+    ArbiterPolicy::WaterFilling,
+];
+
+fn build_cluster(params: &Params, cells: u32, policy: ArbiterPolicy) -> ClusterSim {
+    let sizes: Vec<u64> = (0..params.objects as u64).map(|i| 1 + i % 5).collect();
+    let stations = (0..cells)
+        .map(|_| {
+            StationBuilder::new(Catalog::from_sizes(&sizes))
+                .on_demand(OnDemandPlanner::paper_default(), 0)
+                .build()
+                .expect("valid configuration")
+        })
+        .collect();
+    // Zipf placement: clients start concentrated in low-id cells, the
+    // regime where demand-aware arbitration has something to exploit.
+    let workload = ClusterWorkload::new(
+        cells,
+        params.clients,
+        Popularity::ZIPF1,
+        Popularity::ZIPF1.build(params.objects),
+        TargetRecency::AlwaysFresh,
+        params.requests_per_client,
+        MobilityModel::MarkovRing {
+            move_prob: params.move_prob,
+        },
+        &RngStreams::new(params.seed),
+    );
+    ClusterSim::new(
+        stations,
+        workload,
+        BackhaulArbiter::new(policy, params.total_budget),
+    )
+    .expect("one station per cell")
+}
+
+/// One sweep point: (mean delivered score, mean handoffs per round)
+/// for `cells` cells under `policy`.
+pub fn run_point(params: &Params, cells: u32, policy: ArbiterPolicy) -> (f64, f64) {
+    let mut cluster = build_cluster(params, cells, policy);
+    let outcomes = run_rounds(
+        &mut cluster,
+        DriveConfig {
+            rounds: params.rounds,
+            wave_every: Some(params.update_period),
+        },
+    );
+    let mut score_sum = 0.0;
+    let mut served = 0u64;
+    let mut handoffs = 0u64;
+    for out in &outcomes {
+        score_sum += out.average_score * out.served as f64;
+        served += out.served as u64;
+        handoffs += out.handoffs;
+    }
+    (
+        if served > 0 {
+            score_sum / served as f64
+        } else {
+            1.0
+        },
+        handoffs as f64 / outcomes.len().max(1) as f64,
+    )
+}
+
+/// Run the sweep: mean delivered score vs cell count, one series per
+/// arbiter policy, plus the handoff rate the mobility model produced.
+pub fn run(params: &Params) -> Figure {
+    let xs: Vec<f64> = params.cell_counts.iter().map(|&c| c as f64).collect();
+    let mut series: Vec<Series> = POLICIES
+        .iter()
+        .map(|&policy| {
+            let points = params
+                .cell_counts
+                .iter()
+                .zip(&xs)
+                .map(|(&c, &x)| (x, run_point(params, c, policy).0))
+                .collect();
+            Series::new(format!("mean score ({})", policy.name()), points)
+        })
+        .collect();
+    let handoff_points = params
+        .cell_counts
+        .iter()
+        .zip(&xs)
+        .map(|(&c, &x)| (x, run_point(params, c, ArbiterPolicy::Static).1))
+        .collect();
+    series.push(Series::new("handoffs per round", handoff_points));
+    Figure::new(
+        "Extension: cell sharding under a fixed global backhaul budget",
+        "number of cells",
+        "mixed units (see series)",
+        series,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_degrades_score_and_arbitration_recovers_some() {
+        let fig = run(&Params::quick());
+        let static_series = &fig.series[0];
+        let proportional = &fig.series[1];
+        let water_filling = &fig.series[2];
+        let handoffs = &fig.series[3];
+
+        // One cell with the whole budget is the best any policy gets;
+        // fragmenting budget and caches costs score.
+        let best = static_series.points.first().unwrap().1;
+        let worst = static_series.last_y().unwrap();
+        assert!(
+            worst < best - 1e-6,
+            "sharding should cost score: {best} -> {worst}"
+        );
+
+        // All policies agree exactly at N=1 (there is nothing to split).
+        let p1 = proportional.points.first().unwrap().1;
+        let w1 = water_filling.points.first().unwrap().1;
+        assert_eq!(best, p1);
+        assert_eq!(best, w1);
+
+        // Under skewed placement, following demand beats the static
+        // split at the largest cell count. Water-filling is max-min
+        // fair, not score-optimal — it may trade a sliver of aggregate
+        // score for cold-cell fairness, so it only has to stay close.
+        let n = static_series.points.len() - 1;
+        let static_last = static_series.points[n].1;
+        assert!(
+            proportional.points[n].1 > static_last,
+            "proportional should beat static at max N: {} vs {static_last}",
+            proportional.points[n].1
+        );
+        assert!(
+            water_filling.points[n].1 > static_last - 0.01,
+            "water-filling should stay within 1% of static at max N: {} vs {static_last}",
+            water_filling.points[n].1
+        );
+
+        // Mobility is actually happening once there is >1 cell.
+        assert_eq!(handoffs.points.first().unwrap().1, 0.0, "N=1 cannot hop");
+        assert!(handoffs.last_y().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let p = Params {
+            cell_counts: vec![4],
+            rounds: 15,
+            ..Params::quick()
+        };
+        let a = run_point(&p, 4, ArbiterPolicy::WaterFilling);
+        let b = run_point(&p, 4, ArbiterPolicy::WaterFilling);
+        assert_eq!(a, b);
+    }
+}

@@ -8,8 +8,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use basecache_experiments::{
-    ext_adaptive, ext_bounded_cache, ext_broadcast, ext_estimators, ext_hybrid, ext_latency,
-    ext_multicell, ext_obs, ext_poisson, fig2, fig3, fig4, fig5, fig6, report::Figure, table1,
+    ext_adaptive, ext_bounded_cache, ext_broadcast, ext_cluster, ext_estimators, ext_hybrid,
+    ext_latency, ext_multicell, ext_obs, ext_poisson, fig2, fig3, fig4, fig5, fig6, report::Figure,
+    table1,
 };
 use basecache_workload::Correlation;
 
@@ -52,7 +53,7 @@ fn parse_args() -> Result<Options, String> {
 fn usage() -> String {
     "usage: experiments [all|fig2|fig3|fig4|fig5a|fig5b|fig6a|fig6b|table1|\
      ext-adaptive|ext-hybrid|ext-estimators|ext-latency|ext-poisson|ext-multicell|\
-     ext-broadcast|ext-bounded-cache|ext-obs]... [--quick] [--csv DIR]"
+     ext-cluster|ext-broadcast|ext-bounded-cache|ext-obs]... [--quick] [--csv DIR]"
         .to_string()
 }
 
@@ -205,6 +206,15 @@ fn main() -> ExitCode {
             ext_multicell::Params::paper()
         };
         emit(&ext_multicell::run(&p), &opts, "ext_multicell.csv");
+    }
+    if want("ext-cluster") {
+        matched = true;
+        let p = if opts.quick {
+            ext_cluster::Params::quick()
+        } else {
+            ext_cluster::Params::paper()
+        };
+        emit(&ext_cluster::run(&p), &opts, "ext_cluster.csv");
     }
     if want("ext-poisson") {
         matched = true;

@@ -23,6 +23,8 @@
 //!   handoff/disconnect, exercised by the `mobile_cell` example.
 //! * [`invalidation`] — server invalidation reports.
 //! * [`broadcast`] — broadcast-disk programs (the related-work baseline).
+//! * [`backhaul`] — the shared fixed-network budget arbiter splitting a
+//!   global per-round download budget across cells.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backhaul;
 pub mod broadcast;
 pub mod downlink;
 pub mod invalidation;
@@ -52,6 +55,7 @@ pub mod object;
 pub mod server;
 pub mod topology;
 
+pub use backhaul::{ArbiterPolicy, BackhaulArbiter};
 pub use broadcast::BroadcastSchedule;
 pub use downlink::Downlink;
 pub use invalidation::{InvalidationReport, ReportLog};

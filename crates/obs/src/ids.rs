@@ -88,11 +88,13 @@ pub enum Event {
     DeliveredUnits,
     /// Discrete events processed by a simulation scheduler.
     SchedulerEvents,
+    /// Client handoffs between cells in a multi-cell cluster.
+    Handoffs,
 }
 
 impl Event {
     /// Every counter id, in export order.
-    pub const ALL: [Event; 11] = [
+    pub const ALL: [Event; 12] = [
         Event::Rounds,
         Event::RequestsServed,
         Event::ObjectsDownloaded,
@@ -104,6 +106,7 @@ impl Event {
         Event::Deliveries,
         Event::DeliveredUnits,
         Event::SchedulerEvents,
+        Event::Handoffs,
     ];
 
     /// Number of counter ids.
@@ -129,6 +132,7 @@ impl Event {
             Event::Deliveries => "deliveries",
             Event::DeliveredUnits => "delivered_units",
             Event::SchedulerEvents => "scheduler_events",
+            Event::Handoffs => "handoffs",
         }
     }
 }
@@ -224,15 +228,22 @@ pub enum Attr {
     ServeStalenessByObject,
     /// Staleness suffered at serve time per client (key: `ClientId`).
     ServeStalenessByClient,
+    /// Data units of backhaul budget spent per cell (key: `CellId`).
+    DownlinkUnitsByCell,
+    /// Staleness suffered at serve time per cell (key: `CellId`;
+    /// weight: quantized `1 - recency` summed over the cell's serves).
+    ServeStalenessByCell,
 }
 
 impl Attr {
     /// Every attribution channel, in export order.
-    pub const ALL: [Attr; 4] = [
+    pub const ALL: [Attr; 6] = [
         Attr::DownlinkUnitsByObject,
         Attr::DownlinkUnitsByClient,
         Attr::ServeStalenessByObject,
         Attr::ServeStalenessByClient,
+        Attr::DownlinkUnitsByCell,
+        Attr::ServeStalenessByCell,
     ];
 
     /// Number of attribution channels.
@@ -251,6 +262,8 @@ impl Attr {
             Attr::DownlinkUnitsByClient => "downlink_units_by_client",
             Attr::ServeStalenessByObject => "serve_staleness_by_object",
             Attr::ServeStalenessByClient => "serve_staleness_by_client",
+            Attr::DownlinkUnitsByCell => "downlink_units_by_cell",
+            Attr::ServeStalenessByCell => "serve_staleness_by_cell",
         }
     }
 
@@ -260,6 +273,7 @@ impl Attr {
         match self {
             Attr::DownlinkUnitsByObject | Attr::ServeStalenessByObject => format!("obj#{key}"),
             Attr::DownlinkUnitsByClient | Attr::ServeStalenessByClient => format!("client#{key}"),
+            Attr::DownlinkUnitsByCell | Attr::ServeStalenessByCell => format!("cell#{key}"),
         }
     }
 }
@@ -302,5 +316,7 @@ mod tests {
         assert_eq!(Attr::ServeStalenessByObject.label(0), "obj#0");
         assert_eq!(Attr::DownlinkUnitsByClient.label(3), "client#3");
         assert_eq!(Attr::ServeStalenessByClient.label(9), "client#9");
+        assert_eq!(Attr::DownlinkUnitsByCell.label(2), "cell#2");
+        assert_eq!(Attr::ServeStalenessByCell.label(5), "cell#5");
     }
 }

@@ -13,6 +13,8 @@
 //!   perturbs the draws of any other stream.
 //! * [`metrics`] — counters, time series, histograms and Welford
 //!   accumulators used by every experiment to report results.
+//! * [`WorkerPool`] — a reusable std-thread pool for per-round fan-out
+//!   (e.g. parallel per-cell planning in `basecache-cluster`).
 //!
 //! # Example
 //!
@@ -36,11 +38,13 @@
 
 pub mod check;
 pub mod metrics;
+mod pool;
 mod quantile;
 mod rng;
 mod scheduler;
 mod time;
 
+pub use pool::WorkerPool;
 pub use quantile::P2Quantile;
 pub use rng::{split_mix64, RandomIter, RandomRange, RandomValue, RngStreams, StreamRng};
 pub use scheduler::{Scheduler, SchedulerStats};

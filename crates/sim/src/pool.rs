@@ -1,0 +1,181 @@
+//! [`WorkerPool`]: a reusable std-only thread pool for per-round fan-out.
+//!
+//! `basecache_experiments::parallel_sweep` spins up scoped threads per
+//! sweep — fine for a one-shot batch of independent configs, but a
+//! cluster steps its cells every round, and respawning threads each
+//! round would dominate the work being parallelized. The pool keeps its
+//! workers alive across rounds: jobs are boxed `FnOnce` closures pushed
+//! onto a shared channel, workers race to pull them, and results flow
+//! back over whatever channel the caller baked into the closure.
+//!
+//! Determinism is the caller's contract, not the pool's: jobs complete
+//! in a nondeterministic order, so callers that need reproducible output
+//! must tag jobs with an index and reassemble in index order (as
+//! `basecache_cluster` does). The pool itself adds no ordering, no
+//! shared state beyond the job queue, and no unsafe code.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of named worker threads executing boxed jobs.
+///
+/// Dropping the pool closes the job channel and joins every worker, so
+/// all submitted jobs are guaranteed to have run by then.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("basecache-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while pulling the next job;
+                        // a worker running a job never blocks the others.
+                        let job = match receiver.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break,
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // channel closed: pool dropped
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// A pool sized to the machine: one worker per available hardware
+    /// thread (1 when parallelism cannot be determined).
+    pub fn with_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(threads)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job. Jobs run in submission-race order on whichever
+    /// worker is free; completion order is unspecified.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool sender alive until drop")
+            .send(Box::new(job))
+            .expect("worker threads alive until drop");
+    }
+
+    /// Run `f` over `jobs` on the pool and return the outputs in input
+    /// order. Blocks until every job has completed.
+    pub fn scatter_gather<I, O, F>(&self, jobs: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(I) -> O + Send + Sync + 'static,
+    {
+        let n = jobs.len();
+        let f = Arc::new(f);
+        let (tx, rx) = channel::<(usize, O)>();
+        for (index, job) in jobs.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.execute(move || {
+                let out = f(job);
+                // Receiver outlives the round unless the caller panicked;
+                // in that case dropping the result is the right move.
+                let _ = tx.send((index, out));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        for (index, out) in rx {
+            slots[index] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job reports exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every idle worker's recv() fail.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_every_job() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers, so all jobs have run
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scatter_gather_preserves_input_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.scatter_gather((0..50u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..50u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_rounds() {
+        let pool = WorkerPool::new(2);
+        for round in 0..10u64 {
+            let out = pool.scatter_gather(vec![round, round + 1], |x| x + 1);
+            assert_eq!(out, vec![round + 1, round + 2]);
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.scatter_gather(vec![7], |x: u64| x), vec![7]);
+    }
+
+    #[test]
+    fn available_parallelism_pool_works() {
+        let pool = WorkerPool::with_available_parallelism();
+        assert!(pool.threads() >= 1);
+        let out = pool.scatter_gather(vec![1u64, 2, 3], |x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+}

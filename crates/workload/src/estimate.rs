@@ -59,24 +59,49 @@ impl PopularityEstimator {
     }
 
     /// Estimated request probabilities (uniform before any observation).
+    /// Allocates a fresh `Vec`; per-round callers should prefer
+    /// [`Self::probabilities_into`].
     pub fn probabilities(&self) -> Vec<f64> {
-        let total: f64 = self.counts.iter().sum();
-        if total <= 0.0 {
-            return vec![1.0 / self.counts.len() as f64; self.counts.len()];
-        }
-        self.counts.iter().map(|&c| c / total).collect()
+        let mut out = Vec::new();
+        self.probabilities_into(&mut out);
+        out
     }
 
-    /// Object ids sorted hottest-first (ties by id).
+    /// Fill `out` with [`Self::probabilities`] without allocating beyond
+    /// `out`'s own capacity growth, so steady-state per-round callers
+    /// stay off the heap (see `tests/alloc_free.rs`).
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        let total: f64 = self.counts.iter().sum();
+        if total <= 0.0 {
+            let uniform = 1.0 / self.counts.len() as f64;
+            out.extend(self.counts.iter().map(|_| uniform));
+        } else {
+            out.extend(self.counts.iter().map(|&c| c / total));
+        }
+    }
+
+    /// Object ids sorted hottest-first (ties by id). Allocates a fresh
+    /// `Vec`; per-round callers should prefer [`Self::ranking_into`].
     pub fn ranking(&self) -> Vec<ObjectId> {
-        let mut ids: Vec<usize> = (0..self.counts.len()).collect();
-        ids.sort_by(|&a, &b| {
-            self.counts[b]
-                .partial_cmp(&self.counts[a])
+        let mut out = Vec::new();
+        self.ranking_into(&mut out);
+        out
+    }
+
+    /// Fill `out` with [`Self::ranking`] without allocating beyond
+    /// `out`'s own capacity growth. Uses an unstable sort — safe because
+    /// the comparator (count desc, id asc) is a total order, so the
+    /// result is identical to the stable variant.
+    pub fn ranking_into(&self, out: &mut Vec<ObjectId>) {
+        out.clear();
+        out.extend((0..self.counts.len()).map(|i| ObjectId(i as u32)));
+        out.sort_unstable_by(|a, b| {
+            self.counts[b.index()]
+                .partial_cmp(&self.counts[a.index()])
                 .expect("counts are never NaN")
-                .then_with(|| a.cmp(&b))
+                .then_with(|| a.index().cmp(&b.index()))
         });
-        ids.into_iter().map(|i| ObjectId(i as u32)).collect()
     }
 }
 
@@ -140,5 +165,38 @@ mod tests {
     fn ranking_breaks_ties_by_id() {
         let est = PopularityEstimator::new(3, 10);
         assert_eq!(est.ranking(), vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let dist = Popularity::ZIPF1.build(20);
+        let mut est = PopularityEstimator::new(20, 50);
+        let mut rng = RngStreams::new(9).stream("estimate");
+        let mut probs = Vec::new();
+        let mut rank = Vec::new();
+        for round in 0..40 {
+            for _ in 0..25 {
+                est.observe(ObjectId(dist.sample(&mut rng) as u32));
+            }
+            est.tick();
+            est.probabilities_into(&mut probs);
+            est.ranking_into(&mut rank);
+            assert_eq!(probs, est.probabilities(), "round {round}");
+            assert_eq!(rank, est.ranking(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_buffer_contents() {
+        let est = PopularityEstimator::new(4, 10);
+        let mut probs = vec![9.0; 64];
+        let mut rank = vec![ObjectId(99); 64];
+        est.probabilities_into(&mut probs);
+        est.ranking_into(&mut rank);
+        assert_eq!(probs, vec![0.25; 4]);
+        assert_eq!(
+            rank,
+            vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
     }
 }

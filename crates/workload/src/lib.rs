@@ -15,6 +15,9 @@
 //!   comparisons consume identical randomness (as the paper does in
 //!   Section 3.2).
 //! * [`estimate`] — online popularity estimation with exponential decay.
+//! * [`mobility`] — roaming client populations over a multi-cell
+//!   cluster (Markov ring / random waypoint handoff), one forked
+//!   request stream per client.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 
 pub mod correlation;
 pub mod estimate;
+pub mod mobility;
 pub mod popularity;
 pub mod requests;
 pub mod scenario;
@@ -48,6 +52,7 @@ pub mod trace_stats;
 
 pub use correlation::Correlation;
 pub use estimate::PopularityEstimator;
+pub use mobility::{ClusterWorkload, MobilityModel};
 pub use popularity::{Popularity, PopularityDist};
 pub use requests::{GeneratedRequest, RequestGenerator, ShiftingGenerator, TargetRecency};
 pub use scenario::{NumRequestsMode, Table1Population, Table1Spec};

@@ -28,7 +28,7 @@ pub enum TargetRecency {
 }
 
 impl TargetRecency {
-    fn sample(self, rng: &mut StreamRng) -> f64 {
+    pub(crate) fn sample(self, rng: &mut StreamRng) -> f64 {
         match self {
             TargetRecency::AlwaysFresh => 1.0,
             TargetRecency::Uniform { lo, hi } => {

@@ -51,12 +51,29 @@ head -1 "$obs_out/ext_obs_series.csv" | grep -q '^tick,' \
     || { echo "error: ext_obs_series.csv missing header" >&2; exit 1; }
 rm -rf "$obs_out"
 
+echo "==> cluster smoke test (ext-cluster quick run)"
+cluster_out=$(mktemp -d)
+cargo run -q -p basecache-experiments --release -- ext-cluster --quick --csv "$cluster_out"
+test -s "$cluster_out/ext_cluster.csv" \
+    || { echo "error: ext-cluster did not write ext_cluster.csv" >&2; exit 1; }
+head -1 "$cluster_out/ext_cluster.csv" | grep -q 'number of cells' \
+    || { echo "error: ext_cluster.csv missing header" >&2; exit 1; }
+rm -rf "$cluster_out"
+
 echo "==> planner bench (writes BENCH_planner.json)"
 # Keep the committed baseline aside so the fresh run can be gated
 # against it.
 bench_baseline=$(mktemp)
 cp BENCH_planner.json "$bench_baseline"
 cargo bench -p basecache-bench --bench planner
+
+# The suite must cover the cluster-round scaling series — the regression
+# gate can only guard entries that exist in the fresh run.
+for entry in 'cluster_round/sequential/1' 'cluster_round/sequential/16' \
+             'cluster_round/parallel/16'; do
+    grep -q "\"$entry\"" BENCH_planner.json \
+        || { echo "error: BENCH_planner.json missing $entry" >&2; exit 1; }
+done
 
 echo "==> bench regression gate (fresh run vs committed baseline)"
 # Same-machine noise on a shared container is real; the cross-run gate

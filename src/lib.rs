@@ -23,6 +23,8 @@
 //! * [`cache`] (`basecache-cache`) — the base-station cache substrate.
 //! * [`workload`] (`basecache-workload`) — synthetic workloads and
 //!   populations.
+//! * [`cluster`] (`basecache-cluster`) — multi-cell sharding: roaming
+//!   clients, backhaul arbitration, parallel per-cell planning.
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@
 
 pub use basecache_analytic as analytic;
 pub use basecache_cache as cache;
+pub use basecache_cluster as cluster;
 pub use basecache_core as core;
 pub use basecache_knapsack as knapsack;
 pub use basecache_net as net;
