@@ -16,6 +16,12 @@ pub const DEFAULT_SAMPLES: usize = 15;
 const WARMUP: Duration = Duration::from_millis(200);
 /// Target wall-clock length of one timed sample.
 const MIN_SAMPLE_TIME: Duration = Duration::from_millis(10);
+/// Floor on iterations batched into one timed sample. A single slow
+/// warmup call (first-touch page faults, a scheduler hiccup) used to
+/// calibrate expensive benches down to one iteration per sample, which
+/// makes every sample a raw clock read of a noisy call; at least two
+/// iterations amortizes one-off spikes into the sample mean.
+const MIN_ITERS_PER_SAMPLE: u64 = 2;
 
 /// One benchmark's timing summary. All figures are nanoseconds per
 /// iteration.
@@ -79,18 +85,21 @@ pub fn bench<T>(name: &str, f: impl FnMut() -> T) -> Measurement {
 /// whole-experiment benches) and print a report line.
 pub fn bench_n<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Measurement {
     assert!(samples > 0, "need at least one sample");
-    // Warmup, remembering the duration of the last call for calibration.
+    // Warmup, remembering the *fastest* call for calibration: the
+    // steady-state cost is what the timed samples will see, and any
+    // single warmup call can be inflated by first-touch effects.
     let warm_start = Instant::now();
     let mut calls = 0u32;
-    let mut last = Duration::ZERO;
+    let mut fastest = Duration::MAX;
     while calls < 3 || warm_start.elapsed() < WARMUP {
         let t = Instant::now();
         black_box(f());
-        last = t.elapsed();
+        fastest = fastest.min(t.elapsed());
         calls += 1;
     }
-    let per_call_ns = last.as_nanos().max(1);
-    let iters_per_sample = (MIN_SAMPLE_TIME.as_nanos() / per_call_ns).clamp(1, 1_000_000) as u64;
+    let per_call_ns = fastest.as_nanos().max(1);
+    let iters_per_sample = (MIN_SAMPLE_TIME.as_nanos() / per_call_ns)
+        .clamp(MIN_ITERS_PER_SAMPLE as u128, 1_000_000) as u64;
 
     let mut samples_ns = Vec::with_capacity(samples);
     for _ in 0..samples {
@@ -159,6 +168,16 @@ mod tests {
         });
         assert_eq!(m.samples_ns.len(), 3);
         assert!(m.min_ns() >= 0.0);
+    }
+
+    #[test]
+    fn slow_benches_keep_the_min_iters_floor() {
+        // A call longer than the sample target would calibrate to one
+        // iteration per sample without the floor.
+        let m = bench_n("harness/slow_floor", 1, || {
+            std::thread::sleep(Duration::from_millis(12))
+        });
+        assert_eq!(m.iters_per_sample, MIN_ITERS_PER_SAMPLE);
     }
 
     #[test]

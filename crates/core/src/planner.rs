@@ -11,7 +11,8 @@
 //! were selected to be downloaded"), kept as a separate, cheaper planner.
 
 use basecache_knapsack::{
-    BranchAndBound, DpByCapacity, DpTrace, Fptas, GreedyDensity, Instance, Item, Solver,
+    AdaptiveSolver, BranchAndBound, DpByCapacity, DpTrace, Fptas, GreedyDensity, Instance, Item,
+    Solver,
 };
 use basecache_net::{Catalog, ObjectId};
 use basecache_obs::{Event, NullRecorder, Recorder, Sample, Span, Stage};
@@ -37,6 +38,10 @@ pub enum SolverChoice {
     },
     /// Exact branch and bound with fractional pruning.
     BranchAndBound,
+    /// Instance reduction (dominance pruning + bound-based variable
+    /// fixing) in front of the cheapest certifying exact method — bit
+    /// identical to [`SolverChoice::ExactDp`], usually much faster.
+    Adaptive,
 }
 
 impl SolverChoice {
@@ -48,6 +53,7 @@ impl SolverChoice {
             SolverChoice::BranchAndBound => {
                 BranchAndBound::default().solve(mapped.instance(), budget)
             }
+            SolverChoice::Adaptive => AdaptiveSolver::default().solve(mapped.instance(), budget),
         }
     }
 }
@@ -65,9 +71,13 @@ impl OnDemandPlanner {
         Self { scoring, solver }
     }
 
-    /// The paper's configuration: inverse-ratio scoring, exact DP.
+    /// The paper's configuration: inverse-ratio scoring with an exact
+    /// solve. The solve runs through the adaptive reduction front-end
+    /// ([`SolverChoice::Adaptive`]), which is proven bit-identical to
+    /// the paper's full-table DP (`tests/adaptive_parity.rs`) and
+    /// usually much faster.
     pub fn paper_default() -> Self {
-        Self::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp)
+        Self::new(ScoringFunction::InverseRatio, SolverChoice::Adaptive)
     }
 
     /// The scoring function in use.
@@ -255,11 +265,54 @@ impl OnDemandPlanner {
                     scratch.download_size = size;
                     recorder.add(Event::DpCellsTouched, scratch.dp.cells_touched());
                 }
+                SolverChoice::Adaptive => {
+                    // Warm-start hint: the previous round's downloads,
+                    // remapped to this round's item indices. Both lists
+                    // are ascending, so one linear merge suffices.
+                    scratch.hint.clear();
+                    let mut p = 0usize;
+                    for (i, &o) in scratch.objects.iter().enumerate() {
+                        while p < scratch.prev_downloads.len() && scratch.prev_downloads[p] < o {
+                            p += 1;
+                        }
+                        if p < scratch.prev_downloads.len() && scratch.prev_downloads[p] == o {
+                            scratch.hint.push(i);
+                        }
+                    }
+                    let value = AdaptiveSolver::default().solve_with_hint_into(
+                        &scratch.items,
+                        budget,
+                        &scratch.hint,
+                        &mut scratch.adaptive,
+                    );
+                    scratch.achieved_value = value;
+                    let mut size = 0u64;
+                    // `chosen()` is ascending by item index and `objects`
+                    // is ascending by id, so the downloads come out
+                    // sorted.
+                    for &i in scratch.adaptive.chosen() {
+                        let object = scratch.objects[i];
+                        size += catalog.size_of(object);
+                        scratch.downloads.push(object);
+                    }
+                    scratch.download_size = size;
+                    scratch.prev_downloads.clear();
+                    scratch.prev_downloads.extend_from_slice(&scratch.downloads);
+                    recorder.add(Event::DpCellsTouched, scratch.adaptive.cells_touched());
+                    recorder.sample(Sample::CoreSize, scratch.adaptive.core_size() as f64);
+                    recorder.sample(Sample::ItemsFixed, scratch.adaptive.items_fixed() as f64);
+                    recorder.sample(
+                        Sample::SolverChosen,
+                        scratch.adaptive.method().code() as f64,
+                    );
+                }
                 choice => {
                     let instance = Instance::new(scratch.items.clone())
                         .expect("scores in [0,1] yield valid profits");
                     let solution = match choice {
-                        SolverChoice::ExactDp => unreachable!("handled above"),
+                        SolverChoice::ExactDp | SolverChoice::Adaptive => {
+                            unreachable!("handled above")
+                        }
                         SolverChoice::Greedy => GreedyDensity.solve(&instance, budget),
                         SolverChoice::Fptas { epsilon } => {
                             Fptas::new(epsilon).solve(&instance, budget)
@@ -281,6 +334,33 @@ impl OnDemandPlanner {
             }
         }
         recorder.sample(Sample::PlanProfit, scratch.achieved_value);
+    }
+
+    /// Allocation-free planning round through the adaptive reduction
+    /// pipeline, regardless of this planner's configured solver.
+    ///
+    /// Identical results to [`Self::plan_requests_into`] under
+    /// [`SolverChoice::Adaptive`] (and therefore — by the parity
+    /// guarantee — under [`SolverChoice::ExactDp`] too): same downloads,
+    /// same profit bits. Each round's incumbent is warm-started from the
+    /// previous round's plan held in `scratch`; the reduction statistics
+    /// land in [`PlannerScratch::adaptive`].
+    pub fn plan_requests_adaptive_into(
+        &self,
+        requests: &[GeneratedRequest],
+        catalog: &Catalog,
+        recency: &[f64],
+        budget: u64,
+        scratch: &mut PlannerScratch,
+    ) {
+        Self::new(self.scoring, SolverChoice::Adaptive).plan_requests_recorded(
+            requests,
+            catalog,
+            recency,
+            budget,
+            scratch,
+            &NullRecorder,
+        );
     }
 
     /// Like [`Self::plan`], but also return the exact DP's full
@@ -605,6 +685,7 @@ mod tests {
             SolverChoice::Greedy,
             SolverChoice::Fptas { epsilon: 0.1 },
             SolverChoice::BranchAndBound,
+            SolverChoice::Adaptive,
         ] {
             let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, solver);
             let plan = planner.plan(&batch, &catalog, &recency, 6);
@@ -622,6 +703,23 @@ mod tests {
         let bb = OnDemandPlanner::new(ScoringFunction::Exponential, SolverChoice::BranchAndBound)
             .plan(&batch, &catalog, &recency, 7);
         assert!((dp.achieved_value() - bb.achieved_value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_plan_is_bit_identical_to_exact_dp() {
+        let (batch, catalog, recency) = setup();
+        for budget in [0u64, 1, 3, 6, 13, 10_000] {
+            let dp = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp)
+                .plan(&batch, &catalog, &recency, budget);
+            let ad = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::Adaptive)
+                .plan(&batch, &catalog, &recency, budget);
+            assert_eq!(dp.downloads(), ad.downloads(), "budget {budget}");
+            assert_eq!(
+                dp.achieved_value().to_bits(),
+                ad.achieved_value().to_bits(),
+                "budget {budget}"
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! folded over objects ascending — exactly the order the `BTreeMap`
 //! batch path uses.
 
-use basecache_knapsack::{DpScratch, Item};
+use basecache_knapsack::{AdaptiveScratch, DpScratch, Item};
 use basecache_net::ObjectId;
 
 /// Persistent buffers for [`crate::planner::OnDemandPlanner::plan_requests_into`].
@@ -44,6 +44,13 @@ pub struct PlannerScratch {
     pub(crate) objects: Vec<ObjectId>,
     /// Reusable DP tables.
     pub(crate) dp: DpScratch,
+    /// Reusable reduction + adaptive-solve buffers.
+    pub(crate) adaptive: AdaptiveScratch,
+    /// Downloads of the previous adaptive round (ascending), used to
+    /// warm-start the next round's incumbent.
+    pub(crate) prev_downloads: Vec<ObjectId>,
+    /// The warm-start hint as item indices into this round's instance.
+    pub(crate) hint: Vec<usize>,
     /// The chosen downloads, ascending.
     pub(crate) downloads: Vec<ObjectId>,
     pub(crate) download_size: u64,
@@ -71,6 +78,15 @@ impl PlannerScratch {
         self.objects.reserve(num_objects);
         self.downloads.reserve(num_objects);
         self.dp.reserve(num_objects, budget);
+        self.adaptive.reserve(num_objects, budget);
+        self.prev_downloads.reserve(num_objects);
+        self.hint.reserve(num_objects);
+    }
+
+    /// Reduction + solve statistics of the last adaptive round (core
+    /// size, items fixed, terminal method, bound values).
+    pub fn adaptive(&self) -> &AdaptiveScratch {
+        &self.adaptive
     }
 
     /// Objects the last planning round decided to download, ascending.

@@ -182,6 +182,23 @@ impl BaseStationSim {
     ) -> Self {
         let server = RemoteServer::new(&catalog);
         let refresher = AsyncRefresher::new(&catalog);
+        // Pre-size the planner scratch for the worst case the policy can
+        // pose — a full-catalog instance at the full budget — so the
+        // first round (and every solve path, including the adaptive
+        // pipeline's full-DP fallback) stays off the heap. Budgets past
+        // the catalog's total size are equivalent to it (every solver
+        // clamps the capacity), so the reserve clamps too.
+        let mut scratch = PlannerScratch::new();
+        let budget = match &policy {
+            Policy::OnDemand { budget_units, .. } | Policy::Hybrid { budget_units, .. } => {
+                Some(*budget_units)
+            }
+            Policy::OnDemandAdaptive { max_budget, .. } => Some(*max_budget),
+            Policy::OnDemandLowestRecency { .. } | Policy::AsyncRoundRobin { .. } => None,
+        };
+        if let Some(budget) = budget {
+            scratch.reserve(catalog.len(), budget.min(catalog.total_size()));
+        }
         Self {
             catalog,
             server,
@@ -194,7 +211,7 @@ impl BaseStationSim {
             tick: 0,
             stats: StationStats::default(),
             recorder,
-            scratch: PlannerScratch::new(),
+            scratch,
             recency_buf: Vec::new(),
             downloaded: Vec::new(),
         }

@@ -174,4 +174,47 @@ fn on_demand_steady_state_steps_do_not_allocate() {
     }
     let fsnap = flighted.obs_snapshot();
     assert!(!fsnap.is_empty() && !fsnap.attrs.is_empty());
+
+    // The adaptive reduction pipeline (the `paper_default` solve path)
+    // is held to the same bar: once its scratch is warm — reduction
+    // buffers, warm-start hint, core DP table, B&B stacks — every
+    // steady-state step is allocation-free, with no recorder, with a
+    // StatsRecorder, and with the full FlightRecorder alike.
+    let recorders: [(&str, Option<Box<dyn basecache_obs::Recorder>>); 3] = [
+        ("null", None),
+        ("stats", Some(Box::new(basecache_obs::StatsRecorder::new()))),
+        (
+            "flight",
+            Some(Box::new(basecache_obs::FlightRecorder::new(4096, 64, 8))),
+        ),
+    ];
+    for (label, recorder) in recorders {
+        let builder = StationBuilder::new(Catalog::from_sizes(&sizes))
+            .on_demand(OnDemandPlanner::paper_default(), 5000);
+        let builder = match recorder {
+            Some(r) => builder.recorder(r),
+            None => builder,
+        };
+        let mut adaptive = builder.build().expect("valid configuration");
+        for _ in 0..3 {
+            adaptive.step(&requests);
+        }
+        adaptive.apply_update_wave();
+        for _ in 0..3 {
+            adaptive.step(&requests);
+        }
+        for round in 0..10 {
+            adaptive.apply_update_wave();
+            let before = allocation_count();
+            let outcome = adaptive.step(&requests);
+            let after = allocation_count();
+            assert_eq!(
+                after - before,
+                0,
+                "{label} round {round}: adaptive step() allocated {} time(s)",
+                after - before
+            );
+            assert_eq!(outcome.served, 5000);
+        }
+    }
 }

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod ext_adaptive;
+pub mod ext_adaptive_solver;
 pub mod ext_bounded_cache;
 pub mod ext_broadcast;
 pub mod ext_cluster;

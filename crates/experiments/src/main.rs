@@ -8,9 +8,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use basecache_experiments::{
-    ext_adaptive, ext_bounded_cache, ext_broadcast, ext_cluster, ext_estimators, ext_hybrid,
-    ext_latency, ext_multicell, ext_obs, ext_poisson, fig2, fig3, fig4, fig5, fig6, report::Figure,
-    table1,
+    ext_adaptive, ext_adaptive_solver, ext_bounded_cache, ext_broadcast, ext_cluster,
+    ext_estimators, ext_hybrid, ext_latency, ext_multicell, ext_obs, ext_poisson, fig2, fig3, fig4,
+    fig5, fig6, report::Figure, table1,
 };
 use basecache_workload::Correlation;
 
@@ -52,7 +52,7 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() -> String {
     "usage: experiments [all|fig2|fig3|fig4|fig5a|fig5b|fig6a|fig6b|table1|\
-     ext-adaptive|ext-hybrid|ext-estimators|ext-latency|ext-poisson|ext-multicell|\
+     ext-adaptive|ext-adaptive-solver|ext-hybrid|ext-estimators|ext-latency|ext-poisson|ext-multicell|\
      ext-cluster|ext-broadcast|ext-bounded-cache|ext-obs]... [--quick] [--csv DIR]"
         .to_string()
 }
@@ -170,6 +170,19 @@ fn main() -> ExitCode {
             ext_adaptive::Params::paper()
         };
         emit(&ext_adaptive::run(&p), &opts, "ext_adaptive.csv");
+    }
+    if want("ext-adaptive-solver") {
+        matched = true;
+        let p = if opts.quick {
+            ext_adaptive_solver::Params::quick()
+        } else {
+            ext_adaptive_solver::Params::paper()
+        };
+        emit(
+            &ext_adaptive_solver::run(&p),
+            &opts,
+            "ext_adaptive_solver.csv",
+        );
     }
     if want("ext-hybrid") {
         matched = true;

@@ -1,0 +1,1136 @@
+//! Instance reduction + adaptive exact solving.
+//!
+//! The planner solves one knapsack per scheduling round, and at Table-1
+//! scale the exact DP dominates round time. Most of that work is
+//! provably unnecessary: classic instance reduction (Martello & Toth)
+//! fixes the bulk of the variables *before* any DP column is filled.
+//! [`AdaptiveSolver`] runs that pipeline on reusable scratch:
+//!
+//! 1. **Reduction** — clamp capacity to `min(B, Σ usable sizes)`, drop
+//!    zero-profit and oversized items, dominance-prune within equal
+//!    sizes (a capacity-`C` solution uses at most `⌊C/s⌋` items of size
+//!    `s`, so only the top profits of each size class can participate),
+//!    then compute a greedy lower bound and a per-item Dantzig upper
+//!    bound to *fix* variables: an item whose "forced in" bound falls
+//!    below the lower bound can never be chosen; an item whose "forced
+//!    out" bound falls below it must always be chosen.
+//! 2. **Adaptive solve** — if every usable item fits (`LB == UB`, the
+//!    certificate case) return the greedy solution immediately; else run
+//!    depth-first branch-and-bound over the surviving core, seeded with
+//!    the greedy incumbent (and, optionally, a warm-start hint from the
+//!    previous round's solution); if the search is cut off or cannot
+//!    certify a strictly unique optimum, fall back to the bounded DP
+//!    ([`DpByCapacity::solve_into`]) on the reduced core only.
+//!
+//! The result is always exact-optimal with the *same canonical
+//! tie-breaking as the full-table DP*: the chosen item set, the achieved
+//! profit (bit-for-bit, because the profit is re-folded in ascending
+//! item order — exactly the order the DP's cell values accumulate in)
+//! and therefore every downstream planner outcome are identical to
+//! [`DpByCapacity::solve_into`] on the unreduced instance. All bound
+//! comparisons carry a conservative floating-point margin; whenever a
+//! decision would land inside the margin, the pipeline declines to
+//! reduce and lets the core DP decide, so rounding can never flip a
+//! fixing decision.
+//!
+//! **Tie safety.** When two usable items carry bit-identical profits,
+//! the full DP resolves the resulting solution ties through the
+//! accumulation order of its table cells — an artifact no shortcut can
+//! reproduce. The pipeline detects bit-equal profit pairs up front and
+//! routes those instances to the full DP wholesale, so parity on tied
+//! instances holds by construction; the fast paths only ever run where
+//! the optimum is decided by margin-separated comparisons.
+
+use crate::{DpByCapacity, DpScratch, Instance, Item, Solution, Solver};
+
+/// Which terminal strategy produced the last solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMethod {
+    /// The bounds met: the greedy/reduction answer is certified optimal
+    /// and no search ran (includes the "every usable item fits" case and
+    /// cores emptied entirely by variable fixing).
+    #[default]
+    CertifiedGreedy,
+    /// Branch-and-bound over the reduced core completed with a strictly
+    /// unique optimum.
+    BranchAndBound,
+    /// The bounded DP ran on the reduced core (or on the full instance
+    /// for degenerate profit scales).
+    CoreDp,
+}
+
+impl SolveMethod {
+    /// Dense numeric code for recorder samples
+    /// (0 = certified greedy, 1 = branch-and-bound, 2 = core DP).
+    pub const fn code(self) -> u8 {
+        match self {
+            SolveMethod::CertifiedGreedy => 0,
+            SolveMethod::BranchAndBound => 1,
+            SolveMethod::CoreDp => 2,
+        }
+    }
+}
+
+/// Per-usable-item reduction state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Still undecided: part of the search core.
+    Core,
+    /// Removed by same-size dominance.
+    Dropped,
+    /// Fixed into every optimal solution by the bounds.
+    ForcedIn,
+    /// Fixed out of every optimal solution by the bounds.
+    ForcedOut,
+}
+
+/// Reusable buffers for [`AdaptiveSolver`]. Create once per planner (or
+/// thread) and feed to every solve; after the first call at a given
+/// problem shape no further heap allocation occurs.
+#[derive(Debug, Default)]
+pub struct AdaptiveScratch {
+    // Classification of the original items.
+    /// Original indices of sized usable items (profit > 0,
+    /// 0 < size ≤ capacity), ascending.
+    usable_idx: Vec<u32>,
+    /// Size per usable position.
+    usable_size: Vec<u64>,
+    /// Profit per usable position.
+    usable_profit: Vec<f64>,
+    /// Reduction state per usable position.
+    state: Vec<State>,
+    /// Final selection flag per usable position.
+    sel: Vec<bool>,
+    /// Greedy / hint working flags per usable position.
+    tmp: Vec<bool>,
+    /// Usable positions sorted by (size asc, profit desc, index asc) for
+    /// the dominance pass.
+    dom: Vec<u32>,
+    /// Usable profit bits, sorted, for the duplicate-profit tie check.
+    pbits: Vec<u64>,
+    // Density ordering over the non-dropped usable items.
+    /// Usable positions in (density desc, index asc) order.
+    ord: Vec<u32>,
+    /// Prefix sums of sizes over `ord` (len m+1).
+    ord_psize: Vec<u64>,
+    /// Prefix sums of profits over `ord` (len m+1).
+    ord_pprofit: Vec<f64>,
+    // Core (undecided) items for the terminal solvers.
+    /// Core items in ascending original order.
+    core_items: Vec<Item>,
+    /// Usable position of each core item.
+    core_map: Vec<u32>,
+    // Branch-and-bound state, in core density order.
+    bb_size: Vec<u64>,
+    bb_profit: Vec<f64>,
+    bb_pos: Vec<u32>,
+    bb_ssize: Vec<u64>,
+    bb_sprofit: Vec<f64>,
+    bb_current: Vec<bool>,
+    bb_best: Vec<bool>,
+    /// Reusable DP tables for the core fallback.
+    dp: DpScratch,
+    /// Chosen original item indices, ascending.
+    chosen: Vec<usize>,
+    // Stats for the last solve.
+    value: f64,
+    method: SolveMethod,
+    core_size: usize,
+    items_fixed: usize,
+    cells_touched: u64,
+    nodes: u64,
+    lower_bound: f64,
+    upper_bound: f64,
+}
+
+impl AdaptiveScratch {
+    /// Fresh, empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            method: SolveMethod::CertifiedGreedy,
+            ..Self::default()
+        }
+    }
+
+    /// Pre-size every buffer for instances of up to `max_items` items
+    /// and capacities up to `max_capacity`, so even the first solve
+    /// allocates nothing.
+    pub fn reserve(&mut self, max_items: usize, max_capacity: u64) {
+        self.usable_idx.reserve(max_items);
+        self.usable_size.reserve(max_items);
+        self.usable_profit.reserve(max_items);
+        self.state.reserve(max_items);
+        self.sel.reserve(max_items);
+        self.tmp.reserve(max_items);
+        self.dom.reserve(max_items);
+        self.pbits.reserve(max_items);
+        self.ord.reserve(max_items);
+        self.ord_psize.reserve(max_items + 1);
+        self.ord_pprofit.reserve(max_items + 1);
+        self.core_items.reserve(max_items);
+        self.core_map.reserve(max_items);
+        self.bb_size.reserve(max_items);
+        self.bb_profit.reserve(max_items);
+        self.bb_pos.reserve(max_items);
+        self.bb_ssize.reserve(max_items + 1);
+        self.bb_sprofit.reserve(max_items + 1);
+        self.bb_current.reserve(max_items);
+        self.bb_best.reserve(max_items);
+        self.chosen.reserve(max_items);
+        self.dp.reserve(max_items, max_capacity);
+    }
+
+    /// Optimal profit of the last solve (bit-identical to the full DP's).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Chosen item indices of the last solve, ascending — identical to
+    /// [`DpScratch::chosen`] after [`DpByCapacity::solve_into`] on the
+    /// unreduced instance.
+    pub fn chosen(&self) -> &[usize] {
+        &self.chosen
+    }
+
+    /// Which terminal strategy produced the last solution.
+    pub fn method(&self) -> SolveMethod {
+        self.method
+    }
+
+    /// Undecided items left for the terminal solver after reduction and
+    /// variable fixing (0 when the certificate fired).
+    pub fn core_size(&self) -> usize {
+        self.core_size
+    }
+
+    /// Usable items eliminated before the terminal solver ran:
+    /// dominance-pruned plus bound-fixed (in either direction).
+    pub fn items_fixed(&self) -> usize {
+        self.items_fixed
+    }
+
+    /// DP cells swept by the last solve (0 unless the core DP ran).
+    pub fn cells_touched(&self) -> u64 {
+        self.cells_touched
+    }
+
+    /// Branch-and-bound nodes expanded by the last solve.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// The greedy lower bound the reduction worked against.
+    pub fn lower_bound(&self) -> f64 {
+        self.lower_bound
+    }
+
+    /// The Dantzig upper bound of the reduced instance.
+    pub fn upper_bound(&self) -> f64 {
+        self.upper_bound
+    }
+}
+
+/// The adaptive exact solver: reduction, variable fixing, and the
+/// cheapest terminal strategy that certifies optimality. See the module
+/// docs for the pipeline and the exactness contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveSolver {
+    /// Node budget for the branch-and-bound terminal; exceeding it falls
+    /// back to the core DP.
+    max_nodes: u64,
+    /// Largest core the branch-and-bound terminal will attempt; bigger
+    /// cores go straight to the bounded DP.
+    max_bb_core: usize,
+}
+
+impl Default for AdaptiveSolver {
+    fn default() -> Self {
+        Self {
+            max_nodes: 4096,
+            max_bb_core: 48,
+        }
+    }
+}
+
+impl AdaptiveSolver {
+    /// Solver with a custom branch-and-bound node budget.
+    pub fn with_max_nodes(max_nodes: u64) -> Self {
+        Self {
+            max_nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Solve `items` under `capacity` on reusable scratch. The optimal
+    /// profit is returned and, with the chosen indices and the reduction
+    /// stats, left in `scratch`.
+    pub fn solve_into(&self, items: &[Item], capacity: u64, scratch: &mut AdaptiveScratch) -> f64 {
+        self.solve_with_hint_into(items, capacity, &[], scratch)
+    }
+
+    /// [`Self::solve_into`] with a warm-start hint: `hint` lists item
+    /// indices (ascending) believed to be near-optimal — typically the
+    /// previous round's solution. The hint only strengthens the
+    /// incumbent used for fixing and pruning; it never changes the
+    /// returned solution.
+    pub fn solve_with_hint_into(
+        &self,
+        items: &[Item],
+        capacity: u64,
+        hint: &[usize],
+        scratch: &mut AdaptiveScratch,
+    ) -> f64 {
+        // ---- Phase 0: classify items exactly as the DP does. ---------
+        scratch.usable_idx.clear();
+        scratch.usable_size.clear();
+        scratch.usable_profit.clear();
+        scratch.chosen.clear();
+        scratch.cells_touched = 0;
+        scratch.nodes = 0;
+
+        let mut total_usable: u64 = 0;
+        let mut flat = 0.0_f64; // running profit sum in item order, as in the DP
+        let mut degenerate = false;
+        for (i, item) in items.iter().enumerate() {
+            let (size, profit) = (item.size(), item.profit());
+            debug_assert!(profit.is_finite() && profit >= 0.0, "invalid profit");
+            if profit <= 0.0 || size > capacity {
+                continue;
+            }
+            if size == 0 {
+                flat += profit;
+                continue;
+            }
+            // The DP falls back to full-width rows when a profit cannot
+            // move the running sum in f64; reduction reasoning is unsafe
+            // at such profit scales, so route the whole instance to it.
+            if flat + profit <= flat {
+                degenerate = true;
+            }
+            flat += profit;
+            total_usable += size;
+            scratch.usable_idx.push(i as u32);
+            scratch.usable_size.push(size);
+            scratch.usable_profit.push(profit);
+        }
+        let nu = scratch.usable_idx.len();
+        let effective = capacity.min(total_usable);
+
+        // Bit-equal profits make the DP's tie resolution an accumulation
+        // artifact (its strict-`>` keep bit reacts to ulp-level fold-order
+        // noise between equal-value sets) that no shortcut reproduces.
+        // Detect any duplicated profit bits up front and decline to reduce.
+        scratch.pbits.clear();
+        scratch
+            .pbits
+            .extend(scratch.usable_profit.iter().map(|p| p.to_bits()));
+        scratch.pbits.sort_unstable();
+        let tied = scratch.pbits.windows(2).any(|w| w[0] == w[1]);
+
+        if degenerate || tied {
+            // Bit-identical by construction: run the full bounded DP.
+            return self.solve_degenerate_fallback(items, capacity, scratch);
+        }
+
+        scratch.sel.clear();
+        scratch.sel.resize(nu, false);
+
+        // ---- Phase 1: every usable item fits — certified greedy. -----
+        if total_usable <= capacity {
+            for s in scratch.sel.iter_mut() {
+                *s = true;
+            }
+            let value = finish(items, scratch);
+            scratch.method = SolveMethod::CertifiedGreedy;
+            scratch.core_size = 0;
+            scratch.items_fixed = nu;
+            scratch.lower_bound = value;
+            scratch.upper_bound = value;
+            return value;
+        }
+
+        // Conservative float margin: any fold of usable profits differs
+        // from the real sum by well under this, so bound comparisons that
+        // clear it cannot be rounding artifacts.
+        let margin = flat * f64::EPSILON * (nu as f64 + 4.0) * 8.0;
+
+        // ---- Phase 2: dominance pruning within equal sizes. ----------
+        scratch.state.clear();
+        scratch.state.resize(nu, State::Core);
+        scratch.dom.clear();
+        scratch.dom.extend(0..nu as u32);
+        {
+            let size = &scratch.usable_size;
+            let profit = &scratch.usable_profit;
+            scratch.dom.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                size[a]
+                    .cmp(&size[b])
+                    .then_with(|| {
+                        profit[b]
+                            .partial_cmp(&profit[a])
+                            .expect("validated profits are never NaN")
+                    })
+                    .then(a.cmp(&b))
+            });
+        }
+        let mut run = 0;
+        while run < nu {
+            let size = scratch.usable_size[scratch.dom[run] as usize];
+            let mut run_end = run + 1;
+            while run_end < nu && scratch.usable_size[scratch.dom[run_end] as usize] == size {
+                run_end += 1;
+            }
+            // A feasible solution holds at most ⌊effective/size⌋ items of
+            // this size. An item is droppable only when at least that
+            // many classmates beat it *decisively* — beyond the float
+            // margin. (Bit-equal profits never reach this phase: the
+            // duplicate check above routes them to the full DP.)
+            let quota = (effective / size) as usize;
+            for t in quota.max(1)..run_end - run {
+                let p_t = scratch.usable_profit[scratch.dom[run + t] as usize];
+                let mut decisive = 0usize;
+                for k in 0..t {
+                    let p_k = scratch.usable_profit[scratch.dom[run + k] as usize];
+                    if p_k > p_t + margin {
+                        decisive += 1;
+                        if decisive >= quota {
+                            break;
+                        }
+                    }
+                }
+                if decisive >= quota {
+                    scratch.state[scratch.dom[run + t] as usize] = State::Dropped;
+                }
+            }
+            run = run_end;
+        }
+
+        // ---- Phase 3: bounds over the non-dropped items. -------------
+        // Density order (density desc, index asc) and prefix sums.
+        scratch.ord.clear();
+        scratch
+            .ord
+            .extend((0..nu as u32).filter(|&u| scratch.state[u as usize] == State::Core));
+        {
+            let size = &scratch.usable_size;
+            let profit = &scratch.usable_profit;
+            scratch.ord.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                let da = profit[a] / size[a] as f64;
+                let db = profit[b] / size[b] as f64;
+                db.partial_cmp(&da)
+                    .expect("validated profits are never NaN")
+                    .then(a.cmp(&b))
+            });
+        }
+        let m = scratch.ord.len();
+        scratch.ord_psize.clear();
+        scratch.ord_pprofit.clear();
+        scratch.ord_psize.push(0);
+        scratch.ord_pprofit.push(0.0);
+        for k in 0..m {
+            let u = scratch.ord[k] as usize;
+            scratch
+                .ord_psize
+                .push(scratch.ord_psize[k] + scratch.usable_size[u]);
+            scratch
+                .ord_pprofit
+                .push(scratch.ord_pprofit[k] + scratch.usable_profit[u]);
+        }
+
+        // Greedy incumbent (density order, take what fits), evaluated by
+        // the ascending-index fold so it compares exactly against DP
+        // values.
+        scratch.tmp.clear();
+        scratch.tmp.resize(nu, false);
+        let mut remaining = effective;
+        for k in 0..m {
+            let u = scratch.ord[k] as usize;
+            if scratch.usable_size[u] <= remaining {
+                remaining -= scratch.usable_size[u];
+                scratch.tmp[u] = true;
+            }
+        }
+        let mut lb = fold_flags(&scratch.usable_profit, &scratch.tmp);
+        // Best single non-dropped item (the classic 2-approximation fix).
+        for k in 0..m {
+            let u = scratch.ord[k] as usize;
+            if scratch.usable_profit[u] > lb {
+                lb = scratch.usable_profit[u];
+            }
+        }
+        // Warm-start hint: refit the previous solution under the current
+        // instance and keep it if it beats the greedy incumbent.
+        if !hint.is_empty() {
+            let mut rem = effective;
+            let mut hv = 0.0;
+            let mut h = 0usize;
+            for (upos, &idx) in scratch.usable_idx.iter().enumerate() {
+                while h < hint.len() && hint[h] < idx as usize {
+                    h += 1;
+                }
+                if h < hint.len()
+                    && hint[h] == idx as usize
+                    && scratch.state[upos] == State::Core
+                    && scratch.usable_size[upos] <= rem
+                {
+                    rem -= scratch.usable_size[upos];
+                    hv += scratch.usable_profit[upos];
+                }
+            }
+            if hv > lb {
+                // Re-mark tmp with the refitted hint set.
+                for t in scratch.tmp.iter_mut() {
+                    *t = false;
+                }
+                let mut rem = effective;
+                let mut h = 0usize;
+                for (upos, &idx) in scratch.usable_idx.iter().enumerate() {
+                    while h < hint.len() && hint[h] < idx as usize {
+                        h += 1;
+                    }
+                    if h < hint.len()
+                        && hint[h] == idx as usize
+                        && scratch.state[upos] == State::Core
+                        && scratch.usable_size[upos] <= rem
+                    {
+                        rem -= scratch.usable_size[upos];
+                        scratch.tmp[upos] = true;
+                    }
+                }
+                lb = hv;
+            }
+        }
+        scratch.lower_bound = lb;
+
+        // Global Dantzig bound. When everything that survived dominance
+        // fits, the bound is split-free: LB == UB and the greedy solution
+        // (take all of it) carries an optimality certificate.
+        let (ub, _split) = dantzig(
+            &scratch.ord_psize,
+            &scratch.ord_pprofit,
+            &scratch.ord,
+            &scratch.usable_size,
+            &scratch.usable_profit,
+            effective,
+        );
+        scratch.upper_bound = ub;
+        if scratch.ord_psize[m] <= effective {
+            for (upos, sel) in scratch.sel.iter_mut().enumerate() {
+                *sel = scratch.state[upos] == State::Core;
+            }
+            let value = finish(items, scratch);
+            scratch.method = SolveMethod::CertifiedGreedy;
+            scratch.core_size = 0;
+            scratch.items_fixed = nu;
+            scratch.lower_bound = value;
+            scratch.upper_bound = value;
+            return value;
+        }
+
+        // ---- Phase 4: bound-based variable fixing. -------------------
+        for r in 0..m {
+            let u = scratch.ord[r] as usize;
+            let (s_r, p_r) = (scratch.usable_size[u], scratch.usable_profit[u]);
+            // Upper bound over solutions that DO contain item r.
+            let ub_in = p_r
+                + dantzig_excluding(
+                    &scratch.ord_psize,
+                    &scratch.ord_pprofit,
+                    &scratch.ord,
+                    &scratch.usable_size,
+                    &scratch.usable_profit,
+                    r,
+                    effective - s_r,
+                );
+            if ub_in + margin < lb {
+                scratch.state[u] = State::ForcedOut;
+                continue;
+            }
+            // Upper bound over solutions that do NOT contain item r.
+            let ub_out = dantzig_excluding(
+                &scratch.ord_psize,
+                &scratch.ord_pprofit,
+                &scratch.ord,
+                &scratch.usable_size,
+                &scratch.usable_profit,
+                r,
+                effective,
+            );
+            if ub_out + margin < lb {
+                scratch.state[u] = State::ForcedIn;
+            }
+        }
+
+        // ---- Phase 5: assemble the core and pick a terminal. ---------
+        let mut forced_size: u64 = 0;
+        scratch.core_items.clear();
+        scratch.core_map.clear();
+        for upos in 0..nu {
+            match scratch.state[upos] {
+                State::ForcedIn => forced_size += scratch.usable_size[upos],
+                State::Core => {
+                    scratch.core_items.push(Item::new(
+                        scratch.usable_size[upos],
+                        scratch.usable_profit[upos],
+                    ));
+                    scratch.core_map.push(upos as u32);
+                }
+                State::Dropped | State::ForcedOut => {}
+            }
+        }
+        if forced_size > effective {
+            // Cannot happen when the fixing logic is sound; if rounding
+            // ever conspired against us, decline to reduce entirely.
+            return self.solve_degenerate_fallback(items, capacity, scratch);
+        }
+        let core_cap = effective - forced_size;
+        scratch.core_size = scratch.core_items.len();
+        scratch.items_fixed = nu - scratch.core_size;
+
+        if scratch.core_items.is_empty() {
+            for upos in 0..nu {
+                scratch.sel[upos] = scratch.state[upos] == State::ForcedIn;
+            }
+            let value = finish(items, scratch);
+            scratch.method = SolveMethod::CertifiedGreedy;
+            scratch.value = value;
+            return value;
+        }
+
+        // Branch-and-bound, seeded with the incumbent restricted to the
+        // core, when the core is small enough to search decisively.
+        if scratch.core_size <= self.max_bb_core && self.branch_and_bound(core_cap, scratch) {
+            for upos in 0..nu {
+                scratch.sel[upos] = scratch.state[upos] == State::ForcedIn;
+            }
+            for (c, &upos) in scratch.core_map.iter().enumerate() {
+                if scratch.bb_best[c] {
+                    scratch.sel[upos as usize] = true;
+                }
+            }
+            let value = finish(items, scratch);
+            scratch.method = SolveMethod::BranchAndBound;
+            scratch.value = value;
+            return value;
+        }
+
+        // Bounded DP on the reduced core only.
+        DpByCapacity.solve_into(&scratch.core_items, core_cap, &mut scratch.dp);
+        scratch.cells_touched = scratch.dp.cells_touched();
+        for upos in 0..nu {
+            scratch.sel[upos] = scratch.state[upos] == State::ForcedIn;
+        }
+        for &c in scratch.dp.chosen() {
+            scratch.sel[scratch.core_map[c] as usize] = true;
+        }
+        let value = finish(items, scratch);
+        scratch.method = SolveMethod::CoreDp;
+        scratch.value = value;
+        value
+    }
+
+    /// Full-instance DP fallback for paths where reduction declined.
+    fn solve_degenerate_fallback(
+        &self,
+        items: &[Item],
+        capacity: u64,
+        scratch: &mut AdaptiveScratch,
+    ) -> f64 {
+        let value = DpByCapacity.solve_into(items, capacity, &mut scratch.dp);
+        scratch.chosen.clear();
+        scratch.chosen.extend_from_slice(scratch.dp.chosen());
+        scratch.cells_touched = scratch.dp.cells_touched();
+        scratch.value = value;
+        scratch.method = SolveMethod::CoreDp;
+        scratch.core_size = scratch.usable_idx.len();
+        scratch.items_fixed = 0;
+        scratch.lower_bound = value;
+        scratch.upper_bound = value;
+        value
+    }
+
+    /// Depth-first branch-and-bound over the core. Returns `true` when
+    /// the search completed with a *strictly* unique optimum (every
+    /// pruning and incumbent comparison cleared the float margin);
+    /// `false` sends the caller to the core DP, which owns canonical
+    /// tie-breaking.
+    fn branch_and_bound(&self, core_cap: u64, scratch: &mut AdaptiveScratch) -> bool {
+        let nc = scratch.core_items.len();
+        scratch.bb_pos.clear();
+        scratch.bb_pos.extend(0..nc as u32);
+        {
+            let items = &scratch.core_items;
+            scratch.bb_pos.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                let da = items[a].profit() / items[a].size() as f64;
+                let db = items[b].profit() / items[b].size() as f64;
+                db.partial_cmp(&da)
+                    .expect("validated profits are never NaN")
+                    .then(a.cmp(&b))
+            });
+        }
+        scratch.bb_size.clear();
+        scratch.bb_profit.clear();
+        for &c in &scratch.bb_pos {
+            scratch.bb_size.push(scratch.core_items[c as usize].size());
+            scratch
+                .bb_profit
+                .push(scratch.core_items[c as usize].profit());
+        }
+        scratch.bb_ssize.clear();
+        scratch.bb_ssize.resize(nc + 1, 0);
+        scratch.bb_sprofit.clear();
+        scratch.bb_sprofit.resize(nc + 1, 0.0);
+        for k in (0..nc).rev() {
+            scratch.bb_ssize[k] = scratch.bb_ssize[k + 1] + scratch.bb_size[k];
+            scratch.bb_sprofit[k] = scratch.bb_sprofit[k + 1] + scratch.bb_profit[k];
+        }
+
+        // Seed the incumbent: the greedy/hint set restricted to the core,
+        // refitted under the core capacity, valued in branch order.
+        scratch.bb_best.clear();
+        scratch.bb_best.resize(nc, false);
+        scratch.bb_current.clear();
+        scratch.bb_current.resize(nc, false);
+        let mut inc = 0.0_f64;
+        {
+            let mut rem = core_cap;
+            for k in 0..nc {
+                let upos = scratch.core_map[scratch.bb_pos[k] as usize] as usize;
+                if scratch.tmp[upos] && scratch.bb_size[k] <= rem {
+                    rem -= scratch.bb_size[k];
+                    inc += scratch.bb_profit[k];
+                    scratch.bb_best[k] = true;
+                }
+            }
+        }
+
+        let margin = scratch.bb_sprofit[0] * f64::EPSILON * (nc as f64 + 4.0) * 8.0;
+        let mut search = BbSearch {
+            size: &scratch.bb_size,
+            profit: &scratch.bb_profit,
+            ssize: &scratch.bb_ssize,
+            sprofit: &scratch.bb_sprofit,
+            current: &mut scratch.bb_current,
+            best: &mut scratch.bb_best,
+            inc,
+            margin,
+            max_nodes: self.max_nodes,
+            nodes: 0,
+            ambiguous: false,
+        };
+        search.dfs(0, 0.0, core_cap);
+        let ok = !search.ambiguous && search.nodes < search.max_nodes;
+        scratch.nodes = search.nodes;
+        if ok {
+            // `bb_best[k]` is in branch (density) order; translate to the
+            // core index space the caller maps back from.
+            // Reuse bb_current as the translation target.
+            for c in scratch.bb_current.iter_mut() {
+                *c = false;
+            }
+            for k in 0..nc {
+                if scratch.bb_best[k] {
+                    scratch.bb_current[scratch.bb_pos[k] as usize] = true;
+                }
+            }
+            std::mem::swap(&mut scratch.bb_best, &mut scratch.bb_current);
+        }
+        ok
+    }
+}
+
+/// Mutable state of one branch-and-bound search.
+struct BbSearch<'a> {
+    size: &'a [u64],
+    profit: &'a [f64],
+    ssize: &'a [u64],
+    sprofit: &'a [f64],
+    current: &'a mut Vec<bool>,
+    best: &'a mut Vec<bool>,
+    inc: f64,
+    margin: f64,
+    max_nodes: u64,
+    nodes: u64,
+    ambiguous: bool,
+}
+
+impl BbSearch<'_> {
+    fn dfs(&mut self, depth: usize, acc: f64, rem: u64) {
+        if self.ambiguous || self.nodes >= self.max_nodes {
+            self.ambiguous = true;
+            return;
+        }
+        self.nodes += 1;
+        if depth == self.size.len() {
+            if acc > self.inc + self.margin {
+                self.inc = acc;
+                self.best.copy_from_slice(self.current);
+            } else if acc > self.inc - self.margin {
+                // A tie (or near-tie) the margin cannot break: only the
+                // DP's canonical tie-breaking may decide this.
+                self.ambiguous = true;
+                if acc > self.inc {
+                    self.inc = acc;
+                    self.best.copy_from_slice(self.current);
+                }
+            }
+            return;
+        }
+        // Dantzig bound over the remaining suffix.
+        let mut bound = acc;
+        if self.ssize[depth] <= rem {
+            bound += self.sprofit[depth];
+        } else {
+            let mut r = rem;
+            for k in depth..self.size.len() {
+                if self.size[k] <= r {
+                    r -= self.size[k];
+                    bound += self.profit[k];
+                } else {
+                    if r > 0 {
+                        bound += self.profit[k] * r as f64 / self.size[k] as f64;
+                    }
+                    break;
+                }
+            }
+        }
+        if bound <= self.inc {
+            if bound > self.inc - self.margin {
+                self.ambiguous = true;
+            }
+            return;
+        }
+        if self.size[depth] <= rem {
+            self.current[depth] = true;
+            self.dfs(depth + 1, acc + self.profit[depth], rem - self.size[depth]);
+            self.current[depth] = false;
+        }
+        self.dfs(depth + 1, acc, rem);
+    }
+}
+
+/// Fold the selected usable profits in ascending index order.
+fn fold_flags(profits: &[f64], flags: &[bool]) -> f64 {
+    let mut acc = 0.0;
+    for (p, &f) in profits.iter().zip(flags) {
+        if f {
+            acc += p;
+        }
+    }
+    acc
+}
+
+/// Global Dantzig bound at `cap` over the density ordering. Returns the
+/// bound and whether a fractional split was needed.
+fn dantzig(
+    psize: &[u64],
+    pprofit: &[f64],
+    ord: &[u32],
+    size: &[u64],
+    profit: &[f64],
+    cap: u64,
+) -> (f64, bool) {
+    let m = ord.len();
+    // Largest prefix that fits.
+    let mut lo = 0usize;
+    let mut hi = m;
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if psize[mid] <= cap {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let b = lo;
+    let rem = cap - psize[b];
+    if b < m && rem > 0 {
+        let u = ord[b] as usize;
+        (pprofit[b] + profit[u] * rem as f64 / size[u] as f64, true)
+    } else {
+        (pprofit[b], false)
+    }
+}
+
+/// Dantzig bound at `cap` over the density ordering with item at rank
+/// `skip` removed, in `O(log m)` via the prefix sums.
+fn dantzig_excluding(
+    psize: &[u64],
+    pprofit: &[f64],
+    ord: &[u32],
+    size: &[u64],
+    profit: &[f64],
+    skip: usize,
+    cap: u64,
+) -> f64 {
+    let m = ord.len();
+    let u_skip = ord[skip] as usize;
+    let (s_skip, p_skip) = (size[u_skip], profit[u_skip]);
+    // Prefix size of the first t items of the sequence-without-skip.
+    let pex_size = |t: usize| -> u64 {
+        if t <= skip {
+            psize[t]
+        } else {
+            psize[t + 1] - s_skip
+        }
+    };
+    let pex_profit = |t: usize| -> f64 {
+        if t <= skip {
+            pprofit[t]
+        } else {
+            pprofit[t + 1] - p_skip
+        }
+    };
+    let last = m - 1; // the shortened sequence has m-1 items
+    let mut lo = 0usize;
+    let mut hi = last;
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if pex_size(mid) <= cap {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let b = lo;
+    let rem = cap - pex_size(b);
+    if b < last && rem > 0 {
+        let q = ord[if b < skip { b } else { b + 1 }] as usize;
+        pex_profit(b) + profit[q] * rem as f64 / size[q] as f64
+    } else {
+        pex_profit(b)
+    }
+}
+
+/// Assemble `scratch.chosen` (ascending original indices) from the
+/// classification and the per-usable selection flags, folding the profit
+/// in ascending item order — the exact accumulation order of the DP's
+/// cell values, so the result is bit-identical to the DP optimum.
+fn finish(items: &[Item], scratch: &mut AdaptiveScratch) -> f64 {
+    scratch.chosen.clear();
+    let mut acc = 0.0_f64;
+    let mut upos = 0usize;
+    for (i, item) in items.iter().enumerate() {
+        let (size, profit) = (item.size(), item.profit());
+        if profit <= 0.0 {
+            continue;
+        }
+        if size == 0 {
+            scratch.chosen.push(i);
+            acc += profit;
+            continue;
+        }
+        if upos < scratch.usable_idx.len() && scratch.usable_idx[upos] as usize == i {
+            if scratch.sel[upos] {
+                scratch.chosen.push(i);
+                acc += profit;
+            }
+            upos += 1;
+        }
+    }
+    scratch.value = acc;
+    acc
+}
+
+impl Solver for AdaptiveSolver {
+    fn solve(&self, instance: &Instance, capacity: u64) -> Solution {
+        let mut scratch = AdaptiveScratch::new();
+        self.solve_into(instance.items(), capacity, &mut scratch);
+        Solution::from_indices(instance, scratch.chosen.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Assert the adaptive solve matches the full bounded DP bit-for-bit
+    /// (chosen set and profit) at every capacity in `caps`.
+    fn assert_parity(items: &[Item], caps: impl IntoIterator<Item = u64>) {
+        let solver = AdaptiveSolver::default();
+        let mut adaptive = AdaptiveScratch::new();
+        let mut dp = DpScratch::new();
+        for cap in caps {
+            let got = solver.solve_into(items, cap, &mut adaptive);
+            let want = DpByCapacity.solve_into(items, cap, &mut dp);
+            assert_eq!(
+                adaptive.chosen(),
+                dp.chosen(),
+                "chosen sets diverge at cap={cap} ({:?})",
+                adaptive.method()
+            );
+            assert!(
+                got == want,
+                "profit diverges at cap={cap}: {got} vs {want} ({:?})",
+                adaptive.method()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_dp_on_the_classic_instance() {
+        let items = [
+            Item::new(5, 3.0),
+            Item::new(4, 5.0),
+            Item::new(5, 4.0),
+            Item::new(9, 8.0),
+        ];
+        assert_parity(&items, 0..=30);
+    }
+
+    #[test]
+    fn all_fit_certificate_fires() {
+        let items = [Item::new(2, 1.5), Item::new(3, 2.5)];
+        let solver = AdaptiveSolver::default();
+        let mut scratch = AdaptiveScratch::new();
+        solver.solve_into(&items, 100, &mut scratch);
+        assert_eq!(scratch.method(), SolveMethod::CertifiedGreedy);
+        assert_eq!(scratch.chosen(), &[0, 1]);
+        assert_eq!(scratch.core_size(), 0);
+        assert_eq!(scratch.items_fixed(), 2);
+        assert_eq!(scratch.cells_touched(), 0);
+        assert_eq!(scratch.lower_bound(), scratch.upper_bound());
+        assert_parity(&items, [100]);
+    }
+
+    #[test]
+    fn zero_profit_and_oversized_items_are_reduced_away() {
+        let items = [
+            Item::new(100, 1000.0), // oversized at cap 10
+            Item::new(2, 1.0),
+            Item::new(3, 0.0), // zero profit
+        ];
+        assert_parity(&items, [0, 1, 2, 5, 10]);
+        let solver = AdaptiveSolver::default();
+        let mut scratch = AdaptiveScratch::new();
+        solver.solve_into(&items, 10, &mut scratch);
+        assert_eq!(scratch.chosen(), &[1]);
+    }
+
+    #[test]
+    fn free_items_are_taken_even_at_zero_capacity() {
+        let items = [Item::new(0, 2.5), Item::new(1, 9.0)];
+        let solver = AdaptiveSolver::default();
+        let mut scratch = AdaptiveScratch::new();
+        let v = solver.solve_into(&items, 0, &mut scratch);
+        assert_eq!(scratch.chosen(), &[0]);
+        assert!((v - 2.5).abs() < 1e-12);
+        assert_parity(&items, [0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_single_item_instances() {
+        assert_parity(&[], [0, 5]);
+        assert_parity(&[Item::new(4, 3.0)], 0..=6);
+    }
+
+    #[test]
+    fn equal_size_ties_keep_the_lower_index() {
+        // Two identical items, room for one: the DP keeps index 0.
+        let items = [Item::new(2, 5.0), Item::new(2, 5.0)];
+        assert_parity(&items, 0..=4);
+        let solver = AdaptiveSolver::default();
+        let mut scratch = AdaptiveScratch::new();
+        solver.solve_into(&items, 2, &mut scratch);
+        assert_eq!(scratch.chosen(), &[0]);
+    }
+
+    #[test]
+    fn degenerate_profit_scales_fall_back_to_the_full_dp() {
+        // The second profit cannot move the running sum in f64.
+        let items = [Item::new(1, 1e18), Item::new(1, 1.0)];
+        let solver = AdaptiveSolver::default();
+        let mut scratch = AdaptiveScratch::new();
+        // At capacity 0 both items are oversized and nothing degenerate
+        // ever enters the running sum; from capacity 1 the absorbed
+        // profit routes the whole instance to the full DP.
+        for cap in 1..=2 {
+            solver.solve_into(&items, cap, &mut scratch);
+            assert_eq!(scratch.method(), SolveMethod::CoreDp, "cap={cap}");
+        }
+        assert_parity(&items, 0..=2);
+    }
+
+    #[test]
+    fn binding_capacity_reduces_and_stays_exact() {
+        // Deterministic pseudo-random instance, capacity well below the
+        // total size, so fixing and the terminal solvers all engage.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let items: Vec<Item> = (0..60)
+            .map(|_| {
+                let size = 1 + next() % 12;
+                let profit = (next() % 10_000) as f64 / 997.0;
+                Item::new(size, profit)
+            })
+            .collect();
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        assert_parity(&items, [total / 4, total / 3, total / 2, total - 1]);
+
+        let solver = AdaptiveSolver::default();
+        let mut scratch = AdaptiveScratch::new();
+        solver.solve_into(&items, total / 3, &mut scratch);
+        assert!(
+            scratch.items_fixed() > 0,
+            "fixing should eliminate items on a random binding instance"
+        );
+    }
+
+    #[test]
+    fn warm_start_hint_never_changes_the_answer() {
+        let items = [
+            Item::new(3, 4.0),
+            Item::new(4, 5.0),
+            Item::new(2, 3.0),
+            Item::new(7, 9.0),
+        ];
+        let solver = AdaptiveSolver::default();
+        let mut plain = AdaptiveScratch::new();
+        let mut hinted = AdaptiveScratch::new();
+        for cap in 0..=16u64 {
+            let a = solver.solve_into(&items, cap, &mut plain);
+            // Hint with the previous capacity's solution (and once with a
+            // nonsense hint).
+            let b = solver.solve_with_hint_into(&items, cap, plain.chosen(), &mut hinted);
+            assert_eq!(plain.chosen(), hinted.chosen(), "cap={cap}");
+            assert!(a == b, "cap={cap}");
+            let c = solver.solve_with_hint_into(&items, cap, &[0, 3], &mut hinted);
+            assert_eq!(plain.chosen(), hinted.chosen(), "cap={cap} (fixed hint)");
+            assert!(a == c, "cap={cap} (fixed hint)");
+        }
+    }
+
+    #[test]
+    fn solver_trait_produces_verified_solutions() {
+        let inst = Instance::new(vec![
+            Item::new(3, 4.0),
+            Item::new(4, 5.0),
+            Item::new(2, 3.0),
+        ])
+        .unwrap();
+        let sol = AdaptiveSolver::default().solve(&inst, 6);
+        sol.verify(&inst, 6).unwrap();
+        assert_eq!(sol.total_size(), 6);
+        assert!((sol.total_profit() - 8.0).abs() < 1e-9);
+        assert_eq!(AdaptiveSolver::default().name(), "adaptive");
+    }
+
+    #[test]
+    fn method_codes_are_dense() {
+        assert_eq!(SolveMethod::CertifiedGreedy.code(), 0);
+        assert_eq!(SolveMethod::BranchAndBound.code(), 1);
+        assert_eq!(SolveMethod::CoreDp.code(), 2);
+    }
+}

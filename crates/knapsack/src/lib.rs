@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod branch_bound;
 mod dp;
 mod error;
@@ -58,6 +59,7 @@ mod meet_middle;
 mod scratch;
 mod solution;
 
+pub use adaptive::{AdaptiveScratch, AdaptiveSolver, SolveMethod};
 pub use branch_bound::BranchAndBound;
 pub use dp::{DpByCapacity, DpTrace};
 pub use error::KnapsackError;
@@ -93,6 +95,7 @@ mod solver_contract_tests {
             Box::new(Fptas::new(0.1)),
             Box::new(BranchAndBound::default()),
             Box::new(MeetInTheMiddle::default()),
+            Box::new(AdaptiveSolver::default()),
         ]
     }
 

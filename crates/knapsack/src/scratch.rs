@@ -113,8 +113,8 @@ impl DpScratch {
     pub fn reserve(&mut self, max_items: usize, max_capacity: u64) {
         let cap = usize::try_from(max_capacity).expect("capacity exceeds addressable memory");
         let words = cap / 64 + 1;
-        self.values.reserve(cap + 1);
-        self.keep.reserve(max_items * words);
+        self.values.reserve(cap.saturating_add(1));
+        self.keep.reserve(max_items.saturating_mul(words));
         self.kind.reserve(max_items);
         self.flat_from.reserve(max_items);
         self.phys_end.reserve(max_items);
@@ -357,7 +357,16 @@ impl DpByCapacity {
     /// The chosen indices are left in [`DpScratch::chosen`]; the optimal
     /// value is returned and also available as [`DpScratch::value`].
     pub fn solve_into(&self, items: &[Item], capacity: u64, scratch: &mut DpScratch) -> f64 {
-        let total: u64 = items.iter().map(|i| i.size()).sum();
+        // Clamp the sweep to the sizes that can actually participate:
+        // zero-profit and oversized items never enter the table, so
+        // columns beyond the usable total are dead weight when
+        // `capacity` exceeds it. Every usable item's size is a term of
+        // the sum, so usability is unchanged by the tighter clamp.
+        let total: u64 = items
+            .iter()
+            .filter(|i| i.profit() > 0.0 && i.size() <= capacity)
+            .map(|i| i.size())
+            .sum();
         let effective = capacity.min(total);
         let eff = usize::try_from(effective).expect("capacity exceeds addressable memory");
         scratch.begin(items.len(), capacity, effective, true);
@@ -456,11 +465,13 @@ impl DpByCapacity {
         scratch.values[eff]
     }
 
-    /// Values-only fast path: the optimal value at every capacity, with
-    /// no keep bits, zero-size items aggregated into a single scalar, and
-    /// dominated same-size items prefiltered (a capacity `C` solution can
-    /// use at most `⌊C/s⌋` items of size `s`, so only the top `⌊C/s⌋`
-    /// profits of each size group can ever be chosen).
+    /// Values-only fast path: the optimal value at every capacity up to
+    /// `min(capacity, Σ usable sizes)`, with no keep bits, zero-size
+    /// items aggregated into a single scalar, and dominated same-size
+    /// items prefiltered (a capacity `C` solution can use at most
+    /// `⌊C/s⌋` items of size `s`, so only the top `⌊C/s⌋` profits of
+    /// each size group can ever be chosen). The value is flat beyond the
+    /// returned slice.
     ///
     /// Exact up to floating-point associativity (profit additions may be
     /// reordered); use [`DpByCapacity::solve_trace_into`] when bit-exact
@@ -471,7 +482,13 @@ impl DpByCapacity {
         capacity: u64,
         scratch: &'a mut DpScratch,
     ) -> &'a [f64] {
-        let total: u64 = items.iter().map(|i| i.size()).sum();
+        // Same usable-size clamp as `solve_into`: dead columns above the
+        // participating total would only ever hold the flat optimum.
+        let total: u64 = items
+            .iter()
+            .filter(|i| i.profit() > 0.0 && i.size() <= capacity)
+            .map(|i| i.size())
+            .sum();
         let effective = capacity.min(total);
         let eff = usize::try_from(effective).expect("capacity exceeds addressable memory");
         scratch.begin(0, capacity, effective, false);
@@ -629,9 +646,19 @@ mod tests {
             let values = DpByCapacity
                 .solve_values_into(inst.items(), cap, &mut scratch)
                 .to_vec();
-            assert_eq!(values.len(), fresh.values().len(), "cap={cap}");
+            // The values path clamps to the usable total, so it may stop
+            // short of the trace; the trace must be flat past that point.
+            assert!(values.len() <= fresh.values().len(), "cap={cap}");
             for (c, (a, b)) in values.iter().zip(fresh.values()).enumerate() {
                 assert!((a - b).abs() < 1e-9, "cap={cap} c={c}: {a} vs {b}");
+            }
+            let frontier = values[values.len() - 1];
+            for (off, b) in fresh.values()[values.len()..].iter().enumerate() {
+                assert!(
+                    (frontier - b).abs() < 1e-9,
+                    "cap={cap} c={}: trace not flat past the usable total",
+                    values.len() + off
+                );
             }
         }
     }

@@ -7,8 +7,8 @@
 #![cfg(feature = "proptest")]
 
 use basecache_knapsack::{
-    fractional_upper_bound, BranchAndBound, DpByCapacity, Fptas, GreedyDensity, Instance, Item,
-    MeetInTheMiddle, Solver,
+    fractional_upper_bound, AdaptiveScratch, AdaptiveSolver, BranchAndBound, DpByCapacity,
+    DpScratch, Fptas, GreedyDensity, Instance, Item, MeetInTheMiddle, Solver,
 };
 use basecache_sim::check::run_cases;
 use basecache_sim::StreamRng;
@@ -143,6 +143,120 @@ fn trace_is_monotone_and_achieved() {
             assert!((sol.total_profit() - trace.value_at(c)).abs() < 1e-6);
         }
     });
+}
+
+/// A degenerate-heavy instance mix for the reduction pipeline:
+/// zero-profit items, zero-size (free) items and oversized items appear
+/// often, and the capacity draw includes B = 0 and the everything-fits
+/// regime alongside ordinary tight budgets.
+fn arb_reduction_case(rng: &mut StreamRng) -> (Vec<Item>, u64) {
+    let n = rng.random_range(0..=16usize);
+    let items: Vec<Item> = (0..n)
+        .map(|_| {
+            let size = rng.random_range(0u64..=25);
+            let profit = if rng.random_range(0u32..5) == 0 {
+                0.0
+            } else {
+                rng.random_range(0.0f64..=20.0)
+            };
+            Item::new(size, profit)
+        })
+        .collect();
+    let cap = match rng.random_range(0u32..6) {
+        0 => 0,
+        1 => items.iter().map(|i| i.size()).sum(),
+        _ => rng.random_range(0u64..=60),
+    };
+    (items, cap)
+}
+
+/// The reduction front-end (clamp, drop, dominance, fixing, adaptive
+/// solve) preserves the DP's optimum *bit for bit* — value and
+/// canonical chosen set alike — across random instances saturated with
+/// the degenerate shapes it special-cases.
+#[test]
+fn adaptive_reduction_is_bit_identical_to_the_full_dp() {
+    let mut dp = DpScratch::new();
+    let mut ad = AdaptiveScratch::new();
+    run_cases("adaptive_vs_dp", 512, |_, rng| {
+        let (items, cap) = arb_reduction_case(rng);
+        let v_dp = DpByCapacity.solve_into(&items, cap, &mut dp);
+        let v_ad = AdaptiveSolver::default().solve_into(&items, cap, &mut ad);
+        assert_eq!(
+            v_ad.to_bits(),
+            v_dp.to_bits(),
+            "profit bits diverge: adaptive={v_ad} dp={v_dp}"
+        );
+        assert_eq!(ad.chosen(), dp.chosen(), "canonical chosen set diverges");
+    });
+}
+
+/// The warm-start hint is an optimization input, never a semantic one:
+/// any subset of item indices — including infeasible or nonsensical
+/// ones — leaves the value and chosen set untouched.
+#[test]
+fn warm_start_hints_never_change_the_answer() {
+    let mut plain = AdaptiveScratch::new();
+    let mut hinted = AdaptiveScratch::new();
+    run_cases("adaptive_hint", 256, |_, rng| {
+        let (items, cap) = arb_reduction_case(rng);
+        let hint: Vec<usize> = (0..items.len())
+            .filter(|_| rng.random_range(0u32..10) < 4)
+            .collect();
+        let v0 = AdaptiveSolver::default().solve_into(&items, cap, &mut plain);
+        let v1 = AdaptiveSolver::default().solve_with_hint_into(&items, cap, &hint, &mut hinted);
+        assert_eq!(v1.to_bits(), v0.to_bits());
+        assert_eq!(hinted.chosen(), plain.chosen());
+    });
+}
+
+/// Named degenerate shapes from the reduction spec, pinned explicitly
+/// (the random mix above covers them statistically; this covers them
+/// certainly): zero-profit-only, all-oversized, B = 0, everything-fits,
+/// and the single-item instance at every interesting capacity.
+#[test]
+fn adaptive_reduction_survives_named_degenerates() {
+    let mut dp = DpScratch::new();
+    let mut ad = AdaptiveScratch::new();
+    let mut check = |items: &[Item], cap: u64, label: &str| {
+        let v_dp = DpByCapacity.solve_into(items, cap, &mut dp);
+        let v_ad = AdaptiveSolver::default().solve_into(items, cap, &mut ad);
+        assert_eq!(v_ad.to_bits(), v_dp.to_bits(), "{label}: value diverges");
+        assert_eq!(ad.chosen(), dp.chosen(), "{label}: chosen set diverges");
+    };
+    check(&[], 10, "empty instance");
+    check(&[Item::new(4, 0.0), Item::new(2, 0.0)], 10, "zero profits");
+    check(
+        &[Item::new(50, 3.0), Item::new(99, 8.0)],
+        10,
+        "all oversized",
+    );
+    check(
+        &[Item::new(3, 2.0), Item::new(5, 1.0), Item::new(0, 7.0)],
+        0,
+        "zero budget",
+    );
+    check(
+        &[Item::new(3, 2.0), Item::new(5, 1.0), Item::new(1, 0.5)],
+        100,
+        "everything fits",
+    );
+    for cap in 0..=6u64 {
+        check(&[Item::new(5, 4.5)], cap, "single item");
+    }
+    // Bit-equal profit classmates: the duplicate-profit check must
+    // route the instance to the full DP, whose tie resolution is
+    // reproduced by construction.
+    check(
+        &[
+            Item::new(4, 2.0),
+            Item::new(4, 2.0),
+            Item::new(4, 2.0),
+            Item::new(4, 5.0),
+        ],
+        8,
+        "equal-size ties",
+    );
 }
 
 #[test]

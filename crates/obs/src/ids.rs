@@ -166,11 +166,20 @@ pub enum Sample {
     /// Upper bound on one round's achievable knapsack value (the value
     /// of downloading *every* requested stale object, budget ignored).
     PlanProfitBound,
+    /// Items left undecided after instance reduction (the core the
+    /// adaptive solver actually searched).
+    CoreSize,
+    /// Items removed before the search: dominance-pruned plus
+    /// forced-in/forced-out by bound-based variable fixing.
+    ItemsFixed,
+    /// Terminal strategy the adaptive solver used, as its dense code
+    /// (0 = certified greedy, 1 = branch-and-bound, 2 = core DP).
+    SolverChosen,
 }
 
 impl Sample {
     /// Every sample id, in export order.
-    pub const ALL: [Sample; 11] = [
+    pub const ALL: [Sample; 14] = [
         Sample::BatchSize,
         Sample::PlanProfit,
         Sample::AverageScore,
@@ -182,6 +191,9 @@ impl Sample {
         Sample::StalenessLag,
         Sample::CacheHitRatio,
         Sample::PlanProfitBound,
+        Sample::CoreSize,
+        Sample::ItemsFixed,
+        Sample::SolverChosen,
     ];
 
     /// Number of sample ids.
@@ -207,6 +219,9 @@ impl Sample {
             Sample::StalenessLag => "staleness_lag",
             Sample::CacheHitRatio => "cache_hit_ratio",
             Sample::PlanProfitBound => "plan_profit_bound",
+            Sample::CoreSize => "core_size",
+            Sample::ItemsFixed => "items_fixed",
+            Sample::SolverChosen => "solver_chosen",
         }
     }
 }

@@ -88,12 +88,20 @@ impl WorkerPool {
 
     /// Run `f` over `jobs` on the pool and return the outputs in input
     /// order. Blocks until every job has completed.
+    ///
+    /// Batches that cannot benefit from fan-out — one job, or a
+    /// single-worker pool — run inline on the calling thread, skipping
+    /// the boxing, channel and wake-up costs entirely. The outputs are
+    /// identical either way (input order, same closure).
     pub fn scatter_gather<I, O, F>(&self, jobs: Vec<I>, f: F) -> Vec<O>
     where
         I: Send + 'static,
         O: Send + 'static,
         F: Fn(I) -> O + Send + Sync + 'static,
     {
+        if jobs.len() <= 1 || self.threads() == 1 {
+            return jobs.into_iter().map(f).collect();
+        }
         let n = jobs.len();
         let f = Arc::new(f);
         let (tx, rx) = channel::<(usize, O)>();
@@ -169,6 +177,18 @@ mod tests {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.threads(), 1);
         assert_eq!(pool.scatter_gather(vec![7], |x: u64| x), vec![7]);
+    }
+
+    #[test]
+    fn small_batches_run_inline_with_identical_results() {
+        // One job (any pool size) and one worker (any batch size) both
+        // take the inline path; results must match the dispatched path.
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.scatter_gather(vec![21u64], |x| x * 2), vec![42]);
+        assert_eq!(pool.scatter_gather(Vec::<u64>::new(), |x| x), vec![]);
+        let single = WorkerPool::new(1);
+        let out = single.scatter_gather((0..20u64).collect(), |x| x + 5);
+        assert_eq!(out, (5..25u64).collect::<Vec<_>>());
     }
 
     #[test]

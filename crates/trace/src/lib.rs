@@ -269,8 +269,23 @@ fn bench_medians(text: &str, which: &str) -> Result<Vec<(String, f64)>, String> 
 /// regress, however large. Benches present in only one file are listed
 /// but don't fail the gate — renames and additions are routine.
 pub fn diff_benches(base: &str, new: &str, threshold_pct: f64) -> Result<DiffReport, String> {
-    let base_rows = bench_medians(base, "baseline")?;
-    let new_rows = bench_medians(new, "candidate")?;
+    diff_benches_filtered(base, new, threshold_pct, "")
+}
+
+/// [`diff_benches`] restricted to benches whose name starts with
+/// `prefix` (the empty prefix keeps everything). Lets a CI gate enforce
+/// a tight threshold on a stable family (say `planner/round/`) while a
+/// broader, noisier sweep stays warn-only.
+pub fn diff_benches_filtered(
+    base: &str,
+    new: &str,
+    threshold_pct: f64,
+    prefix: &str,
+) -> Result<DiffReport, String> {
+    let mut base_rows = bench_medians(base, "baseline")?;
+    let mut new_rows = bench_medians(new, "candidate")?;
+    base_rows.retain(|(n, _)| n.starts_with(prefix));
+    new_rows.retain(|(n, _)| n.starts_with(prefix));
     let new_map: BTreeMap<&str, f64> = new_rows.iter().map(|(n, m)| (n.as_str(), *m)).collect();
     let base_names: BTreeMap<&str, ()> = base_rows.iter().map(|(n, _)| (n.as_str(), ())).collect();
 
@@ -395,6 +410,28 @@ mod tests {
         let report = diff_benches(&base, &new, 5.0).unwrap();
         assert!(!report.has_regressions());
         assert!(report.rows[0].delta_pct < -90.0);
+    }
+
+    #[test]
+    fn prefix_filter_scopes_the_gate() {
+        let base = bench_json(&[("planner/round/exact_dp", 100.0), ("cluster/round", 100.0)]);
+        let new = bench_json(&[("planner/round/exact_dp", 102.0), ("cluster/round", 300.0)]);
+        // The cluster bench tripled, but a gate scoped to planner/round/
+        // only sees the 2% drift.
+        let scoped = diff_benches_filtered(&base, &new, 10.0, "planner/round/").unwrap();
+        assert!(!scoped.has_regressions());
+        assert_eq!(scoped.rows.len(), 1);
+        assert_eq!(scoped.rows[0].name, "planner/round/exact_dp");
+        // Unscoped, the regression is caught; the empty prefix is the
+        // plain diff.
+        assert!(
+            diff_benches_filtered(&base, &new, 10.0, "")
+                .unwrap()
+                .rows
+                .len()
+                == 2
+        );
+        assert!(diff_benches(&base, &new, 10.0).unwrap().has_regressions());
     }
 
     #[test]

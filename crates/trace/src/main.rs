@@ -3,7 +3,7 @@
 //! ```text
 //! basecache-trace validate  <trace.json>
 //! basecache-trace summarize <trace.json>
-//! basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--warn-only]
+//! basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--only PREFIX] [--warn-only]
 //! ```
 //!
 //! `validate` and `summarize` operate on Chrome-trace-event files
@@ -22,7 +22,7 @@ fn usage() -> ExitCode {
         "usage:\n  \
          basecache-trace validate  <trace.json>\n  \
          basecache-trace summarize <trace.json>\n  \
-         basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--warn-only]"
+         basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--only PREFIX] [--warn-only]"
     );
     ExitCode::from(2)
 }
@@ -81,12 +81,17 @@ fn main() -> ExitCode {
         "diff" => {
             let mut threshold_pct = 10.0f64;
             let mut warn_only = false;
+            let mut only = String::new();
             let mut files = Vec::new();
             let mut it = rest.iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--threshold-pct" => match it.next().and_then(|v| v.parse().ok()) {
                         Some(v) => threshold_pct = v,
+                        None => return usage(),
+                    },
+                    "--only" => match it.next() {
+                        Some(prefix) => only = prefix.clone(),
                         None => return usage(),
                     },
                     "--warn-only" => warn_only = true,
@@ -101,7 +106,7 @@ fn main() -> ExitCode {
                 (Ok(b), Ok(n)) => (b, n),
                 (Err(code), _) | (_, Err(code)) => return code,
             };
-            match basecache_trace::diff_benches(&base, &new, threshold_pct) {
+            match basecache_trace::diff_benches_filtered(&base, &new, threshold_pct, &only) {
                 Ok(report) => {
                     println!("{report}");
                     if report.has_regressions() && !warn_only {

@@ -67,20 +67,28 @@ bench_baseline=$(mktemp)
 cp BENCH_planner.json "$bench_baseline"
 cargo bench -p basecache-bench --bench planner
 
-# The suite must cover the cluster-round scaling series — the regression
-# gate can only guard entries that exist in the fresh run.
+# The suite must cover the cluster-round scaling series and the
+# adaptive solve path — the regression gate can only guard entries that
+# exist in the fresh run.
 for entry in 'cluster_round/sequential/1' 'cluster_round/sequential/16' \
-             'cluster_round/parallel/16'; do
+             'cluster_round/parallel/16' \
+             'planner/round/adaptive' 'planner/scale/adaptive/2000'; do
     grep -q "\"$entry\"" BENCH_planner.json \
         || { echo "error: BENCH_planner.json missing $entry" >&2; exit 1; }
 done
 
 echo "==> bench regression gate (fresh run vs committed baseline)"
-# Same-machine noise on a shared container is real; the cross-run gate
-# is warn-only with a generous threshold. A self-diff must be exactly
-# clean — that part is a hard failure.
+# Same-machine noise on a shared container is real; the broad cross-run
+# gate is warn-only with a generous threshold. A self-diff must be
+# exactly clean — that part is a hard failure.
 cargo run -q -p basecache-trace --release -- diff \
     "$bench_baseline" BENCH_planner.json --threshold-pct 50 --warn-only
+# The planner round benches are the stable hot path (single-round solves
+# under warmup-fastest calibration, observed cross-run noise well under
+# 10% on this container); slowdowns past 25% there fail the gate hard.
+cargo run -q -p basecache-trace --release -- diff \
+    "$bench_baseline" BENCH_planner.json --threshold-pct 25 --only 'planner/round/' \
+    || { echo "error: planner/round/* bench regression" >&2; exit 1; }
 cargo run -q -p basecache-trace --release -- diff \
     BENCH_planner.json BENCH_planner.json --threshold-pct 0.001 >/dev/null \
     || { echo "error: bench self-diff was not clean" >&2; exit 1; }
