@@ -1,0 +1,58 @@
+use basecache_knapsack::{AdaptiveScratch, AdaptiveSolver, DpByCapacity, DpScratch, Item};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+#[test]
+fn fuzz_lattice_profits_parity() {
+    let solver = AdaptiveSolver::default();
+    let mut a = AdaptiveScratch::new();
+    let mut d = DpScratch::new();
+    let mut state = 12345u64;
+    let mut mismatches = 0;
+    for trial in 0..4000 {
+        let n = 3 + (lcg(&mut state) % 12) as usize;
+        let items: Vec<Item> = (0..n)
+            .map(|_| {
+                let size = 1 + lcg(&mut state) % 8;
+                // lattice profits: multiples of 0.1, many exact sum ties,
+                // plus occasionally one dominant item to force fixing
+                let mult = 1 + lcg(&mut state) % 12;
+                let profit = if lcg(&mut state) % 7 == 0 {
+                    (mult * 10) as f64 * 0.7
+                } else {
+                    mult as f64 * 0.1
+                };
+                Item::new(size, profit)
+            })
+            .collect();
+        // skip instances with bit-equal profits (routed to full DP anyway)
+        let mut bits: Vec<u64> = items.iter().map(|i| i.profit().to_bits()).collect();
+        bits.sort_unstable();
+        if bits.windows(2).any(|w| w[0] == w[1]) {
+            continue;
+        }
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        for cap in 1..total {
+            let ga = solver.solve_into(&items, cap, &mut a);
+            let gd = DpByCapacity.solve_into(&items, cap, &mut d);
+            if a.chosen() != d.chosen() || ga.to_bits() != gd.to_bits() {
+                mismatches += 1;
+                eprintln!(
+                    "MISMATCH trial={trial} cap={cap} method={:?}\n items={items:?}\n adaptive chosen={:?} v={ga:?}\n dp       chosen={:?} v={gd:?}",
+                    a.method(),
+                    a.chosen(),
+                    d.chosen()
+                );
+                if mismatches > 5 {
+                    panic!("too many mismatches");
+                }
+            }
+        }
+    }
+    assert_eq!(mismatches, 0, "{mismatches} parity mismatches");
+}
