@@ -59,8 +59,17 @@ fn build_cluster(cells: u32) -> ClusterSim {
 
 /// Bench the cluster round at each cell count, sequentially and on the
 /// pool. Returns the parallel speedup (sequential / parallel median
-/// time) at the largest cell count.
-pub fn bench_cluster_rounds(results: &mut Vec<Measurement>) -> f64 {
+/// time) at the largest cell count, and which path the pool actually
+/// took: `"parallel"` when it fans out, `"sequential_fallback"` when
+/// `available_parallelism()` reports a single hardware thread and the
+/// pool runs jobs inline instead of paying channel overhead for
+/// nothing.
+pub fn bench_cluster_rounds(results: &mut Vec<Measurement>) -> (f64, &'static str) {
+    let parallel_path = if WorkerPool::new(4).fans_out() {
+        "parallel"
+    } else {
+        "sequential_fallback"
+    };
     let mut speedup_at_max = 0.0;
     for cells in CELL_COUNTS {
         let mut sequential = build_cluster(cells);
@@ -80,5 +89,5 @@ pub fn bench_cluster_rounds(results: &mut Vec<Measurement>) -> f64 {
         results.push(seq);
         results.push(par);
     }
-    speedup_at_max
+    (speedup_at_max, parallel_path)
 }

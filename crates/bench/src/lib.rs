@@ -15,6 +15,7 @@ use basecache_workload::{
 
 pub mod cluster_suite;
 pub mod harness;
+pub mod massive_suite;
 pub mod planner_suite;
 
 /// A deterministic knapsack instance with `n` items, sizes `U[1, 20]`,

@@ -9,13 +9,25 @@
 //! delegates to the [`basecache_trace`] regression gate, so the suite
 //! and its gate ship as one tool: run the suite, then diff the fresh
 //! `BENCH_planner.json` against the committed baseline.
+//!
+//! `cargo run -p basecache-bench --release -- massive [--smoke]` runs
+//! the round-engine suite ([`basecache_bench::massive_suite`]) on its
+//! own, without rewriting the JSON.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("diff") {
-        return run_diff(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("diff") => return run_diff(&args[1..]),
+        // `massive [--smoke]`: the round-engine suite standalone —
+        // `--smoke` runs it at reduced scale (scripts/check.sh uses
+        // this so the pipeline executes on every check).
+        Some("massive") => {
+            basecache_bench::massive_suite::run_standalone(args.iter().any(|a| a == "--smoke"));
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
     }
     basecache_bench::planner_suite::run();
     ExitCode::SUCCESS

@@ -251,14 +251,25 @@ fn bench_lowest_recency_first(results: &mut Vec<Measurement>) {
     }));
 }
 
-fn write_json(
-    results: &[Measurement],
+/// The suite's headline figures, one per top-level JSON key.
+struct Headlines<'a> {
     vs_seed: f64,
     vs_batch: f64,
     observed_overhead: f64,
     cluster_speedup: f64,
-    stages: &Snapshot,
-) {
+    cluster_parallel_path: &'a str,
+    massive: crate::massive_suite::MassiveReport,
+}
+
+fn write_json(results: &[Measurement], headlines: &Headlines, stages: &Snapshot) {
+    let Headlines {
+        vs_seed,
+        vs_batch,
+        observed_overhead,
+        cluster_speedup,
+        cluster_parallel_path,
+        ref massive,
+    } = *headlines;
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
     let mut out = String::new();
     out.push_str("{\n");
@@ -277,6 +288,21 @@ fn write_json(
     ));
     out.push_str(&format!(
         "  \"cluster_parallel_speedup_at_16_cells\": {cluster_speedup:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"cluster_parallel_path\": \"{cluster_parallel_path}\",\n"
+    ));
+    // Headlines from the massive round-engine suite
+    // (`planner/massive/*`): standing requests served per second of
+    // round time, and what dirty-set tracking buys over rebuilding the
+    // whole instance every round.
+    out.push_str(&format!(
+        "  \"requests_per_second\": {:.0},\n",
+        massive.requests_per_second
+    ));
+    out.push_str(&format!(
+        "  \"incremental_build_speedup\": {:.2},\n",
+        massive.incremental_build_speedup
     ));
     out.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
@@ -330,15 +356,28 @@ pub fn run() {
     bench_profit_mapping(&mut results);
     bench_budget_bound_selection(&mut results);
     bench_lowest_recency_first(&mut results);
-    let cluster_speedup = crate::cluster_suite::bench_cluster_rounds(&mut results);
-    println!("cluster round at 16 cells: {cluster_speedup:.2}x parallel speedup on this machine\n");
+    let (cluster_speedup, cluster_parallel_path) =
+        crate::cluster_suite::bench_cluster_rounds(&mut results);
+    println!(
+        "cluster round at 16 cells: {cluster_speedup:.2}x parallel speedup on this machine \
+         ({cluster_parallel_path})\n"
+    );
+    let massive = crate::massive_suite::bench_massive(&crate::massive_suite::FULL, &mut results);
+    println!(
+        "massive round engine: {:.2e} requests/s, incremental build {:.2}x faster than full rebuild\n",
+        massive.requests_per_second, massive.incremental_build_speedup
+    );
     let stages = stage_breakdown();
     write_json(
         &results,
-        vs_seed,
-        vs_batch,
-        observed_overhead,
-        cluster_speedup,
+        &Headlines {
+            vs_seed,
+            vs_batch,
+            observed_overhead,
+            cluster_speedup,
+            cluster_parallel_path,
+            massive,
+        },
         &stages,
     );
 }

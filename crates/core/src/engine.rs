@@ -1,0 +1,712 @@
+//! [`RoundEngine`]: the million-client round engine.
+//!
+//! The batch planning paths ([`crate::request::RequestBatch`],
+//! [`crate::planner::OnDemandPlanner::plan_requests_into`]) rebuild the
+//! knapsack instance from the raw request stream every round: every
+//! request is rescored, every object's profit re-summed, even when
+//! nothing about the object changed. At paper scale (500 objects, 5000
+//! requests) that rebuild is cheap; at production scale (100k objects,
+//! 1M standing requests) it dominates the round now that the adaptive
+//! solver has made the solve itself cheap.
+//!
+//! The engine replaces per-round reconstruction with three mechanisms:
+//!
+//! 1. **Struct-of-arrays tables.** Object state lives in parallel
+//!    columns — size, recency, update rate, per-object request targets,
+//!    profit, score sums — sharded into contiguous id ranges. The hot
+//!    loops (rescore, assemble, serve) stream over dense arrays instead
+//!    of chasing a map.
+//! 2. **Incremental instance build.** A per-shard dirty set tracks
+//!    exactly the objects whose inputs changed since the last round:
+//!    recency movement (which is how cache refreshes and server updates
+//!    manifest), request pushes/clears, and retargets. Only dirty
+//!    objects are rescored; every other column entry carries forward
+//!    **bit-identically** — the fold that produced it would be replayed
+//!    over unchanged inputs. [`RoundEngine::mark_all_dirty`] degrades
+//!    the engine to a full-rebuild reference path, which the parity
+//!    tests (`tests/engine_parity.rs`) pin against the incremental
+//!    path the way `cluster/tests/parity.rs` pins parallel planning.
+//! 3. **Sharded rescoring.** Shards are independent, so rescoring fans
+//!    out on a [`WorkerPool`] ([`RoundEngine::with_pool`]). Objects are
+//!    assigned to shards by contiguous id range and shards are merged
+//!    in index order, so the parallel path is bit-identical to the
+//!    sequential one (the pool's `scatter_gather` returns results in
+//!    input order). The parallel dispatch allocates (job boxing); the
+//!    sequential default is allocation-free in steady state.
+//!
+//! # Invalidation rules
+//!
+//! An object is marked dirty — and only then rescored — when:
+//!
+//! * a request for it is pushed, cleared or retargeted;
+//! * [`RoundEngine::observe_recency`] sees a recency whose **bits**
+//!   differ from the stored column *and* the object has requests
+//!   (recency movement on an unrequested object cannot change its
+//!   absent instance entry; the column still updates so a later push
+//!   scores against fresh state).
+//!
+//! The update-rate column is advisory bookkeeping for drivers (arbiters,
+//! refresh heuristics): profit does not depend on it, so writing it
+//! never invalidates.
+//!
+//! # Parity contract
+//!
+//! Incremental vs full-rebuild parity is engine-vs-engine: both paths
+//! fold each object's targets in storage order and fold the base score
+//! over objects ascending. The flat request paths
+//! (`plan_requests_into`) fold the base score per *request* in
+//! counting-sorted order instead, so their sums may differ from the
+//! engine's in the last bits — the engine pins its own reference, the
+//! request paths pin theirs.
+
+use basecache_knapsack::Item;
+use basecache_net::{Catalog, ObjectId};
+use basecache_sim::WorkerPool;
+use basecache_workload::GeneratedRequest;
+
+use crate::recency::ScoringFunction;
+use crate::scratch::PlannerScratch;
+
+/// One contiguous range of the object table: parallel columns indexed
+/// by `object - base`, plus the shard's slice of the dirty set.
+#[derive(Debug)]
+struct Shard {
+    /// First object id in this shard.
+    base: u32,
+    /// Object sizes in data units.
+    sizes: Vec<u64>,
+    /// Last observed (estimated) cache recency per object.
+    recency: Vec<f64>,
+    /// Advisory server update rate per object (never invalidates).
+    update_rate: Vec<f64>,
+    /// Standing request targets per object, in push order.
+    targets: Vec<Vec<f64>>,
+    /// Σ over the object's clients of `1 − score` (knapsack profit).
+    profit: Vec<f64>,
+    /// Σ over the object's clients of `score`.
+    score_sum: Vec<f64>,
+    /// Σ over the object's clients of `score²` (serve-time variance).
+    score_sq: Vec<f64>,
+    /// Local indices awaiting rescore, in marking order.
+    dirty: Vec<u32>,
+    /// Dedup flags parallel to the columns.
+    is_dirty: Vec<bool>,
+    /// Objects rescored by the last [`Shard::rescore`].
+    last_dirty: u32,
+    /// Requests rescored by the last [`Shard::rescore`].
+    last_rescored: u64,
+}
+
+impl Shard {
+    fn new(base: u32, sizes: &[u64]) -> Self {
+        let n = sizes.len();
+        Self {
+            base,
+            sizes: sizes.to_vec(),
+            recency: vec![0.0; n],
+            update_rate: vec![0.0; n],
+            targets: vec![Vec::new(); n],
+            profit: vec![0.0; n],
+            score_sum: vec![0.0; n],
+            score_sq: vec![0.0; n],
+            dirty: Vec::with_capacity(n),
+            is_dirty: vec![false; n],
+            last_dirty: 0,
+            last_rescored: 0,
+        }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, local: usize) {
+        if !self.is_dirty[local] {
+            self.is_dirty[local] = true;
+            self.dirty.push(local as u32);
+        }
+    }
+
+    /// Recompute profit and score sums for every dirty object, folding
+    /// its targets in storage order (the bit-parity contract), then
+    /// clear the dirty set.
+    fn rescore(&mut self, scoring: ScoringFunction) {
+        let mut rescored = 0u64;
+        for &local in &self.dirty {
+            let l = local as usize;
+            let x = self.recency[l];
+            let mut sum = 0.0;
+            let mut sq = 0.0;
+            let mut profit = 0.0;
+            for &t in &self.targets[l] {
+                let s = scoring.score(x, t);
+                sum += s;
+                sq += s * s;
+                profit += 1.0 - s;
+            }
+            self.score_sum[l] = sum;
+            self.score_sq[l] = sq;
+            self.profit[l] = profit;
+            self.is_dirty[l] = false;
+            rescored += self.targets[l].len() as u64;
+        }
+        self.last_dirty = self.dirty.len() as u32;
+        self.last_rescored = rescored;
+        self.dirty.clear();
+    }
+}
+
+/// One active (requested) object's columnar serve-time view, yielded by
+/// [`RoundEngine::for_each_active`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActiveObject {
+    /// The object.
+    pub object: ObjectId,
+    /// Number of standing requests for it.
+    pub requests: u64,
+    /// Its last observed cache recency.
+    pub recency: f64,
+    /// Σ `score(recency, target)` over its requests.
+    pub score_sum: f64,
+    /// Σ `score²` over its requests.
+    pub score_sq: f64,
+    /// Σ `1 − score` over its requests (knapsack profit).
+    pub profit: f64,
+    /// Its size in data units.
+    pub size: u64,
+}
+
+/// Struct-of-arrays object/request tables with incremental, optionally
+/// sharded-parallel instance construction. See the module docs for the
+/// design; see [`crate::station::BaseStationSim::step_engine`] for the
+/// full round built on top.
+#[derive(Debug)]
+pub struct RoundEngine {
+    scoring: ScoringFunction,
+    shards: Vec<Shard>,
+    /// Objects per shard (the last shard may be shorter).
+    shard_size: u32,
+    num_objects: usize,
+    total_requests: u64,
+    pool: Option<WorkerPool>,
+    last_dirty: u64,
+    last_rescored: u64,
+}
+
+impl RoundEngine {
+    /// An engine over `catalog`'s objects, scoring with `scoring`, as a
+    /// single shard with no worker pool (the sequential,
+    /// allocation-free-once-warm configuration).
+    pub fn new(catalog: &Catalog, scoring: ScoringFunction) -> Self {
+        let sizes: Vec<u64> = catalog.ids().map(|id| catalog.size_of(id)).collect();
+        let mut engine = Self {
+            scoring,
+            shards: Vec::new(),
+            shard_size: (sizes.len() as u32).max(1),
+            num_objects: sizes.len(),
+            total_requests: 0,
+            pool: None,
+            last_dirty: 0,
+            last_rescored: 0,
+        };
+        engine.build_shards(&sizes, 1);
+        engine
+    }
+
+    /// Re-shard the object table into `shards` contiguous id ranges.
+    /// Sharding never changes results — assembly walks shards in order,
+    /// objects ascending — only how rescoring parallelizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or requests have already been ingested.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert_eq!(self.total_requests, 0, "re-shard before ingesting requests");
+        let sizes: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.sizes.iter().copied())
+            .collect();
+        self.build_shards(&sizes, shards);
+        self
+    }
+
+    /// Attach a worker pool: [`Self::rescore`] fans dirty shards out to
+    /// it whenever the pool itself would fan out
+    /// ([`WorkerPool::fans_out`]). The parallel dispatch allocates per
+    /// round; results are bit-identical to the sequential path.
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    fn build_shards(&mut self, sizes: &[u64], shards: usize) {
+        let n = sizes.len();
+        let per = n.div_ceil(shards.min(n.max(1))).max(1);
+        self.shard_size = per as u32;
+        self.shards = sizes
+            .chunks(per)
+            .enumerate()
+            .map(|(i, chunk)| Shard::new((i * per) as u32, chunk))
+            .collect();
+    }
+
+    /// The scoring function profits are computed with.
+    pub fn scoring(&self) -> ScoringFunction {
+        self.scoring
+    }
+
+    /// Number of objects in the table.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Number of shards the table is split into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total standing requests across all objects.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Objects rescored by the last [`Self::rescore`] (the dirty-set
+    /// size it drained).
+    pub fn dirty_objects(&self) -> u64 {
+        self.last_dirty
+    }
+
+    /// Requests rescored by the last [`Self::rescore`].
+    pub fn rescored_requests(&self) -> u64 {
+        self.last_rescored
+    }
+
+    #[inline]
+    fn locate(&self, object: ObjectId) -> (usize, usize) {
+        let o = object.index();
+        assert!(o < self.num_objects, "{object} not in the object table");
+        (o / self.shard_size as usize, o % self.shard_size as usize)
+    }
+
+    /// Add one standing request for `object` with the given target
+    /// recency; the object becomes dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target_recency ∈ (0, 1]` and `object` is in the
+    /// table — the [`crate::request::RequestBatch::push`] contracts.
+    pub fn push_request(&mut self, object: ObjectId, target_recency: f64) {
+        assert!(
+            target_recency > 0.0 && target_recency <= 1.0,
+            "target recency must be in (0, 1], got {target_recency}"
+        );
+        let (s, l) = self.locate(object);
+        let shard = &mut self.shards[s];
+        shard.targets[l].push(target_recency);
+        shard.mark_dirty(l);
+        self.total_requests += 1;
+    }
+
+    /// Bulk-ingest generated requests (row form).
+    pub fn push_requests(&mut self, requests: &[GeneratedRequest]) {
+        for r in requests {
+            self.push_request(r.object, r.target_recency);
+        }
+    }
+
+    /// Bulk-ingest requests in columnar form: `objects[k]` is requested
+    /// with target `targets[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns' lengths differ, or on the per-request
+    /// contract violations of [`Self::push_request`].
+    pub fn push_columns(&mut self, objects: &[ObjectId], targets: &[f64]) {
+        assert_eq!(
+            objects.len(),
+            targets.len(),
+            "request columns must have equal length"
+        );
+        for (&o, &t) in objects.iter().zip(targets) {
+            self.push_request(o, t);
+        }
+    }
+
+    /// Drop every standing request (target capacity is kept, so
+    /// refilling to the previous shape does not allocate). Every object
+    /// that had requests becomes dirty.
+    pub fn clear_requests(&mut self) {
+        for shard in &mut self.shards {
+            for l in 0..shard.targets.len() {
+                if !shard.targets[l].is_empty() {
+                    shard.targets[l].clear();
+                    shard.mark_dirty(l);
+                }
+            }
+        }
+        self.total_requests = 0;
+    }
+
+    /// Replace one of `object`'s standing request targets in place —
+    /// the allocation-free churn primitive. The slot is chosen as
+    /// `slot_seed % count`, so a driver can address a pseudo-random
+    /// request without knowing the object's request count. Returns
+    /// `false` (and changes nothing) when the object has no requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target_recency ∈ (0, 1]` and `object` is in the
+    /// table.
+    pub fn retarget(&mut self, object: ObjectId, slot_seed: u64, target_recency: f64) -> bool {
+        assert!(
+            target_recency > 0.0 && target_recency <= 1.0,
+            "target recency must be in (0, 1], got {target_recency}"
+        );
+        let (s, l) = self.locate(object);
+        let shard = &mut self.shards[s];
+        let count = shard.targets[l].len();
+        if count == 0 {
+            return false;
+        }
+        shard.targets[l][(slot_seed % count as u64) as usize] = target_recency;
+        shard.mark_dirty(l);
+        true
+    }
+
+    /// The standing request targets for `object`, in storage order.
+    pub fn targets_for(&self, object: ObjectId) -> &[f64] {
+        let (s, l) = self.locate(object);
+        &self.shards[s].targets[l]
+    }
+
+    /// Write the advisory update-rate column. Profit does not depend on
+    /// it, so this never dirties the object.
+    pub fn set_update_rate(&mut self, object: ObjectId, rate: f64) {
+        let (s, l) = self.locate(object);
+        self.shards[s].update_rate[l] = rate;
+    }
+
+    /// Read the advisory update-rate column.
+    pub fn update_rate_of(&self, object: ObjectId) -> f64 {
+        let (s, l) = self.locate(object);
+        self.shards[s].update_rate[l]
+    }
+
+    /// Absorb this round's recency vector. An object whose stored
+    /// recency bits differ is updated; it becomes dirty only if it has
+    /// requests (see the module docs for the invalidation rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recency` is shorter than the object table.
+    pub fn observe_recency(&mut self, recency: &[f64]) {
+        assert!(
+            recency.len() >= self.num_objects,
+            "need a recency for every object ({} < {})",
+            recency.len(),
+            self.num_objects
+        );
+        for shard in &mut self.shards {
+            let base = shard.base as usize;
+            for l in 0..shard.recency.len() {
+                let new = recency[base + l];
+                if new.to_bits() != shard.recency[l].to_bits() {
+                    shard.recency[l] = new;
+                    if !shard.targets[l].is_empty() {
+                        shard.mark_dirty(l);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mark every object dirty: the next [`Self::rescore`] recomputes
+    /// the whole table. This is the pinned full-rebuild reference path
+    /// the parity tests compare the incremental path against.
+    pub fn mark_all_dirty(&mut self) {
+        for shard in &mut self.shards {
+            for l in 0..shard.is_dirty.len() {
+                shard.mark_dirty(l);
+            }
+        }
+    }
+
+    /// Rescore every dirty object, sequentially or on the attached
+    /// pool (per-shard fan-out, shards merged in index order — bit
+    /// identical either way). Updates [`Self::dirty_objects`] and
+    /// [`Self::rescored_requests`].
+    pub fn rescore(&mut self) {
+        let parallel = self
+            .pool
+            .as_ref()
+            .is_some_and(|p| p.fans_out() && self.shards.len() > 1);
+        if parallel {
+            let pool = self.pool.as_ref().expect("checked above");
+            let scoring = self.scoring;
+            let shards = std::mem::take(&mut self.shards);
+            self.shards = pool.scatter_gather(shards, move |mut shard| {
+                shard.rescore(scoring);
+                shard
+            });
+        } else {
+            for shard in &mut self.shards {
+                shard.rescore(self.scoring);
+            }
+        }
+        self.last_dirty = self.shards.iter().map(|s| s.last_dirty as u64).sum();
+        self.last_rescored = self.shards.iter().map(|s| s.last_rescored).sum();
+    }
+
+    /// Emit the current knapsack instance into `scratch`: one item per
+    /// requested object with positive profit, objects ascending, base
+    /// score folded over per-object sums across *all* requested objects
+    /// in that same order. Call after [`Self::rescore`].
+    ///
+    /// Fully satisfied objects (every requesting client already at or
+    /// above its target, profit exactly `0.0`) are kept out of the
+    /// instance: they can never earn downlink budget, and at scale tens
+    /// of thousands of bit-equal `0.0` profits would trip the adaptive
+    /// solver's duplicate-profit guard and force the full DP on every
+    /// round. Both engine build paths (incremental and
+    /// [`Self::mark_all_dirty`] reference) share this filter, so the
+    /// bit-parity contract is unaffected.
+    pub fn assemble_into(&self, scratch: &mut PlannerScratch) {
+        scratch.items.clear();
+        scratch.objects.clear();
+        let mut base_score = 0.0;
+        for shard in &self.shards {
+            for (l, targets) in shard.targets.iter().enumerate() {
+                if targets.is_empty() {
+                    continue;
+                }
+                base_score += shard.score_sum[l];
+                if shard.profit[l] > 0.0 {
+                    scratch
+                        .items
+                        .push(Item::new(shard.sizes[l], shard.profit[l]));
+                    scratch.objects.push(ObjectId(shard.base + l as u32));
+                }
+            }
+        }
+        scratch.base_score_sum = base_score;
+        scratch.total_clients = self.total_requests;
+    }
+
+    /// Visit every requested object in ascending id order with its
+    /// columnar serve-time view. The station's columnar serve loop runs
+    /// on this: O(requested objects), not O(requests).
+    pub fn for_each_active(&self, mut f: impl FnMut(ActiveObject)) {
+        for shard in &self.shards {
+            for (l, targets) in shard.targets.iter().enumerate() {
+                if targets.is_empty() {
+                    continue;
+                }
+                f(ActiveObject {
+                    object: ObjectId(shard.base + l as u32),
+                    requests: targets.len() as u64,
+                    recency: shard.recency[l],
+                    score_sum: shard.score_sum[l],
+                    score_sq: shard.score_sq[l],
+                    profit: shard.profit[l],
+                    size: shard.sizes[l],
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(n: usize) -> RoundEngine {
+        RoundEngine::new(&Catalog::uniform_unit(n), ScoringFunction::InverseRatio)
+    }
+
+    fn assemble(e: &RoundEngine) -> PlannerScratch {
+        let mut scratch = PlannerScratch::new();
+        e.assemble_into(&mut scratch);
+        scratch
+    }
+
+    #[test]
+    fn push_rescore_assemble_builds_the_expected_instance() {
+        let mut e = engine(5);
+        e.push_request(ObjectId(3), 1.0);
+        e.push_request(ObjectId(1), 0.5);
+        e.push_request(ObjectId(3), 0.8);
+        e.observe_recency(&[0.0, 0.4, 0.0, 0.2, 0.0]);
+        e.rescore();
+        assert_eq!(e.dirty_objects(), 2);
+        assert_eq!(e.rescored_requests(), 3);
+        let scratch = assemble(&e);
+        assert_eq!(scratch.objects, vec![ObjectId(1), ObjectId(3)]);
+        assert_eq!(scratch.total_clients, 3);
+        let s = ScoringFunction::InverseRatio;
+        let profit_1 = 1.0 - s.score(0.4, 0.5);
+        let profit_3 = (1.0 - s.score(0.2, 1.0)) + (1.0 - s.score(0.2, 0.8));
+        assert_eq!(scratch.items[0].profit().to_bits(), profit_1.to_bits());
+        assert_eq!(scratch.items[1].profit().to_bits(), profit_3.to_bits());
+        let base = s.score(0.4, 0.5) + (s.score(0.2, 1.0) + s.score(0.2, 0.8));
+        assert_eq!(scratch.base_score_sum.to_bits(), base.to_bits());
+    }
+
+    #[test]
+    fn unchanged_objects_are_not_rescored() {
+        let mut e = engine(4);
+        e.push_columns(&[ObjectId(0), ObjectId(2)], &[1.0, 0.9]);
+        e.observe_recency(&[0.5, 0.0, 0.5, 0.0]);
+        e.rescore();
+        assert_eq!(e.dirty_objects(), 2);
+        // Same recency again: nothing is dirty, nothing rescored.
+        e.observe_recency(&[0.5, 0.0, 0.5, 0.0]);
+        e.rescore();
+        assert_eq!(e.dirty_objects(), 0);
+        assert_eq!(e.rescored_requests(), 0);
+        // Recency moves only under object 2.
+        e.observe_recency(&[0.5, 0.0, 0.25, 0.0]);
+        e.rescore();
+        assert_eq!(e.dirty_objects(), 1);
+        assert_eq!(e.rescored_requests(), 1);
+    }
+
+    #[test]
+    fn recency_movement_on_unrequested_objects_does_not_dirty() {
+        let mut e = engine(3);
+        e.push_request(ObjectId(0), 1.0);
+        e.observe_recency(&[0.5, 0.9, 0.1]);
+        e.rescore();
+        e.observe_recency(&[0.5, 0.3, 0.7]);
+        e.rescore();
+        assert_eq!(e.dirty_objects(), 0, "only object 0 has requests");
+        // The column still updated: a later push scores against it.
+        e.push_request(ObjectId(1), 1.0);
+        e.rescore();
+        let scratch = assemble(&e);
+        let s = ScoringFunction::InverseRatio;
+        assert_eq!(
+            scratch.items[1].profit().to_bits(),
+            (1.0 - s.score(0.3, 1.0)).to_bits()
+        );
+    }
+
+    #[test]
+    fn retarget_replaces_in_place_and_dirties() {
+        let mut e = engine(2);
+        e.push_request(ObjectId(0), 1.0);
+        e.push_request(ObjectId(0), 0.6);
+        e.rescore();
+        assert!(e.retarget(ObjectId(0), 7, 0.3), "slot 7 % 2 = 1");
+        assert_eq!(e.targets_for(ObjectId(0)), &[1.0, 0.3]);
+        assert_eq!(e.total_requests(), 2, "retarget never changes counts");
+        e.rescore();
+        assert_eq!(e.dirty_objects(), 1);
+        assert!(!e.retarget(ObjectId(1), 0, 0.5), "no requests, no-op");
+    }
+
+    #[test]
+    fn clear_requests_dirties_and_keeps_capacity() {
+        let mut e = engine(3);
+        e.push_columns(&[ObjectId(0), ObjectId(0), ObjectId(2)], &[1.0, 0.5, 0.9]);
+        e.observe_recency(&[0.5, 0.5, 0.5]);
+        e.rescore();
+        e.clear_requests();
+        assert_eq!(e.total_requests(), 0);
+        e.rescore();
+        assert_eq!(e.dirty_objects(), 2, "both previously requested objects");
+        let scratch = assemble(&e);
+        assert!(scratch.items.is_empty());
+        assert_eq!(scratch.base_score_sum, 0.0);
+    }
+
+    #[test]
+    fn sharding_and_full_rebuild_are_bit_identical_to_single_shard() {
+        let sizes: Vec<u64> = (0..97u64).map(|i| 1 + i % 7).collect();
+        let catalog = Catalog::from_sizes(&sizes);
+        let recency: Vec<f64> = (0..97).map(|i| (i % 13) as f64 / 13.0).collect();
+        let build = |shards: usize, full_rebuild: bool| {
+            let mut e = RoundEngine::new(&catalog, ScoringFunction::Exponential)
+                .with_shards(shards)
+                .with_pool(WorkerPool::new(3));
+            for k in 0..500u32 {
+                e.push_request(ObjectId(k * 17 % 97), 0.2 + (k % 5) as f64 * 0.2);
+            }
+            e.observe_recency(&recency);
+            if full_rebuild {
+                e.mark_all_dirty();
+            }
+            e.rescore();
+            let scratch = assemble(&e);
+            (
+                scratch.objects.clone(),
+                scratch
+                    .items
+                    .iter()
+                    .map(|i| (i.size(), i.profit().to_bits()))
+                    .collect::<Vec<_>>(),
+                scratch.base_score_sum.to_bits(),
+            )
+        };
+        let reference = build(1, false);
+        for shards in [2, 5, 16, 97] {
+            assert_eq!(build(shards, false), reference, "{shards} shards");
+            assert_eq!(build(shards, true), reference, "{shards} shards, full");
+        }
+    }
+
+    #[test]
+    fn mark_all_dirty_rescores_everything_without_changing_values() {
+        let mut e = engine(10);
+        for k in 0..30u32 {
+            e.push_request(ObjectId(k % 10), 1.0);
+        }
+        let recency: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
+        e.observe_recency(&recency);
+        e.rescore();
+        let before = assemble(&e);
+        e.mark_all_dirty();
+        e.rescore();
+        assert_eq!(e.dirty_objects(), 10);
+        let after = assemble(&e);
+        assert_eq!(
+            before.base_score_sum.to_bits(),
+            after.base_score_sum.to_bits()
+        );
+        for (a, b) in before.items.iter().zip(after.items.iter()) {
+            assert_eq!(a.profit().to_bits(), b.profit().to_bits());
+        }
+    }
+
+    #[test]
+    fn for_each_active_walks_objects_ascending_with_counts() {
+        let mut e = engine(6).with_shards(4);
+        e.push_columns(&[ObjectId(4), ObjectId(1), ObjectId(4)], &[1.0, 0.5, 0.25]);
+        e.observe_recency(&[0.0; 6]);
+        e.rescore();
+        let mut seen = Vec::new();
+        e.for_each_active(|a| seen.push((a.object, a.requests)));
+        assert_eq!(seen, vec![(ObjectId(1), 1), (ObjectId(4), 2)]);
+    }
+
+    #[test]
+    fn update_rate_column_is_advisory() {
+        let mut e = engine(3);
+        e.push_request(ObjectId(1), 1.0);
+        e.rescore();
+        e.set_update_rate(ObjectId(1), 2.5);
+        assert_eq!(e.update_rate_of(ObjectId(1)), 2.5);
+        e.rescore();
+        assert_eq!(e.dirty_objects(), 0, "rate writes never invalidate");
+    }
+
+    #[test]
+    #[should_panic(expected = "target recency")]
+    fn push_rejects_invalid_target() {
+        engine(1).push_request(ObjectId(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the object table")]
+    fn push_rejects_unknown_object() {
+        engine(2).push_request(ObjectId(2), 1.0);
+    }
+}

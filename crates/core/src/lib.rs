@@ -19,6 +19,9 @@
 //!   [`LowestRecencyFirst`] (the Section 3.2 unit-size policy).
 //! * [`scratch`] — reusable planning buffers: [`PlannerScratch`] makes
 //!   the steady-state on-demand round allocation-free.
+//! * [`engine`] — [`RoundEngine`]: struct-of-arrays object/request
+//!   tables with incremental (dirty-set) instance build and sharded
+//!   rescoring, for million-request rounds.
 //! * [`asynch`] — the asynchronous round-robin refresh baseline.
 //! * [`bound`] — download-budget selection from the DP solution-space
 //!   trace (the paper's Section 6 future work).
@@ -61,6 +64,7 @@
 pub mod asynch;
 pub mod bound;
 pub mod builder;
+pub mod engine;
 pub mod error;
 pub mod estimator;
 pub mod pipeline;
@@ -73,6 +77,7 @@ pub mod station;
 
 pub use asynch::AsyncRefresher;
 pub use builder::StationBuilder;
+pub use engine::{ActiveObject, RoundEngine};
 pub use error::{ConfigError, Error};
 pub use estimator::{RateEstimator, RecencyEstimator, ReportEstimator, TtlEstimator};
 pub use pipeline::{LatencyAwareSim, LatencyStats, LatencyStepOutcome};

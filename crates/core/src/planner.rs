@@ -18,6 +18,7 @@ use basecache_net::{Catalog, ObjectId};
 use basecache_obs::{Event, NullRecorder, Recorder, Sample, Span, Stage};
 use basecache_workload::GeneratedRequest;
 
+use crate::engine::RoundEngine;
 use crate::profit::{build_instance, MappedInstance};
 use crate::recency::ScoringFunction;
 use crate::request::RequestBatch;
@@ -234,6 +235,24 @@ impl OnDemandPlanner {
         scratch.base_score_sum = base;
         scratch.total_clients = requests.len() as u64;
 
+        self.solve_assembled(budget, scratch, recorder);
+    }
+
+    /// Solve the instance already assembled into `scratch.items` /
+    /// `scratch.objects` (by the request-aggregation path above or by
+    /// [`crate::engine::RoundEngine::assemble_into`]) and record the
+    /// solver's work. Item sizes come from the items themselves — the
+    /// assembly path copied them out of the catalog — so the engine path
+    /// needs no catalog here. `#[inline]` keeps the fused
+    /// aggregate-then-solve round exactly as the optimizer saw it before
+    /// this was factored out (the `planner/round/*` benches gate it).
+    #[inline]
+    fn solve_assembled<R: Recorder + ?Sized>(
+        &self,
+        budget: u64,
+        scratch: &mut PlannerScratch,
+        recorder: &R,
+    ) {
         recorder.add(Event::KnapsackItems, scratch.items.len() as u64);
         recorder.sample(Sample::KnapsackCapacity, budget as f64);
         if recorder.enabled() {
@@ -258,9 +277,8 @@ impl OnDemandPlanner {
                     // `chosen()` is ascending by item index and `objects` is
                     // ascending by id, so the downloads come out sorted.
                     for &i in scratch.dp.chosen() {
-                        let object = scratch.objects[i];
-                        size += catalog.size_of(object);
-                        scratch.downloads.push(object);
+                        size += scratch.items[i].size();
+                        scratch.downloads.push(scratch.objects[i]);
                     }
                     scratch.download_size = size;
                     recorder.add(Event::DpCellsTouched, scratch.dp.cells_touched());
@@ -291,9 +309,8 @@ impl OnDemandPlanner {
                     // is ascending by id, so the downloads come out
                     // sorted.
                     for &i in scratch.adaptive.chosen() {
-                        let object = scratch.objects[i];
-                        size += catalog.size_of(object);
-                        scratch.downloads.push(object);
+                        size += scratch.items[i].size();
+                        scratch.downloads.push(scratch.objects[i]);
                     }
                     scratch.download_size = size;
                     scratch.prev_downloads.clear();
@@ -334,6 +351,47 @@ impl OnDemandPlanner {
             }
         }
         recorder.sample(Sample::PlanProfit, scratch.achieved_value);
+    }
+
+    /// Plan a round from a [`RoundEngine`]'s standing tables instead of a
+    /// flat request stream: absorb this round's recency vector, rescore
+    /// exactly the dirty objects, assemble the instance incrementally,
+    /// and solve it through the same (warm-started) solver seam as
+    /// [`Self::plan_requests_recorded`].
+    ///
+    /// Emits [`Sample::DirtyObjects`] and [`Sample::RescoredRequests`] so
+    /// flight recordings show how much work the dirty-set actually saved.
+    ///
+    /// Engine rounds are bit-identical to the engine's own full-rebuild
+    /// reference ([`RoundEngine::mark_all_dirty`] before every plan); they
+    /// are *not* bit-comparable to [`Self::plan_requests_recorded`], whose
+    /// base-score fold runs per request rather than per object (same
+    /// mathematics, different summation order — see the engine module
+    /// docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's scoring function differs from this
+    /// planner's, or if `recency` is shorter than the engine's table.
+    pub fn plan_engine_recorded<R: Recorder + ?Sized>(
+        &self,
+        engine: &mut RoundEngine,
+        recency: &[f64],
+        budget: u64,
+        scratch: &mut PlannerScratch,
+        recorder: &R,
+    ) {
+        assert_eq!(
+            engine.scoring(),
+            self.scoring,
+            "engine and planner must agree on the scoring function"
+        );
+        engine.observe_recency(recency);
+        engine.rescore();
+        recorder.sample(Sample::DirtyObjects, engine.dirty_objects() as f64);
+        recorder.sample(Sample::RescoredRequests, engine.rescored_requests() as f64);
+        engine.assemble_into(scratch);
+        self.solve_assembled(budget, scratch, recorder);
     }
 
     /// Allocation-free planning round through the adaptive reduction

@@ -582,6 +582,164 @@ impl BaseStationSim {
         self.tick += 1;
         outcome
     }
+
+    /// Simulate one time unit against a [`RoundEngine`]'s standing
+    /// request tables instead of a flat per-tick batch — the
+    /// million-request round. The driver mutates the engine between
+    /// steps (pushes, retargets, clears) and the engine rescores only
+    /// what changed; the serve stage runs columnar, O(requested
+    /// objects) instead of O(requests), off the engine's per-object
+    /// score sums.
+    ///
+    /// Emits the same span/round/event/sample structure as
+    /// [`Self::step`], so flight recordings of engine rounds are
+    /// row-compatible with batch rounds. Allocation-free in steady
+    /// state on the sequential rescore path (see `tests/alloc_free.rs`);
+    /// attaching a pool to the engine trades allocations for fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the station runs [`Policy::OnDemand`] under
+    /// [`Estimation::Oracle`] — the columnar serve reads the recency
+    /// column the planner observed, which must be the truth — and the
+    /// engine's table matches the station's catalog.
+    pub fn step_engine(&mut self, engine: &mut crate::engine::RoundEngine) -> StepOutcome {
+        let (planner, budget_units) = match self.policy {
+            Policy::OnDemand {
+                planner,
+                budget_units,
+            } => (planner, budget_units),
+            _ => panic!("step_engine requires Policy::OnDemand"),
+        };
+        assert!(
+            matches!(self.estimation, Estimation::Oracle),
+            "step_engine requires Estimation::Oracle: the columnar serve \
+             reads the recency the planner observed, which must be the truth"
+        );
+        assert_eq!(
+            engine.num_objects(),
+            self.catalog.len(),
+            "engine table must cover the station's catalog"
+        );
+        let recorder: &dyn Recorder = &*self.recorder;
+        let observing = recorder.enabled();
+        let _step_span = Span::enter(recorder, Stage::Step);
+        recorder.begin_round(self.tick);
+        recorder.incr(Event::Rounds);
+        recorder.sample(Sample::BatchSize, engine.total_requests() as f64);
+
+        let mut recency = std::mem::take(&mut self.recency_buf);
+        {
+            let _recency_span = Span::enter(recorder, Stage::Recency);
+            self.fill_estimated_recency(&mut recency);
+        }
+        let mut downloaded = std::mem::take(&mut self.downloaded);
+        downloaded.clear();
+
+        let plan_span = Span::enter(recorder, Stage::Plan);
+        planner.plan_engine_recorded(engine, &recency, budget_units, &mut self.scratch, recorder);
+        downloaded.extend_from_slice(self.scratch.downloads());
+        drop(plan_span);
+
+        let refresh_span = Span::enter(recorder, Stage::Refresh);
+        let now = SimTime::from_ticks(self.tick);
+        let mut units = 0u64;
+        for &id in &downloaded {
+            let size = self.catalog.size_of(id);
+            self.cache
+                .insert(id, size, self.server.version_of(id), now)
+                .expect("unbounded cache never refuses");
+            units += size;
+            if observing {
+                recorder.attribute(Attr::DownlinkUnitsByObject, id.0, size);
+            }
+        }
+        drop(refresh_span);
+        recorder.add(Event::ObjectsDownloaded, downloaded.len() as u64);
+        recorder.add(Event::UnitsDownloaded, units);
+        if observing && budget_units > 0 {
+            recorder.sample(
+                Sample::DownlinkUtilization,
+                units as f64 / budget_units as f64,
+            );
+        }
+
+        // Columnar serve: one visit per requested object, using the
+        // engine's per-object score sums instead of rescoring every
+        // request. A downloaded object serves all its clients at
+        // recency (and hence score) 1.0 — the cache was just refreshed
+        // to the current version, so the lag is 0; every other object
+        // serves at the recency the planner observed, which under the
+        // oracle is the truth.
+        let serve_span = Span::enter(recorder, Stage::Serve);
+        let mut recency_acc = Welford::new();
+        let mut score_acc = Welford::new();
+        let mut hits = 0u64;
+        let served = engine.total_requests();
+        {
+            let stats = &mut self.stats;
+            // Merge cursor over `downloaded`: both walks are ascending.
+            let mut dl = 0usize;
+            engine.for_each_active(|a| {
+                while dl < downloaded.len() && downloaded[dl] < a.object {
+                    dl += 1;
+                }
+                let downloaded_now = dl < downloaded.len() && downloaded[dl] == a.object;
+                let n = a.requests;
+                if downloaded_now {
+                    recency_acc.push_n(1.0, n);
+                    score_acc.push_n(1.0, n);
+                    stats.recency.push_n(1.0, n);
+                    stats.score.push_n(1.0, n);
+                } else {
+                    hits += n;
+                    recency_acc.push_n(a.recency, n);
+                    stats.recency.push_n(a.recency, n);
+                    let scores = Welford::from_sums(n, a.score_sum, a.score_sq);
+                    score_acc.merge(&scores);
+                    stats.score.merge(&scores);
+                    if observing {
+                        // Staleness charged in thousandths per request,
+                        // attributed once per object for the whole batch.
+                        let staleness = ((1.0 - a.recency) * 1_000.0).round() as u64;
+                        if staleness > 0 {
+                            recorder.attribute(
+                                Attr::ServeStalenessByObject,
+                                a.object.0,
+                                staleness * n,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        drop(serve_span);
+        recorder.add(Event::RequestsServed, served);
+        if observing && served > 0 {
+            recorder.sample(Sample::CacheHitRatio, hits as f64 / served as f64);
+        }
+
+        self.stats.units_downloaded += units;
+        self.stats.objects_downloaded += downloaded.len() as u64;
+        self.stats.requests_served += served;
+
+        let outcome = StepOutcome {
+            tick: self.tick,
+            objects_downloaded: downloaded.len(),
+            units_downloaded: units,
+            average_recency: recency_acc.mean().unwrap_or(1.0),
+            average_score: score_acc.mean().unwrap_or(1.0),
+            served: served as usize,
+            cache_hits: hits as usize,
+        };
+        recorder.sample(Sample::AverageRecency, outcome.average_recency);
+        recorder.sample(Sample::AverageScore, outcome.average_score);
+        recorder.end_round(self.tick);
+        self.downloaded = downloaded;
+        self.recency_buf = recency;
+        self.tick += 1;
+        outcome
+    }
 }
 
 #[cfg(test)]

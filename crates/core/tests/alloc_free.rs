@@ -217,4 +217,73 @@ fn on_demand_steady_state_steps_do_not_allocate() {
             assert_eq!(outcome.served, 5000);
         }
     }
+
+    // The incremental round engine is held to the same bar on its
+    // sequential rescore path: once the SoA tables, dirty set and
+    // solver scratch are warm, a full engine round — churn applied via
+    // in-place retargets, per-object server updates, incremental
+    // rescore, solve, refresh, columnar serve — never touches the heap.
+    // (Attaching a worker pool trades this guarantee for fan-out: the
+    // parallel dispatch boxes jobs.)
+    for flight in [false, true] {
+        let label = if flight {
+            "engine/flight"
+        } else {
+            "engine/null"
+        };
+        let builder = StationBuilder::new(Catalog::from_sizes(&sizes))
+            .on_demand(OnDemandPlanner::paper_default(), 5000);
+        let builder = if flight {
+            builder.recorder(Box::new(basecache_obs::FlightRecorder::new(4096, 64, 8)))
+        } else {
+            builder
+        };
+        let mut station = builder.build().expect("valid configuration");
+        let mut engine = basecache_core::engine::RoundEngine::new(
+            station.catalog(),
+            ScoringFunction::InverseRatio,
+        );
+        for r in &requests {
+            engine.push_request(r.object, r.target_recency);
+        }
+        // Warm up: first round rescores the whole population and grows
+        // every buffer; the wave round dirties everything cached.
+        for _ in 0..3 {
+            station.step_engine(&mut engine);
+        }
+        station.apply_update_wave();
+        for _ in 0..3 {
+            station.step_engine(&mut engine);
+        }
+        for round in 0..10u64 {
+            let before = allocation_count();
+            // Low-churn steady state: a handful of retargets and
+            // per-object updates, all in place.
+            for k in 0..8u64 {
+                engine.retarget(
+                    ObjectId(((round * 8 + k) * 37 % num_objects as u64) as u32),
+                    round * 97 + k,
+                    0.05 + (k as f64) * 0.1,
+                );
+                let now = basecache_sim::SimTime::from_ticks(station.tick());
+                station.server_mut().apply_update(
+                    ObjectId(((round * 8 + k) * 53 % num_objects as u64) as u32),
+                    now,
+                );
+            }
+            let outcome = station.step_engine(&mut engine);
+            let after = allocation_count();
+            assert_eq!(
+                after - before,
+                0,
+                "{label} round {round}: engine step allocated {} time(s)",
+                after - before
+            );
+            assert_eq!(outcome.served, 5000);
+            assert!(
+                engine.rescored_requests() < 5000,
+                "{label} round {round}: steady state must rescore incrementally"
+            );
+        }
+    }
 }

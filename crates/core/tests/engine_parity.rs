@@ -1,0 +1,419 @@
+//! The round engine's load-bearing guarantees, proved bit-for-bit
+//! (the engine's analogue of `cluster/tests/parity.rs`):
+//!
+//! 1. Incremental rounds (dirty-set rescoring only) are identical to
+//!    the pinned full-rebuild reference (`mark_all_dirty` before every
+//!    round) — outcomes, downloads, stats, recorder snapshots and the
+//!    flight-recorder round series, under zero churn, single-object
+//!    churn and 100% churn alike.
+//! 2. Shard count and parallel rescoring never change a bit: a 1-shard
+//!    sequential engine and a many-shard pooled engine produce the same
+//!    rounds.
+//! 3. The dirty set actually shrinks the work: low-churn rounds rescore
+//!    a small fraction of the table.
+//!
+//! "Identical" means the deterministic observables; wall-clock span
+//! timings are stripped before comparison.
+
+use basecache_core::engine::RoundEngine;
+use basecache_core::planner::{OnDemandPlanner, SolverChoice};
+use basecache_core::recency::ScoringFunction;
+use basecache_core::station::{BaseStationSim, StepOutcome};
+use basecache_core::StationBuilder;
+use basecache_net::{Catalog, ObjectId};
+use basecache_obs::{FlightRecorder, Snapshot};
+use basecache_sim::{SimTime, WorkerPool};
+
+const OBJECTS: usize = 48;
+const BUDGET: u64 = 14;
+const SEED_REQUESTS: u32 = 200;
+
+fn catalog() -> Catalog {
+    let sizes: Vec<u64> = (0..OBJECTS as u64).map(|i| 1 + i % 5).collect();
+    Catalog::from_sizes(&sizes)
+}
+
+/// A station + engine pair; `full_rebuild` rigs degrade the engine to
+/// the reference path by marking everything dirty before each round.
+struct Rig {
+    station: BaseStationSim,
+    engine: RoundEngine,
+    full_rebuild: bool,
+}
+
+impl Rig {
+    fn new(solver: SolverChoice, full_rebuild: bool, shards: usize, pooled: bool) -> Rig {
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, solver);
+        let station = StationBuilder::new(catalog())
+            .on_demand(planner, BUDGET)
+            .recorder(Box::new(FlightRecorder::new(512, 64, 8)))
+            .build()
+            .expect("valid configuration");
+        let mut engine =
+            RoundEngine::new(&catalog(), ScoringFunction::InverseRatio).with_shards(shards);
+        if pooled {
+            engine = engine.with_pool(WorkerPool::new(3));
+        }
+        seed_population(&mut engine);
+        Rig {
+            station,
+            engine,
+            full_rebuild,
+        }
+    }
+
+    fn incremental(solver: SolverChoice) -> Rig {
+        Rig::new(solver, false, 1, false)
+    }
+
+    fn reference(solver: SolverChoice) -> Rig {
+        Rig::new(solver, true, 1, false)
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        if self.full_rebuild {
+            self.engine.mark_all_dirty();
+        }
+        self.station.step_engine(&mut self.engine)
+    }
+}
+
+fn seed_population(engine: &mut RoundEngine) {
+    for k in 0..SEED_REQUESTS {
+        engine.push_request(
+            ObjectId(k * 13 % OBJECTS as u32),
+            [1.0, 0.8, 0.6, 0.4][k as usize % 4],
+        );
+    }
+}
+
+/// Drive `rounds` rounds, applying the (pure) per-round mutation before
+/// each step. The same `mutate` applied to two rigs produces identical
+/// input sequences, so any output divergence is the engine's fault.
+fn drive(rig: &mut Rig, rounds: u64, mutate: fn(u64, &mut Rig)) -> Vec<StepOutcome> {
+    (0..rounds)
+        .map(|r| {
+            mutate(r, rig);
+            rig.step()
+        })
+        .collect()
+}
+
+/// Strip the observables that are *supposed* to differ between the two
+/// paths: wall-clock span timings, and the dirty-set work-accounting
+/// samples (`dirty_objects`, `rescored_requests`) — the full-rebuild
+/// reference reports the whole table as dirty every round, which is
+/// precisely the work the incremental path exists to avoid. Everything
+/// else must match bit-for-bit.
+fn deterministic(snapshot: &Snapshot) -> Snapshot {
+    let mut s = snapshot.clone();
+    s.spans.clear();
+    s.samples
+        .retain(|sample| sample.name != "dirty_objects" && sample.name != "rescored_requests");
+    s
+}
+
+/// Round-series rows as raw bits: bit-identical NaN markers compare
+/// equal, any payload difference — last mantissa bit included —
+/// compares unequal.
+fn series_bits(station: &BaseStationSim) -> Vec<[u64; 8]> {
+    station
+        .recorder()
+        .as_any()
+        .downcast_ref::<FlightRecorder>()
+        .expect("a FlightRecorder was installed")
+        .series()
+        .rows()
+        .iter()
+        .map(|r| {
+            [
+                r.tick,
+                r.batch_size.to_bits(),
+                r.mean_score.to_bits(),
+                r.hit_ratio.to_bits(),
+                r.downlink_util.to_bits(),
+                r.units_fetched,
+                r.plan_profit.to_bits(),
+                r.profit_bound.to_bits(),
+            ]
+        })
+        .collect()
+}
+
+fn assert_rigs_match(a: &Rig, b: &Rig, label: &str) {
+    assert_eq!(
+        a.station.last_downloaded(),
+        b.station.last_downloaded(),
+        "{label}: chosen sets diverge"
+    );
+    assert_eq!(
+        a.station.stats(),
+        b.station.stats(),
+        "{label}: stats diverge"
+    );
+    assert_eq!(
+        deterministic(&a.station.obs_snapshot()),
+        deterministic(&b.station.obs_snapshot()),
+        "{label}: recorder snapshots diverge"
+    );
+    let rows = series_bits(&a.station);
+    assert!(!rows.is_empty(), "{label}: no rounds recorded");
+    assert_eq!(
+        rows,
+        series_bits(&b.station),
+        "{label}: round series diverges"
+    );
+}
+
+fn run_parity(solver: SolverChoice, rounds: u64, mutate: fn(u64, &mut Rig), label: &str) {
+    let mut incremental = Rig::incremental(solver);
+    let mut reference = Rig::reference(solver);
+    let a = drive(&mut incremental, rounds, mutate);
+    let b = drive(&mut reference, rounds, mutate);
+    assert_eq!(a, b, "{label}: outcomes diverge");
+    assert_rigs_match(&incremental, &reference, label);
+}
+
+/// Recency moves only through cache refreshes and server updates; the
+/// request set never changes.
+fn zero_churn(round: u64, rig: &mut Rig) {
+    if round % 3 == 2 {
+        rig.station.apply_update_wave();
+    }
+    if round % 5 == 1 {
+        let now = SimTime::from_ticks(rig.station.tick());
+        rig.station
+            .server_mut()
+            .apply_update(ObjectId((round * 11 % OBJECTS as u64) as u32), now);
+    }
+}
+
+/// One retarget per round on a rotating object, plus occasional waves.
+fn single_object_churn(round: u64, rig: &mut Rig) {
+    zero_churn(round, rig);
+    rig.engine.retarget(
+        ObjectId((round * 7 % OBJECTS as u64) as u32),
+        round * 31 + 5,
+        [0.9, 0.7, 0.5, 0.3][round as usize % 4],
+    );
+}
+
+/// 100% churn: every request replaced every round (round-varied
+/// targets so the rebuilt population actually differs).
+fn full_churn(round: u64, rig: &mut Rig) {
+    zero_churn(round, rig);
+    rig.engine.clear_requests();
+    for k in 0..SEED_REQUESTS {
+        rig.engine.push_request(
+            ObjectId((k * 13 + round as u32) % OBJECTS as u32),
+            [1.0, 0.8, 0.6, 0.4][(k as u64 + round) as usize % 4],
+        );
+    }
+}
+
+#[test]
+fn zero_churn_rounds_match_full_rebuild() {
+    for solver in [SolverChoice::Adaptive, SolverChoice::ExactDp] {
+        run_parity(solver, 30, zero_churn, "zero churn");
+    }
+}
+
+#[test]
+fn single_object_churn_matches_full_rebuild() {
+    for solver in [SolverChoice::Adaptive, SolverChoice::ExactDp] {
+        run_parity(solver, 30, single_object_churn, "single-object churn");
+    }
+}
+
+#[test]
+fn full_churn_matches_full_rebuild() {
+    for solver in [SolverChoice::Adaptive, SolverChoice::ExactDp] {
+        run_parity(solver, 20, full_churn, "full churn");
+    }
+}
+
+#[test]
+fn shard_count_and_pool_never_change_a_bit() {
+    let baseline = {
+        let mut rig = Rig::incremental(SolverChoice::Adaptive);
+        let out = drive(&mut rig, 25, single_object_churn);
+        (out, rig)
+    };
+    for (shards, pooled) in [(6, false), (6, true), (OBJECTS, true)] {
+        let mut rig = Rig::new(SolverChoice::Adaptive, false, shards, pooled);
+        let out = drive(&mut rig, 25, single_object_churn);
+        let label = format!("{shards} shards, pooled={pooled}");
+        assert_eq!(baseline.0, out, "{label}: outcomes diverge");
+        assert_rigs_match(&baseline.1, &rig, &label);
+    }
+}
+
+#[test]
+fn dirty_set_shrinks_low_churn_work() {
+    let mut rig = Rig::incremental(SolverChoice::Adaptive);
+    // Warm up: first rounds see the whole seed population as dirty.
+    rig.step();
+    assert_eq!(
+        rig.engine.rescored_requests(),
+        SEED_REQUESTS as u64,
+        "round 0 rescored the whole population"
+    );
+    // Low-churn steady state: one server update per round, no waves (a
+    // wave moves every cached object's recency, which *is* global
+    // churn). Dirty objects are then only the updated object plus
+    // whatever the previous round's downloads refreshed — both bounded
+    // by the budget, far below the table size.
+    for round in 0..10u64 {
+        let now = SimTime::from_ticks(rig.station.tick());
+        rig.station
+            .server_mut()
+            .apply_update(ObjectId((round * 11 % OBJECTS as u64) as u32), now);
+        rig.step();
+        assert!(
+            rig.engine.dirty_objects() <= BUDGET + 2,
+            "round {round}: dirty {} objects on a low-churn round",
+            rig.engine.dirty_objects()
+        );
+        assert!(
+            rig.engine.rescored_requests() < SEED_REQUESTS as u64 / 2,
+            "round {round}: incremental build rescored too much"
+        );
+    }
+}
+
+#[test]
+fn engine_round_downloads_uncached_requested_objects() {
+    // Semantics smoke mirroring station::tests: a fresh engine round
+    // downloads what the budget allows and scores downloads at 1.0.
+    let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::Adaptive);
+    let mut station = StationBuilder::new(Catalog::uniform_unit(10))
+        .on_demand(planner, 100)
+        .build()
+        .expect("valid configuration");
+    let mut engine = RoundEngine::new(station.catalog(), ScoringFunction::InverseRatio);
+    engine.push_columns(&[ObjectId(0), ObjectId(1), ObjectId(1)], &[1.0, 1.0, 1.0]);
+    let out = station.step_engine(&mut engine);
+    assert_eq!(station.last_downloaded(), &[ObjectId(0), ObjectId(1)]);
+    assert_eq!(out.objects_downloaded, 2);
+    assert_eq!(out.units_downloaded, 2);
+    assert_eq!(out.average_score, 1.0);
+    assert_eq!(out.average_recency, 1.0);
+    assert_eq!(out.served, 3);
+    assert_eq!(out.cache_hits, 0);
+    // Nothing changed: the next round is all cache hits, still fresh.
+    let out = station.step_engine(&mut engine);
+    assert!(station.last_downloaded().is_empty());
+    assert_eq!(out.cache_hits, 3);
+    assert_eq!(out.average_score, 1.0);
+}
+
+/// Property test: random round scripts with adversarial churn levels
+/// (none, single-object, total) interleaved with waves and per-object
+/// updates; every script must leave the incremental and full-rebuild
+/// rigs bit-identical.
+#[cfg(feature = "proptest")]
+mod properties {
+    use super::*;
+    use basecache_sim::check::run_cases;
+    use basecache_sim::StreamRng;
+
+    /// One scripted action; a script is replayed identically against
+    /// both rigs, so the rounds consume identical inputs.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Wave,
+        Update(u32),
+        Retarget(u32, u64, f64),
+        ClearAll,
+        Push(u32, f64),
+        EndRound,
+    }
+
+    fn arb_script(rng: &mut StreamRng) -> Vec<Op> {
+        let rounds = rng.random_range(3..=12u32);
+        let mut ops = Vec::new();
+        for _ in 0..rounds {
+            // Adversarial churn level for this round: quiet rounds
+            // exercise carry-forward, single-op rounds the minimal
+            // dirty set, total rounds a 100% rebuild.
+            match rng.random_range(0u32..4) {
+                0 => {}
+                1 => {
+                    let n = rng.random_range(1..=3u32);
+                    for _ in 0..n {
+                        ops.push(Op::Retarget(
+                            rng.random_range(0..OBJECTS as u32),
+                            rng.next_u64(),
+                            rng.random_range(0.05f64..=1.0),
+                        ));
+                    }
+                }
+                2 => {
+                    ops.push(Op::ClearAll);
+                    let n = rng.random_range(0..=120u32);
+                    for _ in 0..n {
+                        ops.push(Op::Push(
+                            rng.random_range(0..OBJECTS as u32),
+                            rng.random_range(0.05f64..=1.0),
+                        ));
+                    }
+                }
+                _ => {
+                    let n = rng.random_range(1..=20u32);
+                    for _ in 0..n {
+                        ops.push(Op::Push(
+                            rng.random_range(0..OBJECTS as u32),
+                            rng.random_range(0.05f64..=1.0),
+                        ));
+                    }
+                }
+            }
+            if rng.random_range(0u32..3) == 0 {
+                ops.push(Op::Wave);
+            }
+            for _ in 0..rng.random_range(0..=4u32) {
+                ops.push(Op::Update(rng.random_range(0..OBJECTS as u32)));
+            }
+            ops.push(Op::EndRound);
+        }
+        ops
+    }
+
+    fn replay(rig: &mut Rig, script: &[Op]) -> Vec<StepOutcome> {
+        let mut outcomes = Vec::new();
+        for &op in script {
+            match op {
+                Op::Wave => rig.station.apply_update_wave(),
+                Op::Update(o) => {
+                    let now = SimTime::from_ticks(rig.station.tick());
+                    rig.station.server_mut().apply_update(ObjectId(o), now);
+                }
+                Op::Retarget(o, seed, t) => {
+                    rig.engine.retarget(ObjectId(o), seed, t);
+                }
+                Op::ClearAll => rig.engine.clear_requests(),
+                Op::Push(o, t) => rig.engine.push_request(ObjectId(o), t),
+                Op::EndRound => outcomes.push(rig.step()),
+            }
+        }
+        outcomes
+    }
+
+    #[test]
+    fn random_churn_scripts_never_diverge_from_full_rebuild() {
+        run_cases("engine_incremental_parity", 48, |i, rng| {
+            let script = arb_script(rng);
+            let solver = if i % 2 == 0 {
+                SolverChoice::Adaptive
+            } else {
+                SolverChoice::ExactDp
+            };
+            let mut incremental = Rig::incremental(solver);
+            let mut reference = Rig::reference(solver);
+            let a = replay(&mut incremental, &script);
+            let b = replay(&mut reference, &script);
+            assert_eq!(a, b, "case {i}: outcomes diverge");
+            assert_rigs_match(&incremental, &reference, &format!("case {i}"));
+        });
+    }
+}

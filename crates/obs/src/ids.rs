@@ -175,11 +175,18 @@ pub enum Sample {
     /// Terminal strategy the adaptive solver used, as its dense code
     /// (0 = certified greedy, 1 = branch-and-bound, 2 = core DP).
     SolverChosen,
+    /// Objects whose recency, cache state or request set changed since
+    /// the previous round — the round engine's incremental-build
+    /// invalidation set (see `basecache_core::engine`).
+    DirtyObjects,
+    /// Client requests actually rescored by one round's incremental
+    /// instance build (requests of untouched objects carry forward).
+    RescoredRequests,
 }
 
 impl Sample {
     /// Every sample id, in export order.
-    pub const ALL: [Sample; 14] = [
+    pub const ALL: [Sample; 16] = [
         Sample::BatchSize,
         Sample::PlanProfit,
         Sample::AverageScore,
@@ -194,6 +201,8 @@ impl Sample {
         Sample::CoreSize,
         Sample::ItemsFixed,
         Sample::SolverChosen,
+        Sample::DirtyObjects,
+        Sample::RescoredRequests,
     ];
 
     /// Number of sample ids.
@@ -222,6 +231,8 @@ impl Sample {
             Sample::CoreSize => "core_size",
             Sample::ItemsFixed => "items_fixed",
             Sample::SolverChosen => "solver_chosen",
+            Sample::DirtyObjects => "dirty_objects",
+            Sample::RescoredRequests => "rescored_requests",
         }
     }
 }

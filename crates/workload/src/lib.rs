@@ -14,6 +14,8 @@
 //! * [`trace`] — record/replay of request traces, so paired policy
 //!   comparisons consume identical randomness (as the paper does in
 //!   Section 3.2).
+//! * [`standing`] — persistent massive-scale populations in columnar
+//!   form with per-round churn ops, feeding the core round engine.
 //! * [`estimate`] — online popularity estimation with exponential decay.
 //! * [`mobility`] — roaming client populations over a multi-cell
 //!   cluster (Markov ring / random waypoint handoff), one forked
@@ -47,6 +49,7 @@ pub mod popularity;
 pub mod requests;
 pub mod scenario;
 pub mod sizes;
+pub mod standing;
 pub mod trace;
 pub mod trace_stats;
 
@@ -57,5 +60,6 @@ pub use popularity::{Popularity, PopularityDist};
 pub use requests::{GeneratedRequest, RequestGenerator, ShiftingGenerator, TargetRecency};
 pub use scenario::{NumRequestsMode, Table1Population, Table1Spec};
 pub use sizes::SizeDist;
+pub use standing::{ChurnOp, StandingWorkload};
 pub use trace::RequestTrace;
 pub use trace_stats::TraceStats;

@@ -60,6 +60,12 @@ head -1 "$cluster_out/ext_cluster.csv" | grep -q 'number of cells' \
     || { echo "error: ext_cluster.csv missing header" >&2; exit 1; }
 rm -rf "$cluster_out"
 
+echo "==> massive round-engine smoke (reduced scale)"
+# The full 100k-object / 1M-request suite runs with the planner bench
+# below; this reduced-scale pass proves the pipeline end to end on
+# every check without the full cost.
+cargo run -q -p basecache-bench --release -- massive --smoke
+
 echo "==> planner bench (writes BENCH_planner.json)"
 # Keep the committed baseline aside so the fresh run can be gated
 # against it.
@@ -67,14 +73,23 @@ bench_baseline=$(mktemp)
 cp BENCH_planner.json "$bench_baseline"
 cargo bench -p basecache-bench --bench planner
 
-# The suite must cover the cluster-round scaling series and the
-# adaptive solve path — the regression gate can only guard entries that
-# exist in the fresh run.
+# The suite must cover the cluster-round scaling series, the adaptive
+# solve path and the massive round-engine series — the regression gate
+# can only guard entries that exist in the fresh run.
 for entry in 'cluster_round/sequential/1' 'cluster_round/sequential/16' \
              'cluster_round/parallel/16' \
-             'planner/round/adaptive' 'planner/scale/adaptive/2000'; do
+             'planner/round/adaptive' 'planner/scale/adaptive/2000' \
+             'planner/massive/build_full_rebuild/100000' \
+             'planner/massive/build_incremental/100000' \
+             'planner/massive/round_incremental/100000'; do
     grep -q "\"$entry\"" BENCH_planner.json \
         || { echo "error: BENCH_planner.json missing $entry" >&2; exit 1; }
+done
+# ... and the massive-scale headline keys.
+for key in 'requests_per_second' 'incremental_build_speedup' \
+           'cluster_parallel_path'; do
+    grep -q "\"$key\"" BENCH_planner.json \
+        || { echo "error: BENCH_planner.json missing $key" >&2; exit 1; }
 done
 
 echo "==> bench regression gate (fresh run vs committed baseline)"
