@@ -24,7 +24,9 @@ use basecache_core::profit::build_instance;
 use basecache_core::recency::ScoringFunction;
 use basecache_core::request::RequestBatch;
 use basecache_core::scratch::PlannerScratch;
+use basecache_experiments::ext_flash_crowd;
 use basecache_knapsack::DpByCapacity;
+use basecache_net::InFlightConfig;
 use basecache_obs::{Recorder, Snapshot, StatsRecorder};
 
 use crate::harness::{bench, bench_n, Measurement};
@@ -251,11 +253,58 @@ fn bench_lowest_recency_first(results: &mut Vec<Measurement>) {
     }));
 }
 
+/// The in-flight ledger on the hot path: the Table-1-scale round with
+/// multi-round transfers under both ledger modes (pump, partition,
+/// commitment-aware solve, launch, join), and the quick flash-crowd
+/// scenario end to end. Returns the coalesced-fetch ratio of the
+/// flash-crowd run at its top spike intensity — the headline share of
+/// fetch demand absorbed by joining transfers already on the wire.
+fn bench_inflight(results: &mut Vec<Measurement>) -> f64 {
+    for (name, coalesce) in [("coalesce", true), ("naive", false)] {
+        let (generated, catalog, _) = planning_requests(OBJECTS, REQUESTS, 82);
+        let planner = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let config = if coalesce {
+            InFlightConfig::coalescing(BUDGET / 2)
+        } else {
+            InFlightConfig::naive(BUDGET / 2)
+        };
+        let mut station = basecache_core::StationBuilder::new(catalog)
+            .on_demand(planner, BUDGET)
+            .in_flight(config)
+            .build()
+            .expect("valid configuration");
+        // Warm to steady state: buffers, ledger ring and waiter pool at
+        // their peak for the wave-every-other-round cadence.
+        for w in 0..8u64 {
+            if w.is_multiple_of(2) {
+                station.apply_update_wave();
+            }
+            station.step(&generated);
+        }
+        let mut round = 0u64;
+        results.push(bench(&format!("planner/inflight/{name}"), || {
+            round += 1;
+            if round.is_multiple_of(2) {
+                station.apply_update_wave();
+            }
+            black_box(station.step(&generated).served)
+        }));
+    }
+    let params = ext_flash_crowd::Params::quick();
+    let spike = *params.spike_rates.last().expect("non-empty sweep");
+    let coalescing = InFlightConfig::coalescing(params.bandwidth);
+    results.push(bench_n("planner/inflight/flash_crowd", 5, || {
+        black_box(ext_flash_crowd::run_point(&params, spike, coalescing).score)
+    }));
+    ext_flash_crowd::run_point(&params, spike, coalescing).coalesced_fetch_ratio
+}
+
 /// The suite's headline figures, one per top-level JSON key.
 struct Headlines<'a> {
     vs_seed: f64,
     vs_batch: f64,
     observed_overhead: f64,
+    coalesced_fetch_ratio: f64,
     cluster_speedup: f64,
     cluster_parallel_path: &'a str,
     massive: crate::massive_suite::MassiveReport,
@@ -266,6 +315,7 @@ fn write_json(results: &[Measurement], headlines: &Headlines, stages: &Snapshot)
         vs_seed,
         vs_batch,
         observed_overhead,
+        coalesced_fetch_ratio,
         cluster_speedup,
         cluster_parallel_path,
         ref massive,
@@ -285,6 +335,11 @@ fn write_json(results: &[Measurement], headlines: &Headlines, stages: &Snapshot)
     ));
     out.push_str(&format!(
         "  \"stats_recorder_overhead\": {observed_overhead:.3},\n"
+    ));
+    // Share of flash-crowd fetch demand served by joining a transfer
+    // already on the wire (quick preset, top spike intensity).
+    out.push_str(&format!(
+        "  \"coalesced_fetch_ratio\": {coalesced_fetch_ratio:.3},\n"
     ));
     out.push_str(&format!(
         "  \"cluster_parallel_speedup_at_16_cells\": {cluster_speedup:.2},\n"
@@ -356,6 +411,8 @@ pub fn run() {
     bench_profit_mapping(&mut results);
     bench_budget_bound_selection(&mut results);
     bench_lowest_recency_first(&mut results);
+    let coalesced_fetch_ratio = bench_inflight(&mut results);
+    println!("flash-crowd coalesced fetch ratio at top spike: {coalesced_fetch_ratio:.3}\n");
     let (cluster_speedup, cluster_parallel_path) =
         crate::cluster_suite::bench_cluster_rounds(&mut results);
     println!(
@@ -374,6 +431,7 @@ pub fn run() {
             vs_seed,
             vs_batch,
             observed_overhead,
+            coalesced_fetch_ratio,
             cluster_speedup,
             cluster_parallel_path,
             massive,

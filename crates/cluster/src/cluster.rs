@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use basecache_core::{BaseStationSim, StepOutcome};
+use basecache_core::{BaseStationSim, RoundOutcome};
 use basecache_net::{BackhaulArbiter, CellId};
 use basecache_obs::{Attr, Event, NullRecorder, Recorder, Sample, Snapshot};
 use basecache_sim::WorkerPool;
@@ -52,7 +52,7 @@ impl Cell {
         demand
     }
 
-    fn step(&mut self) -> StepOutcome {
+    fn step(&mut self) -> RoundOutcome {
         // Swap the batch out so the station can borrow it while the
         // cell stays mutably owned.
         let batch = std::mem::take(&mut self.batch);
@@ -142,7 +142,7 @@ pub struct ClusterSim {
     tick: u64,
     demands: Vec<u64>,
     budgets: Vec<u64>,
-    last_outcomes: Vec<StepOutcome>,
+    last_outcomes: Vec<RoundOutcome>,
 }
 
 impl ClusterSim {
@@ -225,7 +225,7 @@ impl ClusterSim {
     }
 
     /// Per-cell outcomes of the most recent round, in cell order.
-    pub fn last_outcomes(&self) -> &[StepOutcome] {
+    pub fn last_outcomes(&self) -> &[RoundOutcome] {
         &self.last_outcomes
     }
 

@@ -184,7 +184,7 @@ fn single_cell_cluster_with_full_budget_matches_bare_station() {
         bare_workload.advance();
         let bare_outcome = bare.step(bare_workload.batch(CellId(0)));
         let aggregate = cluster.step();
-        // The cell's StepOutcome is the same physical struct the bare
+        // The cell's RoundOutcome is the same physical struct the bare
         // station returned: bit-identical, scores included.
         assert_eq!(bare_outcome, cluster.last_outcomes()[0], "tick {tick}");
         assert_eq!(aggregate.served, bare_outcome.served);

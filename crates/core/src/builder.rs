@@ -20,11 +20,12 @@
 //! assert_eq!(station.tick(), 0);
 //! ```
 
-use basecache_net::Catalog;
+use basecache_net::{Catalog, Downlink, InFlightConfig, SharedLink};
 use basecache_obs::{NullRecorder, Recorder};
 
 use crate::error::{ConfigError, Error};
 use crate::estimator::RecencyEstimator;
+use crate::pipeline::LatencyAwareSim;
 use crate::planner::OnDemandPlanner;
 use crate::recency::{DecayModel, ScoringFunction};
 use crate::station::{BaseStationSim, Estimation, Policy};
@@ -44,6 +45,7 @@ pub struct StationBuilder {
     decay: DecayModel,
     scoring: ScoringFunction,
     recorder: Box<dyn Recorder>,
+    flight: Option<InFlightConfig>,
 }
 
 impl StationBuilder {
@@ -56,6 +58,7 @@ impl StationBuilder {
             decay: DecayModel::default(),
             scoring: ScoringFunction::InverseRatio,
             recorder: Box::new(NullRecorder),
+            flight: None,
         }
     }
 
@@ -155,6 +158,18 @@ impl StationBuilder {
         self
     }
 
+    /// Model fixed-network transfer time: downloads occupy the link for
+    /// `size / bandwidth` rounds before landing, requests for an object
+    /// already on the wire join the in-flight fetch (single-flight,
+    /// unless [`InFlightConfig::naive`]), and the planner subtracts
+    /// committed bandwidth from each round's budget. Requires the
+    /// on-demand policy; `bandwidth_per_round == 0` means instantaneous
+    /// transfers, bit-identical to a station built without this call.
+    pub fn in_flight(mut self, config: InFlightConfig) -> Self {
+        self.flight = Some(config);
+        self
+    }
+
     /// Validate the configuration and construct the station. The cache
     /// starts empty and the server with every object at version 0.
     pub fn build(self) -> Result<BaseStationSim, Error> {
@@ -170,10 +185,56 @@ impl StationBuilder {
                 return Err(ConfigError::InvalidAdaptiveThreshold { threshold }.into());
             }
         }
-        Ok(BaseStationSim::assemble(
+        if self.flight.is_some() && !matches!(policy, Policy::OnDemand { .. }) {
+            return Err(ConfigError::InFlightRequiresOnDemand.into());
+        }
+        let mut station = BaseStationSim::assemble(
             self.catalog,
             policy,
             self.estimation,
+            self.decay,
+            self.scoring,
+            self.recorder,
+        );
+        if let Some(config) = self.flight {
+            station.install_flight(config);
+        }
+        Ok(station)
+    }
+
+    /// Validate the configuration and construct a [`LatencyAwareSim`]
+    /// instead of a [`BaseStationSim`]: the same catalog, planner, decay,
+    /// scoring and recorder, but downloads travel a latency/bandwidth
+    /// [`basecache_net::Link`] and clients wait for uncached objects.
+    ///
+    /// `fixed_net` carries downloads (share it across stations for the
+    /// multi-cell backbone); `downlink` carries deliveries to clients.
+    /// Requires the on-demand policy (its `budget_units` becomes the
+    /// refresh budget), oracle estimation, and no
+    /// [`StationBuilder::in_flight`] config — the pipeline models
+    /// transfer time itself.
+    pub fn build_latency_aware(
+        self,
+        fixed_net: SharedLink,
+        downlink: Downlink,
+    ) -> Result<LatencyAwareSim, Error> {
+        let policy = self.policy.ok_or(ConfigError::MissingPolicy)?;
+        let Policy::OnDemand {
+            planner,
+            budget_units,
+        } = policy
+        else {
+            return Err(ConfigError::LatencyRequiresOnDemand.into());
+        };
+        if !matches!(self.estimation, Estimation::Oracle) || self.flight.is_some() {
+            return Err(ConfigError::LatencyRequiresOnDemand.into());
+        }
+        Ok(LatencyAwareSim::assemble(
+            self.catalog,
+            planner,
+            budget_units,
+            fixed_net,
+            downlink,
             self.decay,
             self.scoring,
             self.recorder,

@@ -27,6 +27,16 @@ pub enum ConfigError {
         /// The rejected threshold.
         threshold: f64,
     },
+    /// In-flight transfer modelling
+    /// ([`crate::builder::StationBuilder::in_flight`]) under a policy
+    /// other than [`crate::station::Policy::OnDemand`] — commitment-aware
+    /// planning is defined for the knapsack planner only.
+    InFlightRequiresOnDemand,
+    /// [`crate::builder::StationBuilder::build_latency_aware`] under a
+    /// policy other than plain [`crate::station::Policy::OnDemand`] with
+    /// oracle recency estimation and no in-flight config (the latency
+    /// pipeline models transfers itself).
+    LatencyRequiresOnDemand,
 }
 
 impl fmt::Display for ConfigError {
@@ -42,6 +52,16 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "adaptive threshold must be finite and non-negative, got {threshold}"
+                )
+            }
+            Self::InFlightRequiresOnDemand => {
+                write!(f, "in-flight transfers require the on-demand policy")
+            }
+            Self::LatencyRequiresOnDemand => {
+                write!(
+                    f,
+                    "the latency-aware pipeline requires the plain on-demand \
+                     policy with oracle estimation and no in-flight config"
                 )
             }
         }

@@ -27,6 +27,8 @@
 //!   trace (the paper's Section 6 future work).
 //! * [`station`] — [`BaseStationSim`]: the time-stepped base-station
 //!   simulation gluing cache, server, policy and downlink together.
+//! * [`outcome`] — [`RoundOutcome`]: the unified per-round outcome shared
+//!   by every round-step surface (station, engine, latency pipeline).
 //! * [`builder`] — [`StationBuilder`]: typed, validating construction of
 //!   a station, including its observability [`basecache_obs::Recorder`].
 //! * [`error`] — [`Error`]: the unified error umbrella over the knapsack,
@@ -67,6 +69,7 @@ pub mod builder;
 pub mod engine;
 pub mod error;
 pub mod estimator;
+pub mod outcome;
 pub mod pipeline;
 pub mod planner;
 pub mod profit;
@@ -80,9 +83,12 @@ pub use builder::StationBuilder;
 pub use engine::{ActiveObject, RoundEngine};
 pub use error::{ConfigError, Error};
 pub use estimator::{RateEstimator, RecencyEstimator, ReportEstimator, TtlEstimator};
-pub use pipeline::{LatencyAwareSim, LatencyStats, LatencyStepOutcome};
+pub use outcome::RoundOutcome;
+#[allow(deprecated)]
+pub use outcome::{LatencyStepOutcome, StepOutcome};
+pub use pipeline::{LatencyAwareSim, LatencyStats};
 pub use planner::{DownloadPlan, LowestRecencyFirst, OnDemandPlanner, SolverChoice};
 pub use recency::{DecayModel, ScoringFunction};
 pub use request::RequestBatch;
 pub use scratch::PlannerScratch;
-pub use station::{BaseStationSim, Estimation, Policy, StationStats, StepOutcome};
+pub use station::{BaseStationSim, Estimation, Policy, StationStats};

@@ -31,6 +31,7 @@ use basecache_sim::metrics::Welford;
 use basecache_sim::{P2Quantile, Scheduler, SimTime};
 use basecache_workload::GeneratedRequest;
 
+use crate::outcome::RoundOutcome;
 use crate::planner::OnDemandPlanner;
 use crate::recency::{DecayModel, ScoringFunction};
 use crate::request::RequestBatch;
@@ -49,23 +50,6 @@ struct Waiting {
     object: ObjectId,
     target_recency: f64,
     issued_at: SimTime,
-}
-
-/// What one latency-aware time unit produced.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LatencyStepOutcome {
-    /// The time unit simulated.
-    pub tick: u64,
-    /// Downloads that completed and refreshed the cache this tick.
-    pub arrived: usize,
-    /// Downloads launched onto the fixed network this tick.
-    pub launched: usize,
-    /// Requests answered immediately from the cache.
-    pub served_immediately: usize,
-    /// Requests released from the waiting queue this tick.
-    pub served_after_wait: usize,
-    /// Requests still parked at the end of the tick.
-    pub still_waiting: usize,
 }
 
 /// Aggregate measurements of a [`LatencyAwareSim`] run.
@@ -127,6 +111,10 @@ impl LatencyAwareSim {
     /// uncached requested objects are not charged against it, matching
     /// the paper's "any object that is not in the cache must be
     /// downloaded").
+    #[deprecated(
+        since = "0.7.0",
+        note = "construct via StationBuilder::new(..).on_demand(..).build_latency_aware(..)"
+    )]
     pub fn new(
         catalog: Catalog,
         planner: OnDemandPlanner,
@@ -134,23 +122,57 @@ impl LatencyAwareSim {
         fixed_net: Link,
         downlink: Downlink,
     ) -> Self {
-        Self::with_backbone(
+        Self::assemble(
             catalog,
             planner,
             refresh_budget,
             SharedLink::new(fixed_net),
             downlink,
+            DecayModel::default(),
+            ScoringFunction::InverseRatio,
+            Box::new(NullRecorder),
         )
     }
 
     /// Like [`Self::new`], but downloading over a [`SharedLink`] backbone
     /// that other base stations contend on (the multi-cell extension).
+    #[deprecated(
+        since = "0.7.0",
+        note = "construct via StationBuilder::new(..).on_demand(..).build_latency_aware(..)"
+    )]
     pub fn with_backbone(
         catalog: Catalog,
         planner: OnDemandPlanner,
         refresh_budget: u64,
         fixed_net: SharedLink,
         downlink: Downlink,
+    ) -> Self {
+        Self::assemble(
+            catalog,
+            planner,
+            refresh_budget,
+            fixed_net,
+            downlink,
+            DecayModel::default(),
+            ScoringFunction::InverseRatio,
+            Box::new(NullRecorder),
+        )
+    }
+
+    /// The one true constructor, reached through the validating
+    /// [`crate::builder::StationBuilder::build_latency_aware`] (and, for
+    /// one release, the deprecated [`Self::new`]/[`Self::with_backbone`]
+    /// shims, which pass the historical defaults).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        catalog: Catalog,
+        planner: OnDemandPlanner,
+        refresh_budget: u64,
+        fixed_net: SharedLink,
+        downlink: Downlink,
+        decay: DecayModel,
+        scoring: ScoringFunction,
+        recorder: Box<dyn Recorder>,
     ) -> Self {
         let server = RemoteServer::new(&catalog);
         Self {
@@ -161,14 +183,14 @@ impl LatencyAwareSim {
             refresh_budget,
             fixed_net,
             downlink,
-            decay: DecayModel::default(),
-            scoring: ScoringFunction::InverseRatio,
+            decay,
+            scoring,
             in_flight: Scheduler::new(),
             pending: HashSet::new(),
             waiting: Vec::new(),
             tick: 0,
             stats: LatencyStats::default(),
-            recorder: Box::new(NullRecorder),
+            recorder,
         }
     }
 
@@ -277,15 +299,19 @@ impl LatencyAwareSim {
         true
     }
 
-    /// Simulate one time unit.
-    pub fn step(&mut self, requests: &[GeneratedRequest]) -> LatencyStepOutcome {
+    /// Simulate one time unit. Same contract as
+    /// [`crate::BaseStationSim::step`]: one unified [`RoundOutcome`].
+    pub fn step(&mut self, requests: &[GeneratedRequest]) -> RoundOutcome {
         let now = SimTime::from_ticks(self.tick);
         self.recorder.begin_round(self.tick);
         self.recorder.incr(Event::Rounds);
+        let mut recency_acc = Welford::new();
+        let mut score_acc = Welford::new();
 
         // 1. Ingest completed downloads and release waiting clients.
         let fetch_span = Span::enter(&*self.recorder, Stage::Fetch);
         let mut arrived = 0usize;
+        let mut units = 0u64;
         let mut served_after_wait = 0usize;
         while let Some((_, arrival)) = self.in_flight.pop_until(now) {
             let size = self.catalog.size_of(arrival.object);
@@ -294,6 +320,7 @@ impl LatencyAwareSim {
                 .expect("unbounded cache never refuses");
             self.pending.remove(&arrival.object);
             arrived += 1;
+            units += size;
 
             let parked = std::mem::take(&mut self.waiting);
             let mut still_parked = Vec::with_capacity(parked.len());
@@ -303,9 +330,10 @@ impl LatencyAwareSim {
                     // server was when the transfer started (updates may
                     // have landed while it was on the wire).
                     let x = self.true_recency(w.object);
-                    self.stats
-                        .score
-                        .push(self.scoring.score(x, w.target_recency));
+                    let score = self.scoring.score(x, w.target_recency);
+                    self.stats.score.push(score);
+                    recency_acc.push(x);
+                    score_acc.push(score);
                     let wait = now.since(w.issued_at).ticks() as f64;
                     self.stats.wait_ticks.push(wait);
                     self.stats.wait_p95.push(wait);
@@ -330,10 +358,12 @@ impl LatencyAwareSim {
         // 2. Plan this tick's downloads.
         let batch = RequestBatch::from_generated(requests);
         let mut launched = 0usize;
+        let mut launched_now: Vec<ObjectId> = Vec::new();
         // Mandatory fetches: requested objects with no cached copy.
         for object in batch.objects() {
             if !self.cache.contains(object) && self.launch(object, now) {
                 launched += 1;
+                launched_now.push(object);
             }
         }
         // Budgeted refreshes of stale cached copies.
@@ -347,14 +377,19 @@ impl LatencyAwareSim {
             }
         }
 
-        // 3. Serve what can be served now.
+        // 3. Serve what can be served now; requests for uncached objects
+        // park on the object's in-flight transfer — single-flight: joins
+        // of transfers launched in *earlier* ticks are coalesced fetches
+        // this pipeline always avoided re-launching.
         let mut served_immediately = 0usize;
+        let mut joined = 0usize;
         for r in requests {
             if self.cache.contains(r.object) {
                 let x = self.true_recency(r.object);
-                self.stats
-                    .score
-                    .push(self.scoring.score(x, r.target_recency));
+                let score = self.scoring.score(x, r.target_recency);
+                self.stats.score.push(score);
+                recency_acc.push(x);
+                score_acc.push(score);
                 self.stats.immediate += 1;
                 self.downlink.deliver_recorded(
                     now,
@@ -365,6 +400,10 @@ impl LatencyAwareSim {
                 );
                 served_immediately += 1;
             } else {
+                if !launched_now.contains(&r.object) {
+                    joined += 1;
+                    self.recorder.incr(Event::FetchesCoalesced);
+                }
                 self.waiting.push(Waiting {
                     object: r.object,
                     target_recency: r.target_recency,
@@ -373,10 +412,18 @@ impl LatencyAwareSim {
             }
         }
 
-        let outcome = LatencyStepOutcome {
+        let served = served_immediately + served_after_wait;
+        let outcome = RoundOutcome {
             tick: self.tick,
+            objects_downloaded: arrived,
+            units_downloaded: units,
+            average_recency: recency_acc.mean().unwrap_or(1.0),
+            average_score: score_acc.mean().unwrap_or(1.0),
+            served,
+            cache_hits: served_immediately,
             arrived,
             launched,
+            joined,
             served_immediately,
             served_after_wait,
             still_waiting: self.waiting.len(),
@@ -401,13 +448,39 @@ mod tests {
     }
 
     fn sim(latency: u64, bandwidth: u64) -> LatencyAwareSim {
-        LatencyAwareSim::new(
+        crate::builder::StationBuilder::new(Catalog::uniform_unit(10))
+            .on_demand(
+                OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp),
+                100,
+            )
+            .build_latency_aware(
+                SharedLink::new(Link::new(bandwidth, SimDuration::from_ticks(latency))),
+                Downlink::new(100, SimDuration::ZERO),
+            )
+            .expect("valid latency configuration")
+    }
+
+    /// Pins the one-release deprecated constructor shims to the builder
+    /// path, step for step (the PR 2 `builder_shim` precedent).
+    #[test]
+    #[allow(deprecated)]
+    fn constructor_shims_match_the_builder() {
+        let mut built = sim(2, 3);
+        let mut legacy = LatencyAwareSim::new(
             Catalog::uniform_unit(10),
             OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp),
             100,
-            Link::new(bandwidth, SimDuration::from_ticks(latency)),
+            Link::new(3, SimDuration::from_ticks(2)),
             Downlink::new(100, SimDuration::ZERO),
-        )
+        );
+        for t in 0..8u32 {
+            let reqs = [req(t % 5), req((t + 1) % 5)];
+            assert_eq!(built.step(&reqs), legacy.step(&reqs));
+            if t == 3 {
+                built.apply_update_wave();
+                legacy.apply_update_wave();
+            }
+        }
     }
 
     #[test]

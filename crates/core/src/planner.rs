@@ -165,6 +165,27 @@ impl OnDemandPlanner {
         scratch: &mut PlannerScratch,
         recorder: &R,
     ) {
+        self.assemble_requests_into(requests, catalog, recency, scratch);
+        self.solve_assembled(budget, scratch, recorder);
+    }
+
+    /// The aggregation half of [`Self::plan_requests_recorded`]: build
+    /// the knapsack instance into `scratch.items`/`scratch.objects`
+    /// without solving it. The in-flight station step uses this seam to
+    /// adjust the assembled instance (subtract committed bandwidth from
+    /// the budget, amortize profits over arrival rounds) before handing
+    /// it to [`Self::solve_assembled`]. `assemble` followed immediately
+    /// by `solve` is exactly `plan_requests_recorded` — both halves stay
+    /// `#[inline]` so the fused instantaneous round optimizes as one
+    /// unit (the `planner/round/*` benches gate it).
+    #[inline]
+    pub(crate) fn assemble_requests_into(
+        &self,
+        requests: &[GeneratedRequest],
+        catalog: &Catalog,
+        recency: &[f64],
+        scratch: &mut PlannerScratch,
+    ) {
         assert!(
             recency.len() >= catalog.len(),
             "need a recency for every catalog object ({} < {})",
@@ -234,8 +255,6 @@ impl OnDemandPlanner {
         }
         scratch.base_score_sum = base;
         scratch.total_clients = requests.len() as u64;
-
-        self.solve_assembled(budget, scratch, recorder);
     }
 
     /// Solve the instance already assembled into `scratch.items` /
@@ -247,7 +266,7 @@ impl OnDemandPlanner {
     /// aggregate-then-solve round exactly as the optimizer saw it before
     /// this was factored out (the `planner/round/*` benches gate it).
     #[inline]
-    fn solve_assembled<R: Recorder + ?Sized>(
+    pub(crate) fn solve_assembled<R: Recorder + ?Sized>(
         &self,
         budget: u64,
         scratch: &mut PlannerScratch,

@@ -14,7 +14,11 @@
 //! unit.
 
 use basecache_cache::CacheStore;
-use basecache_net::{Catalog, InvalidationReport, ObjectId, RemoteServer};
+use basecache_knapsack::Item;
+use basecache_net::{
+    Catalog, InFlightConfig, InFlightLedger, InvalidationReport, ObjectId, ParkedWaiter,
+    RemoteServer,
+};
 use basecache_obs::{Attr, Event, NullRecorder, Recorder, Sample, Snapshot, Span, Stage};
 use basecache_sim::metrics::Welford;
 use basecache_sim::SimTime;
@@ -22,6 +26,7 @@ use basecache_workload::GeneratedRequest;
 
 use crate::asynch::AsyncRefresher;
 use crate::estimator::RecencyEstimator;
+use crate::outcome::RoundOutcome;
 use crate::planner::{LowestRecencyFirst, OnDemandPlanner};
 use crate::recency::{DecayModel, ScoringFunction};
 use crate::request::RequestBatch;
@@ -88,31 +93,6 @@ pub enum Policy {
     },
 }
 
-/// What one simulated time unit produced.
-///
-/// Plain counters only, so producing one allocates nothing; the actual
-/// download list of the last step is available from
-/// [`BaseStationSim::last_downloaded`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct StepOutcome {
-    /// The time unit just simulated (0-based).
-    pub tick: u64,
-    /// Number of objects downloaded/refreshed this tick.
-    pub objects_downloaded: usize,
-    /// Data units downloaded this tick.
-    pub units_downloaded: u64,
-    /// Average recency delivered to this tick's clients (1.0 when the
-    /// batch was empty).
-    pub average_recency: f64,
-    /// Average client score delivered this tick (1.0 when empty).
-    pub average_score: f64,
-    /// Number of client requests served.
-    pub served: usize,
-    /// Requests served without a same-round download of their object
-    /// (the round's cache hits).
-    pub cache_hits: usize,
-}
-
 /// Accumulated measurements since construction or the last
 /// [`BaseStationSim::reset_stats`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -128,6 +108,30 @@ pub struct StationStats {
     pub recency: Welford,
     /// Distribution of per-request delivered score.
     pub score: Welford,
+    /// Distribution of waiting times (in rounds) of requests answered on
+    /// arrival of the transfer they rode (in-flight mode only; empty on
+    /// the instantaneous path).
+    pub wait_ticks: Welford,
+    /// Requests answered after waiting on an in-flight transfer.
+    pub waited: u64,
+    /// Requests that rode a transfer launched in an earlier round
+    /// instead of triggering their own fetch (single-flight coalescing).
+    pub joined: u64,
+}
+
+/// In-flight download state: the ledger plus the reusable buffers the
+/// flight step needs, so steady-state rounds stay off the heap.
+#[derive(Debug)]
+struct FlightState {
+    ledger: InFlightLedger,
+    /// Requests entering the planner instance (single-flight joiners
+    /// excluded), rebuilt each round.
+    active_buf: Vec<GeneratedRequest>,
+    /// Waiters drained from arriving transfers, rebuilt per arrival.
+    waiters: Vec<ParkedWaiter>,
+    /// `(object, launched_at)` of this round's arrivals, sorted by
+    /// object — the engine serve's merge input.
+    arrived: Vec<(ObjectId, u64)>,
 }
 
 /// The base-station simulation.
@@ -149,6 +153,9 @@ pub struct BaseStationSim {
     scratch: PlannerScratch,
     recency_buf: Vec<f64>,
     downloaded: Vec<ObjectId>,
+    /// In-flight download mode (multi-round transfers + single-flight
+    /// coalescing); `None` is the paper's instantaneous model.
+    flight: Option<FlightState>,
 }
 
 impl BaseStationSim {
@@ -214,7 +221,27 @@ impl BaseStationSim {
             scratch,
             recency_buf: Vec::new(),
             downloaded: Vec::new(),
+            flight: None,
         }
+    }
+
+    /// Switch the station into in-flight download mode (called by the
+    /// builder, which validates that the policy is [`Policy::OnDemand`]).
+    pub(crate) fn install_flight(&mut self, config: InFlightConfig) {
+        let mut ledger = InFlightLedger::new(config, self.catalog.len());
+        ledger.reserve(self.catalog.len(), 0);
+        self.flight = Some(FlightState {
+            ledger,
+            active_buf: Vec::new(),
+            waiters: Vec::new(),
+            arrived: Vec::new(),
+        });
+    }
+
+    /// The in-flight ledger, when the station runs in in-flight mode
+    /// (see [`crate::builder::StationBuilder::in_flight`]).
+    pub fn flight_ledger(&self) -> Option<&InFlightLedger> {
+        self.flight.as_ref().map(|f| &f.ledger)
     }
 
     /// Replace the recency estimation used for *planning* (default:
@@ -391,7 +418,16 @@ impl BaseStationSim {
     /// state: the recency vector, the aggregated request instance, the
     /// DP tables, and the download list all live in buffers reused
     /// across ticks.
-    pub fn step(&mut self, requests: &[GeneratedRequest]) -> StepOutcome {
+    ///
+    /// In in-flight mode ([`crate::builder::StationBuilder::in_flight`])
+    /// the round runs through the in-flight ledger instead of
+    /// refreshing downloads instantly; with `bandwidth_per_round == 0`
+    /// that path degenerates bit-identically to this one (pinned by
+    /// `tests/inflight_invariants.rs`).
+    pub fn step(&mut self, requests: &[GeneratedRequest]) -> RoundOutcome {
+        if self.flight.is_some() {
+            return self.step_flight(requests);
+        }
         let policy = self.policy;
         let recorder: &dyn Recorder = &*self.recorder;
         let observing = recorder.enabled();
@@ -565,7 +601,7 @@ impl BaseStationSim {
         self.stats.objects_downloaded += downloaded.len() as u64;
         self.stats.requests_served += requests.len() as u64;
 
-        let outcome = StepOutcome {
+        let outcome = RoundOutcome {
             tick: self.tick,
             objects_downloaded: downloaded.len(),
             units_downloaded: units,
@@ -573,6 +609,12 @@ impl BaseStationSim {
             average_score: score_acc.mean().unwrap_or(1.0),
             served: requests.len(),
             cache_hits: hits,
+            arrived: downloaded.len(),
+            launched: downloaded.len(),
+            joined: 0,
+            served_immediately: requests.len(),
+            served_after_wait: 0,
+            still_waiting: 0,
         };
         recorder.sample(Sample::AverageRecency, outcome.average_recency);
         recorder.sample(Sample::AverageScore, outcome.average_score);
@@ -603,7 +645,7 @@ impl BaseStationSim {
     /// [`Estimation::Oracle`] — the columnar serve reads the recency
     /// column the planner observed, which must be the truth — and the
     /// engine's table matches the station's catalog.
-    pub fn step_engine(&mut self, engine: &mut crate::engine::RoundEngine) -> StepOutcome {
+    pub fn step_engine(&mut self, engine: &mut crate::engine::RoundEngine) -> RoundOutcome {
         let (planner, budget_units) = match self.policy {
             Policy::OnDemand {
                 planner,
@@ -621,6 +663,9 @@ impl BaseStationSim {
             self.catalog.len(),
             "engine table must cover the station's catalog"
         );
+        if self.flight.is_some() {
+            return self.step_engine_flight(engine, planner, budget_units);
+        }
         let recorder: &dyn Recorder = &*self.recorder;
         let observing = recorder.enabled();
         let _step_span = Span::enter(recorder, Stage::Step);
@@ -723,7 +768,7 @@ impl BaseStationSim {
         self.stats.objects_downloaded += downloaded.len() as u64;
         self.stats.requests_served += served;
 
-        let outcome = StepOutcome {
+        let outcome = RoundOutcome {
             tick: self.tick,
             objects_downloaded: downloaded.len(),
             units_downloaded: units,
@@ -731,12 +776,583 @@ impl BaseStationSim {
             average_score: score_acc.mean().unwrap_or(1.0),
             served: served as usize,
             cache_hits: hits as usize,
+            arrived: downloaded.len(),
+            launched: downloaded.len(),
+            joined: 0,
+            served_immediately: served as usize,
+            served_after_wait: 0,
+            still_waiting: 0,
         };
         recorder.sample(Sample::AverageRecency, outcome.average_recency);
         recorder.sample(Sample::AverageScore, outcome.average_score);
         recorder.end_round(self.tick);
         self.downloaded = downloaded;
         self.recency_buf = recency;
+        self.tick += 1;
+        outcome
+    }
+
+    /// The in-flight round: land earlier rounds' transfers, plan around
+    /// committed bandwidth, launch this round's transfers, park
+    /// single-flight joiners, serve the rest from the cache.
+    ///
+    /// With `bandwidth_per_round == 0` (instant) every stage degenerates
+    /// to the instantaneous [`Self::step`]: no arrivals are pending at
+    /// round start, no request is joinable, the budget loses nothing and
+    /// no profit is amortized, and launches land inside the refresh
+    /// stage in ascending object order — the same float operations in
+    /// the same order, bit for bit (`tests/inflight_invariants.rs`).
+    fn step_flight(&mut self, requests: &[GeneratedRequest]) -> RoundOutcome {
+        let (planner, budget_units) = match self.policy {
+            Policy::OnDemand {
+                planner,
+                budget_units,
+            } => (planner, budget_units),
+            _ => unreachable!("the builder gates in-flight mode to Policy::OnDemand"),
+        };
+        let mut flight = self
+            .flight
+            .take()
+            .expect("step_flight requires flight state");
+        let recorder: &dyn Recorder = &*self.recorder;
+        let observing = recorder.enabled();
+        let _step_span = Span::enter(recorder, Stage::Step);
+        recorder.begin_round(self.tick);
+        recorder.incr(Event::Rounds);
+        recorder.sample(Sample::BatchSize, requests.len() as f64);
+
+        let now_tick = self.tick;
+        let now = SimTime::from_ticks(now_tick);
+        let instant = flight.ledger.is_instant();
+        let coalesce = flight.ledger.coalesce();
+
+        let mut recency_acc = Welford::new();
+        let mut score_acc = Welford::new();
+        let mut units = 0u64;
+        let mut arrived_count = 0usize;
+        let mut served_after_wait = 0usize;
+
+        // (1) Land transfers launched in earlier rounds: refresh the
+        // cache with what arrived and answer the waiters parked on each
+        // transfer. Instant mode never has pending arrivals here —
+        // everything lands inside its own launch round below.
+        if !instant {
+            let fetch_span = Span::enter(recorder, Stage::Fetch);
+            loop {
+                flight.waiters.clear();
+                let Some(a) = flight.ledger.pop_arrival(now_tick, &mut flight.waiters) else {
+                    break;
+                };
+                self.cache
+                    .insert(a.object, a.size, a.version, now)
+                    .expect("unbounded cache never refuses");
+                if let Estimation::Estimator(est) = &mut self.estimation {
+                    est.on_refresh(a.object, now);
+                }
+                units += a.size;
+                arrived_count += 1;
+                if observing {
+                    recorder.attribute(Attr::DownlinkUnitsByObject, a.object.0, a.size);
+                }
+                // Waiters are served at the landed copy's *true* recency:
+                // if the version was invalidated while on the wire, they
+                // get (and are scored on) what actually arrived.
+                let x = match self.cache.peek(a.object) {
+                    Some(entry) => self
+                        .decay
+                        .recency_for_lag(entry.lag(self.server.version_of(a.object))),
+                    None => 0.0,
+                };
+                for w in &flight.waiters {
+                    let score = self.scoring.score(x, w.target_recency);
+                    recency_acc.push(x);
+                    score_acc.push(score);
+                    self.stats.recency.push(x);
+                    self.stats.score.push(score);
+                    let wait = (now_tick - w.issued_at) as f64;
+                    self.stats.wait_ticks.push(wait);
+                    self.stats.waited += 1;
+                    served_after_wait += 1;
+                    recorder.sample(Sample::FetchLatencyTicks, wait);
+                    if observing {
+                        let staleness = ((1.0 - x) * 1_000.0).round() as u64;
+                        if staleness > 0 {
+                            recorder.attribute(Attr::ServeStalenessByObject, a.object.0, staleness);
+                        }
+                    }
+                }
+            }
+            drop(fetch_span);
+        }
+
+        // (2) The recency the planner sees (post-arrival cache state).
+        let mut recency = std::mem::take(&mut self.recency_buf);
+        {
+            let _recency_span = Span::enter(recorder, Stage::Recency);
+            self.fill_estimated_recency(&mut recency);
+        }
+        let mut downloaded = std::mem::take(&mut self.downloaded);
+        downloaded.clear();
+
+        // (3) Plan. Single-flight keeps requests that can ride an
+        // in-flight transfer out of the instance; the budget loses what
+        // the link already committed; candidates landing rounds away
+        // have their profit amortized over the arrival delay.
+        let plan_span = Span::enter(recorder, Stage::Plan);
+        let planner_input: &[GeneratedRequest] = if coalesce && !instant {
+            flight.active_buf.clear();
+            for r in requests {
+                let rides = flight
+                    .ledger
+                    .joinable(r.object, self.server.version_of(r.object))
+                    && recency[r.object.index()] < 1.0;
+                if !rides {
+                    flight.active_buf.push(*r);
+                }
+            }
+            &flight.active_buf
+        } else {
+            requests
+        };
+        planner.assemble_requests_into(planner_input, &self.catalog, &recency, &mut self.scratch);
+        if coalesce && !instant {
+            // A joinable object can still reach the instance as a
+            // zero-profit item (fresh cache, redundant transfer active);
+            // drop such items so the single-flight contract holds no
+            // matter how the solver tie-breaks zero profit.
+            let mut keep = 0usize;
+            for i in 0..self.scratch.items.len() {
+                let o = self.scratch.objects[i];
+                if !flight.ledger.joinable(o, self.server.version_of(o)) {
+                    self.scratch.items[keep] = self.scratch.items[i];
+                    self.scratch.objects[keep] = self.scratch.objects[i];
+                    keep += 1;
+                }
+            }
+            self.scratch.items.truncate(keep);
+            self.scratch.objects.truncate(keep);
+        }
+        let effective_budget = if instant {
+            budget_units
+        } else {
+            let committed = flight.ledger.committed_at(now_tick);
+            if observing {
+                recorder.sample(Sample::CommittedUnits, committed as f64);
+            }
+            for i in 0..self.scratch.items.len() {
+                let item = self.scratch.items[i];
+                let delay = flight.ledger.arrival_delay(item.size(), now_tick);
+                if delay > 1 {
+                    self.scratch.items[i] = Item::new(item.size(), item.profit() / delay as f64);
+                }
+            }
+            budget_units.saturating_sub(committed)
+        };
+        planner.solve_assembled(effective_budget, &mut self.scratch, recorder);
+        downloaded.extend_from_slice(self.scratch.downloads());
+        drop(plan_span);
+
+        // (4) Launch the chosen transfers. Instant ones land right away,
+        // popping back in launch (= ascending object) order, so the
+        // refresh below replays the instantaneous path's loop exactly.
+        let refresh_span = Span::enter(recorder, Stage::Refresh);
+        let launched_count = downloaded.len();
+        for &id in &downloaded {
+            if flight.ledger.is_object_active(id) {
+                recorder.incr(Event::DuplicateFetches);
+            }
+            flight.ledger.launch(
+                id,
+                self.server.version_of(id),
+                self.catalog.size_of(id),
+                now_tick,
+            );
+        }
+        recorder.add(Event::FetchesIssued, launched_count as u64);
+        if instant {
+            flight.waiters.clear();
+            while let Some(a) = flight.ledger.pop_arrival(now_tick, &mut flight.waiters) {
+                self.cache
+                    .insert(a.object, a.size, a.version, now)
+                    .expect("unbounded cache never refuses");
+                if let Estimation::Estimator(est) = &mut self.estimation {
+                    est.on_refresh(a.object, now);
+                }
+                units += a.size;
+                arrived_count += 1;
+                if observing {
+                    recorder.attribute(Attr::DownlinkUnitsByObject, a.object.0, a.size);
+                }
+            }
+            debug_assert!(
+                flight.waiters.is_empty(),
+                "instant transfers never park waiters"
+            );
+        }
+        drop(refresh_span);
+        recorder.add(Event::ObjectsDownloaded, arrived_count as u64);
+        recorder.add(Event::UnitsDownloaded, units);
+        if observing && budget_units > 0 {
+            recorder.sample(
+                Sample::DownlinkUtilization,
+                units as f64 / budget_units as f64,
+            );
+        }
+
+        // (5) Serve: a request whose object is on the wire at the
+        // current version parks on that transfer (the naive mode parks
+        // too — the comparison is about duplicate launches, not serving
+        // rules); everything else is answered from the cache exactly as
+        // in the instantaneous step.
+        let serve_span = Span::enter(recorder, Stage::Serve);
+        let downloads_sorted = downloaded.windows(2).all(|w| w[0] <= w[1]);
+        let mut hits = 0usize;
+        let mut served_immediately = 0usize;
+        let mut joined = 0usize;
+        for r in requests {
+            let x = match self.cache.peek(r.object) {
+                Some(entry) => self
+                    .decay
+                    .recency_for_lag(entry.lag(self.server.version_of(r.object))),
+                None => 0.0,
+            };
+            if !instant
+                && x < 1.0
+                && flight
+                    .ledger
+                    .joinable(r.object, self.server.version_of(r.object))
+            {
+                let launched_at = flight.ledger.join(r.object, r.target_recency, now_tick);
+                if launched_at < now_tick {
+                    joined += 1;
+                    recorder.incr(Event::FetchesCoalesced);
+                }
+                continue;
+            }
+            let score = self.scoring.score(x, r.target_recency);
+            recency_acc.push(x);
+            score_acc.push(score);
+            self.stats.recency.push(x);
+            self.stats.score.push(score);
+            let downloaded_now = if downloads_sorted {
+                downloaded.binary_search(&r.object).is_ok()
+            } else {
+                downloaded.contains(&r.object)
+            };
+            if !downloaded_now {
+                hits += 1;
+            }
+            served_immediately += 1;
+            if observing {
+                let staleness = ((1.0 - x) * 1_000.0).round() as u64;
+                if staleness > 0 {
+                    recorder.attribute(Attr::ServeStalenessByObject, r.object.0, staleness);
+                }
+            }
+        }
+        drop(serve_span);
+        let served = served_immediately + served_after_wait;
+        recorder.add(Event::RequestsServed, served as u64);
+        if observing && served > 0 {
+            recorder.sample(Sample::CacheHitRatio, hits as f64 / served as f64);
+        }
+
+        self.stats.units_downloaded += units;
+        self.stats.objects_downloaded += arrived_count as u64;
+        self.stats.requests_served += served as u64;
+        self.stats.joined += joined as u64;
+
+        let outcome = RoundOutcome {
+            tick: self.tick,
+            objects_downloaded: arrived_count,
+            units_downloaded: units,
+            average_recency: recency_acc.mean().unwrap_or(1.0),
+            average_score: score_acc.mean().unwrap_or(1.0),
+            served,
+            cache_hits: hits,
+            arrived: arrived_count,
+            launched: launched_count,
+            joined,
+            served_immediately,
+            served_after_wait,
+            still_waiting: flight.ledger.waiting() as usize,
+        };
+        recorder.sample(Sample::AverageRecency, outcome.average_recency);
+        recorder.sample(Sample::AverageScore, outcome.average_score);
+        recorder.end_round(self.tick);
+        self.downloaded = downloaded;
+        self.recency_buf = recency;
+        self.flight = Some(flight);
+        self.tick += 1;
+        outcome
+    }
+
+    /// The in-flight engine round: the standing-population version of
+    /// [`Self::step_flight`]. Requests of in-flight objects count as
+    /// waiting rather than being parked individually (the population
+    /// persists, so they re-serve columnar in the arrival round), and
+    /// arrivals enter the engine's dirty set through the recency
+    /// observation — the incremental build rescores exactly what landed
+    /// plus whatever the driver touched, so the million-client path gets
+    /// coalescing for free.
+    fn step_engine_flight(
+        &mut self,
+        engine: &mut crate::engine::RoundEngine,
+        planner: OnDemandPlanner,
+        budget_units: u64,
+    ) -> RoundOutcome {
+        assert_eq!(
+            engine.scoring(),
+            planner.scoring(),
+            "engine and planner must agree on the scoring function"
+        );
+        let mut flight = self
+            .flight
+            .take()
+            .expect("step_engine_flight requires flight state");
+        let recorder: &dyn Recorder = &*self.recorder;
+        let observing = recorder.enabled();
+        let _step_span = Span::enter(recorder, Stage::Step);
+        recorder.begin_round(self.tick);
+        recorder.incr(Event::Rounds);
+        recorder.sample(Sample::BatchSize, engine.total_requests() as f64);
+
+        let now_tick = self.tick;
+        let now = SimTime::from_ticks(now_tick);
+        let instant = flight.ledger.is_instant();
+        let coalesce = flight.ledger.coalesce();
+
+        // (1) Land earlier rounds' transfers; the standing requests they
+        // answer serve columnar below, off the freshly rescored columns.
+        let mut units = 0u64;
+        let mut arrived_count = 0usize;
+        flight.arrived.clear();
+        if !instant {
+            let fetch_span = Span::enter(recorder, Stage::Fetch);
+            flight.waiters.clear();
+            while let Some(a) = flight.ledger.pop_arrival(now_tick, &mut flight.waiters) {
+                self.cache
+                    .insert(a.object, a.size, a.version, now)
+                    .expect("unbounded cache never refuses");
+                units += a.size;
+                arrived_count += 1;
+                if observing {
+                    recorder.attribute(Attr::DownlinkUnitsByObject, a.object.0, a.size);
+                }
+                flight.arrived.push((a.object, a.launched_at));
+            }
+            debug_assert!(
+                flight.waiters.is_empty(),
+                "the engine path parks no waiters"
+            );
+            // Pop order is launch order; the serve merge needs object
+            // order.
+            flight.arrived.sort_unstable();
+            drop(fetch_span);
+        }
+
+        let mut recency = std::mem::take(&mut self.recency_buf);
+        {
+            let _recency_span = Span::enter(recorder, Stage::Recency);
+            self.fill_estimated_recency(&mut recency);
+        }
+        let mut downloaded = std::mem::take(&mut self.downloaded);
+        downloaded.clear();
+
+        // (2) Plan: arrivals dirtied themselves through the recency
+        // observation (their bits moved), so the incremental build pays
+        // only for what landed; under single-flight, objects already on
+        // the wire at the current version stay out of the instance.
+        let plan_span = Span::enter(recorder, Stage::Plan);
+        engine.observe_recency(&recency);
+        engine.rescore();
+        recorder.sample(Sample::DirtyObjects, engine.dirty_objects() as f64);
+        recorder.sample(Sample::RescoredRequests, engine.rescored_requests() as f64);
+        engine.assemble_into(&mut self.scratch);
+        if coalesce && !instant {
+            let mut keep = 0usize;
+            for i in 0..self.scratch.items.len() {
+                let o = self.scratch.objects[i];
+                if !flight.ledger.joinable(o, self.server.version_of(o)) {
+                    self.scratch.items[keep] = self.scratch.items[i];
+                    self.scratch.objects[keep] = self.scratch.objects[i];
+                    keep += 1;
+                }
+            }
+            self.scratch.items.truncate(keep);
+            self.scratch.objects.truncate(keep);
+        }
+        let effective_budget = if instant {
+            budget_units
+        } else {
+            let committed = flight.ledger.committed_at(now_tick);
+            if observing {
+                recorder.sample(Sample::CommittedUnits, committed as f64);
+            }
+            for i in 0..self.scratch.items.len() {
+                let item = self.scratch.items[i];
+                let delay = flight.ledger.arrival_delay(item.size(), now_tick);
+                if delay > 1 {
+                    self.scratch.items[i] = Item::new(item.size(), item.profit() / delay as f64);
+                }
+            }
+            budget_units.saturating_sub(committed)
+        };
+        planner.solve_assembled(effective_budget, &mut self.scratch, recorder);
+        downloaded.extend_from_slice(self.scratch.downloads());
+        drop(plan_span);
+
+        // (3) Launch; instant transfers land immediately, replaying the
+        // instantaneous refresh loop.
+        let refresh_span = Span::enter(recorder, Stage::Refresh);
+        let launched_count = downloaded.len();
+        for &id in &downloaded {
+            if flight.ledger.is_object_active(id) {
+                recorder.incr(Event::DuplicateFetches);
+            }
+            flight.ledger.launch(
+                id,
+                self.server.version_of(id),
+                self.catalog.size_of(id),
+                now_tick,
+            );
+        }
+        recorder.add(Event::FetchesIssued, launched_count as u64);
+        if instant {
+            flight.waiters.clear();
+            while let Some(a) = flight.ledger.pop_arrival(now_tick, &mut flight.waiters) {
+                self.cache
+                    .insert(a.object, a.size, a.version, now)
+                    .expect("unbounded cache never refuses");
+                units += a.size;
+                arrived_count += 1;
+                if observing {
+                    recorder.attribute(Attr::DownlinkUnitsByObject, a.object.0, a.size);
+                }
+            }
+        }
+        drop(refresh_span);
+        recorder.add(Event::ObjectsDownloaded, arrived_count as u64);
+        recorder.add(Event::UnitsDownloaded, units);
+        if observing && budget_units > 0 {
+            recorder.sample(
+                Sample::DownlinkUtilization,
+                units as f64 / budget_units as f64,
+            );
+        }
+
+        // (4) Columnar serve with merge cursors over this round's
+        // launches (waiting), this round's arrivals (served after their
+        // wait) and in-flight joins (waiting, coalesced); everything
+        // else serves exactly as in the instantaneous engine round.
+        let serve_span = Span::enter(recorder, Stage::Serve);
+        let mut recency_acc = Welford::new();
+        let mut score_acc = Welford::new();
+        let mut hits = 0u64;
+        let mut served_after_wait = 0u64;
+        let mut joined = 0u64;
+        let mut waiting = 0u64;
+        let total = engine.total_requests();
+        {
+            let stats = &mut self.stats;
+            let server = &self.server;
+            let ledger = &flight.ledger;
+            let arrived = &flight.arrived;
+            let mut dl = 0usize;
+            let mut ar = 0usize;
+            engine.for_each_active(|a| {
+                while dl < downloaded.len() && downloaded[dl] < a.object {
+                    dl += 1;
+                }
+                let downloaded_now = dl < downloaded.len() && downloaded[dl] == a.object;
+                while ar < arrived.len() && arrived[ar].0 < a.object {
+                    ar += 1;
+                }
+                let mut arrived_now = false;
+                let mut launched_at = 0u64;
+                while ar < arrived.len() && arrived[ar].0 == a.object {
+                    arrived_now = true;
+                    launched_at = launched_at.max(arrived[ar].1);
+                    ar += 1;
+                }
+                let n = a.requests;
+                if downloaded_now && instant {
+                    recency_acc.push_n(1.0, n);
+                    score_acc.push_n(1.0, n);
+                    stats.recency.push_n(1.0, n);
+                    stats.score.push_n(1.0, n);
+                } else if downloaded_now {
+                    // Launched this round: the population waits for it.
+                    waiting += n;
+                } else if !instant
+                    && a.recency < 1.0
+                    && ledger.joinable(a.object, server.version_of(a.object))
+                {
+                    // Riding a transfer launched in an earlier round.
+                    recorder.add(Event::FetchesCoalesced, n);
+                    joined += n;
+                    waiting += n;
+                } else {
+                    recency_acc.push_n(a.recency, n);
+                    stats.recency.push_n(a.recency, n);
+                    let scores = Welford::from_sums(n, a.score_sum, a.score_sq);
+                    score_acc.merge(&scores);
+                    stats.score.merge(&scores);
+                    if arrived_now {
+                        let wait = (now_tick - launched_at) as f64;
+                        stats.wait_ticks.push_n(wait, n);
+                        stats.waited += n;
+                        served_after_wait += n;
+                        recorder.sample(Sample::FetchLatencyTicks, wait);
+                    } else {
+                        hits += n;
+                    }
+                    if observing {
+                        let staleness = ((1.0 - a.recency) * 1_000.0).round() as u64;
+                        if staleness > 0 {
+                            recorder.attribute(
+                                Attr::ServeStalenessByObject,
+                                a.object.0,
+                                staleness * n,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        drop(serve_span);
+        let served = total - waiting;
+        recorder.add(Event::RequestsServed, served);
+        if observing && served > 0 {
+            recorder.sample(Sample::CacheHitRatio, hits as f64 / served as f64);
+        }
+
+        self.stats.units_downloaded += units;
+        self.stats.objects_downloaded += arrived_count as u64;
+        self.stats.requests_served += served;
+        self.stats.joined += joined;
+
+        let outcome = RoundOutcome {
+            tick: self.tick,
+            objects_downloaded: arrived_count,
+            units_downloaded: units,
+            average_recency: recency_acc.mean().unwrap_or(1.0),
+            average_score: score_acc.mean().unwrap_or(1.0),
+            served: served as usize,
+            cache_hits: hits as usize,
+            arrived: arrived_count,
+            launched: launched_count,
+            joined: joined as usize,
+            served_immediately: (served - served_after_wait) as usize,
+            served_after_wait: served_after_wait as usize,
+            still_waiting: waiting as usize,
+        };
+        recorder.sample(Sample::AverageRecency, outcome.average_recency);
+        recorder.sample(Sample::AverageScore, outcome.average_score);
+        recorder.end_round(self.tick);
+        self.downloaded = downloaded;
+        self.recency_buf = recency;
+        self.flight = Some(flight);
         self.tick += 1;
         outcome
     }

@@ -219,7 +219,7 @@ fn station_outcomes_match_exact_dp_for_every_planner_policy() {
             wl_ad.advance();
             let out_dp = dp.step(wl_dp.batch(CellId(0)));
             let out_ad = ad.step(wl_ad.batch(CellId(0)));
-            // StepOutcome holds f64 scores; equality here is exact.
+            // RoundOutcome holds f64 scores; equality here is exact.
             assert_eq!(out_dp, out_ad, "{policy}: tick {tick} outcome diverges");
             assert_eq!(
                 dp.last_downloaded(),

@@ -218,6 +218,67 @@ fn on_demand_steady_state_steps_do_not_allocate() {
         }
     }
 
+    // In-flight mode: multi-round transfers, the single-flight ledger
+    // and the waiter pool must also be free once warm. The ledger's
+    // transfer ring and free-listed waiter slots grow only while the
+    // backlog and parked population climb to their (commitment-bounded)
+    // steady state, so a warm-up that replays the measured wave-heavy
+    // pattern covers the peak.
+    let recorders: [(&str, Option<Box<dyn basecache_obs::Recorder>>); 3] = [
+        ("flight/null", None),
+        (
+            "flight/stats",
+            Some(Box::new(basecache_obs::StatsRecorder::new())),
+        ),
+        (
+            "flight/flight",
+            Some(Box::new(basecache_obs::FlightRecorder::new(4096, 64, 8))),
+        ),
+    ];
+    for (label, recorder) in recorders {
+        let builder = StationBuilder::new(Catalog::from_sizes(&sizes))
+            .on_demand(OnDemandPlanner::paper_default(), 5000)
+            .in_flight(basecache_net::InFlightConfig::coalescing(2500));
+        let builder = match recorder {
+            Some(r) => builder.recorder(r),
+            None => builder,
+        };
+        let mut station = builder.build().expect("valid configuration");
+        for _ in 0..3 {
+            station.step(&requests);
+        }
+        // Match the measured cadence (wave every other round, so flights
+        // survive long enough to coalesce) and run it until the ring,
+        // waiter pool and partition buffers reach their peak.
+        for w in 0..16 {
+            if w % 2 == 0 {
+                station.apply_update_wave();
+            }
+            station.step(&requests);
+        }
+        let mut total_joined = 0usize;
+        for round in 0..10 {
+            if round % 2 == 0 {
+                station.apply_update_wave();
+            }
+            let before = allocation_count();
+            let outcome = station.step(&requests);
+            let after = allocation_count();
+            assert_eq!(
+                after - before,
+                0,
+                "{label} round {round}: in-flight step() allocated {} time(s)",
+                after - before
+            );
+            assert!(outcome.served > 0);
+            total_joined += outcome.joined;
+        }
+        assert!(
+            total_joined > 0,
+            "{label}: the measured rounds exercised the join path"
+        );
+    }
+
     // The incremental round engine is held to the same bar on its
     // sequential rescore path: once the SoA tables, dirty set and
     // solver scratch are warm, a full engine round — churn applied via
@@ -225,16 +286,22 @@ fn on_demand_steady_state_steps_do_not_allocate() {
     // rescore, solve, refresh, columnar serve — never touches the heap.
     // (Attaching a worker pool trades this guarantee for fan-out: the
     // parallel dispatch boxes jobs.)
-    for flight in [false, true] {
-        let label = if flight {
-            "engine/flight"
-        } else {
-            "engine/null"
-        };
+    // The in-flight variant runs the same columnar round with the
+    // ledger in the loop (launches, joins, arrivals) — same bar.
+    for (label, with_recorder, inflight) in [
+        ("engine/null", false, false),
+        ("engine/flight", true, false),
+        ("engine/inflight", true, true),
+    ] {
         let builder = StationBuilder::new(Catalog::from_sizes(&sizes))
             .on_demand(OnDemandPlanner::paper_default(), 5000);
-        let builder = if flight {
+        let builder = if with_recorder {
             builder.recorder(Box::new(basecache_obs::FlightRecorder::new(4096, 64, 8)))
+        } else {
+            builder
+        };
+        let builder = if inflight {
+            builder.in_flight(basecache_net::InFlightConfig::coalescing(2500))
         } else {
             builder
         };
@@ -279,7 +346,11 @@ fn on_demand_steady_state_steps_do_not_allocate() {
                 "{label} round {round}: engine step allocated {} time(s)",
                 after - before
             );
-            assert_eq!(outcome.served, 5000);
+            if inflight {
+                assert_eq!(outcome.served + outcome.still_waiting, 5000);
+            } else {
+                assert_eq!(outcome.served, 5000);
+            }
             assert!(
                 engine.rescored_requests() < 5000,
                 "{label} round {round}: steady state must rescore incrementally"

@@ -18,7 +18,8 @@
 use basecache_core::engine::RoundEngine;
 use basecache_core::planner::{OnDemandPlanner, SolverChoice};
 use basecache_core::recency::ScoringFunction;
-use basecache_core::station::{BaseStationSim, StepOutcome};
+use basecache_core::station::BaseStationSim;
+use basecache_core::RoundOutcome;
 use basecache_core::StationBuilder;
 use basecache_net::{Catalog, ObjectId};
 use basecache_obs::{FlightRecorder, Snapshot};
@@ -70,7 +71,7 @@ impl Rig {
         Rig::new(solver, true, 1, false)
     }
 
-    fn step(&mut self) -> StepOutcome {
+    fn step(&mut self) -> RoundOutcome {
         if self.full_rebuild {
             self.engine.mark_all_dirty();
         }
@@ -90,7 +91,7 @@ fn seed_population(engine: &mut RoundEngine) {
 /// Drive `rounds` rounds, applying the (pure) per-round mutation before
 /// each step. The same `mutate` applied to two rigs produces identical
 /// input sequences, so any output divergence is the engine's fault.
-fn drive(rig: &mut Rig, rounds: u64, mutate: fn(u64, &mut Rig)) -> Vec<StepOutcome> {
+fn drive(rig: &mut Rig, rounds: u64, mutate: fn(u64, &mut Rig)) -> Vec<RoundOutcome> {
     (0..rounds)
         .map(|r| {
             mutate(r, rig);
@@ -379,7 +380,7 @@ mod properties {
         ops
     }
 
-    fn replay(rig: &mut Rig, script: &[Op]) -> Vec<StepOutcome> {
+    fn replay(rig: &mut Rig, script: &[Op]) -> Vec<RoundOutcome> {
         let mut outcomes = Vec::new();
         for &op in script {
             match op {

@@ -12,9 +12,9 @@
 //! lower — the environment the paper targets — while broadcast needs no
 //! uplink at all.
 
-use basecache_core::pipeline::LatencyAwareSim;
 use basecache_core::planner::OnDemandPlanner;
-use basecache_net::{BroadcastSchedule, Catalog, Downlink, Link, ObjectId};
+use basecache_core::StationBuilder;
+use basecache_net::{BroadcastSchedule, Catalog, Downlink, Link, ObjectId, SharedLink};
 use basecache_sim::{RngStreams, SimDuration};
 use basecache_workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
 
@@ -86,16 +86,16 @@ fn pull_mean_delay(params: &Params, theta: f64) -> f64 {
     );
     let mut rng = RngStreams::new(params.seed).stream("broadcast/pull");
     let trace = RequestTrace::record(&generator, params.ticks as usize, &mut rng);
-    let mut sim = LatencyAwareSim::new(
-        Catalog::uniform_unit(params.objects),
-        OnDemandPlanner::paper_default(),
-        params.pull_bandwidth,
-        Link::new(
-            params.pull_bandwidth,
-            SimDuration::from_ticks(params.pull_latency),
-        ),
-        Downlink::new(params.requests_per_tick as u64 * 2, SimDuration::ZERO),
-    );
+    let mut sim = StationBuilder::new(Catalog::uniform_unit(params.objects))
+        .on_demand(OnDemandPlanner::paper_default(), params.pull_bandwidth)
+        .build_latency_aware(
+            SharedLink::new(Link::new(
+                params.pull_bandwidth,
+                SimDuration::from_ticks(params.pull_latency),
+            )),
+            Downlink::new(params.requests_per_tick as u64 * 2, SimDuration::ZERO),
+        )
+        .expect("valid latency configuration");
     for (t, batch) in trace.iter() {
         if (t as u64).is_multiple_of(5) {
             sim.apply_update_wave();

@@ -8,9 +8,9 @@
 //! latency and report the mean wait of cache-miss requests, the average
 //! delivered score, and the downlink's accumulated idle ticks.
 
-use basecache_core::pipeline::LatencyAwareSim;
 use basecache_core::planner::OnDemandPlanner;
-use basecache_net::{Catalog, Downlink, Link};
+use basecache_core::StationBuilder;
+use basecache_net::{Catalog, Downlink, Link, SharedLink};
 use basecache_sim::{RngStreams, SimDuration};
 use basecache_workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
 
@@ -76,13 +76,16 @@ pub fn run_point(params: &Params, latency: u64) -> (f64, f64, f64) {
     let mut rng = RngStreams::new(params.seed).stream("latency/requests");
     let trace = RequestTrace::record(&generator, params.ticks as usize, &mut rng);
 
-    let mut sim = LatencyAwareSim::new(
-        Catalog::uniform_unit(params.objects),
-        OnDemandPlanner::paper_default(),
-        params.refresh_budget,
-        Link::new(params.bandwidth, SimDuration::from_ticks(latency)),
-        Downlink::new(params.requests_per_tick as u64 * 2, SimDuration::ZERO),
-    );
+    let mut sim = StationBuilder::new(Catalog::uniform_unit(params.objects))
+        .on_demand(OnDemandPlanner::paper_default(), params.refresh_budget)
+        .build_latency_aware(
+            SharedLink::new(Link::new(
+                params.bandwidth,
+                SimDuration::from_ticks(latency),
+            )),
+            Downlink::new(params.requests_per_tick as u64 * 2, SimDuration::ZERO),
+        )
+        .expect("valid latency configuration");
     for (t, batch) in trace.iter() {
         if (t as u64).is_multiple_of(params.update_period) {
             sim.apply_update_wave();

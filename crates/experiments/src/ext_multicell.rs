@@ -11,6 +11,7 @@
 
 use basecache_core::pipeline::LatencyAwareSim;
 use basecache_core::planner::OnDemandPlanner;
+use basecache_core::StationBuilder;
 use basecache_net::{Catalog, Downlink, Link, SharedLink};
 use basecache_sim::{RngStreams, SimDuration};
 use basecache_workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
@@ -81,13 +82,13 @@ pub fn run_point(params: &Params, cells: usize) -> (f64, f64, f64) {
 
     let mut stations: Vec<LatencyAwareSim> = (0..cells)
         .map(|_| {
-            LatencyAwareSim::with_backbone(
-                Catalog::uniform_unit(params.objects),
-                OnDemandPlanner::paper_default(),
-                params.refresh_budget,
-                backbone.clone(),
-                Downlink::new(params.requests_per_tick as u64 * 2, SimDuration::ZERO),
-            )
+            StationBuilder::new(Catalog::uniform_unit(params.objects))
+                .on_demand(OnDemandPlanner::paper_default(), params.refresh_budget)
+                .build_latency_aware(
+                    backbone.clone(),
+                    Downlink::new(params.requests_per_tick as u64 * 2, SimDuration::ZERO),
+                )
+                .expect("valid latency configuration")
         })
         .collect();
     let traces: Vec<RequestTrace> = (0..cells)

@@ -29,6 +29,7 @@ pub mod ext_bounded_cache;
 pub mod ext_broadcast;
 pub mod ext_cluster;
 pub mod ext_estimators;
+pub mod ext_flash_crowd;
 pub mod ext_hybrid;
 pub mod ext_latency;
 pub mod ext_multicell;

@@ -9,8 +9,8 @@ use std::process::ExitCode;
 
 use basecache_experiments::{
     ext_adaptive, ext_adaptive_solver, ext_bounded_cache, ext_broadcast, ext_cluster,
-    ext_estimators, ext_hybrid, ext_latency, ext_multicell, ext_obs, ext_poisson, fig2, fig3, fig4,
-    fig5, fig6, report::Figure, table1,
+    ext_estimators, ext_flash_crowd, ext_hybrid, ext_latency, ext_multicell, ext_obs, ext_poisson,
+    fig2, fig3, fig4, fig5, fig6, report::Figure, table1,
 };
 use basecache_workload::Correlation;
 
@@ -52,8 +52,9 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() -> String {
     "usage: experiments [all|fig2|fig3|fig4|fig5a|fig5b|fig6a|fig6b|table1|\
-     ext-adaptive|ext-adaptive-solver|ext-hybrid|ext-estimators|ext-latency|ext-poisson|ext-multicell|\
-     ext-cluster|ext-broadcast|ext-bounded-cache|ext-obs]... [--quick] [--csv DIR]"
+     ext-adaptive|ext-adaptive-solver|ext-hybrid|ext-estimators|ext-flash-crowd|ext-latency|\
+     ext-poisson|ext-multicell|ext-cluster|ext-broadcast|ext-bounded-cache|ext-obs]... \
+     [--quick] [--csv DIR]"
         .to_string()
 }
 
@@ -201,6 +202,15 @@ fn main() -> ExitCode {
             ext_estimators::Params::paper()
         };
         emit(&ext_estimators::run(&p), &opts, "ext_estimators.csv");
+    }
+    if want("ext-flash-crowd") {
+        matched = true;
+        let p = if opts.quick {
+            ext_flash_crowd::Params::quick()
+        } else {
+            ext_flash_crowd::Params::paper()
+        };
+        emit(&ext_flash_crowd::run(&p), &opts, "ext_flash_crowd.csv");
     }
     if want("ext-latency") {
         matched = true;

@@ -21,6 +21,8 @@
 //!   bandwidth accounting the paper's introduction worries about.
 //! * [`topology`] — cells, base stations and mobile clients with
 //!   handoff/disconnect, exercised by the `mobile_cell` example.
+//! * [`inflight`] — [`InFlightLedger`]: multi-round transfers with
+//!   single-flight coalescing and commitment accounting.
 //! * [`invalidation`] — server invalidation reports.
 //! * [`broadcast`] — broadcast-disk programs (the related-work baseline).
 //! * [`backhaul`] — the shared fixed-network budget arbiter splitting a
@@ -49,6 +51,7 @@
 pub mod backhaul;
 pub mod broadcast;
 pub mod downlink;
+pub mod inflight;
 pub mod invalidation;
 pub mod link;
 pub mod object;
@@ -58,6 +61,9 @@ pub mod topology;
 pub use backhaul::{ArbiterPolicy, BackhaulArbiter};
 pub use broadcast::BroadcastSchedule;
 pub use downlink::Downlink;
+pub use inflight::{
+    ActiveTransfer, Arrived, InFlightConfig, InFlightLedger, LedgerStats, ParkedWaiter,
+};
 pub use invalidation::{InvalidationReport, ReportLog};
 pub use link::{Link, SharedLink, TransferTiming};
 pub use object::{Catalog, ObjectId, ObjectSpec, Version};

@@ -90,11 +90,18 @@ pub enum Event {
     SchedulerEvents,
     /// Client handoffs between cells in a multi-cell cluster.
     Handoffs,
+    /// Requests that joined an already in-flight transfer launched in an
+    /// earlier round instead of launching their own (single-flight
+    /// coalescing).
+    FetchesCoalesced,
+    /// Launches for an object that already had a transfer in flight —
+    /// the naive re-fetching baseline's wasted work.
+    DuplicateFetches,
 }
 
 impl Event {
     /// Every counter id, in export order.
-    pub const ALL: [Event; 12] = [
+    pub const ALL: [Event; 14] = [
         Event::Rounds,
         Event::RequestsServed,
         Event::ObjectsDownloaded,
@@ -107,6 +114,8 @@ impl Event {
         Event::DeliveredUnits,
         Event::SchedulerEvents,
         Event::Handoffs,
+        Event::FetchesCoalesced,
+        Event::DuplicateFetches,
     ];
 
     /// Number of counter ids.
@@ -133,6 +142,8 @@ impl Event {
             Event::DeliveredUnits => "delivered_units",
             Event::SchedulerEvents => "scheduler_events",
             Event::Handoffs => "handoffs",
+            Event::FetchesCoalesced => "fetches_coalesced",
+            Event::DuplicateFetches => "duplicate_fetches",
         }
     }
 }
@@ -182,11 +193,15 @@ pub enum Sample {
     /// Client requests actually rescored by one round's incremental
     /// instance build (requests of untouched objects carry forward).
     RescoredRequests,
+    /// Fixed-network units already committed to in-flight transfers in
+    /// the observed round — what the planner subtracted from its budget
+    /// before commissioning new downloads.
+    CommittedUnits,
 }
 
 impl Sample {
     /// Every sample id, in export order.
-    pub const ALL: [Sample; 16] = [
+    pub const ALL: [Sample; 17] = [
         Sample::BatchSize,
         Sample::PlanProfit,
         Sample::AverageScore,
@@ -203,6 +218,7 @@ impl Sample {
         Sample::SolverChosen,
         Sample::DirtyObjects,
         Sample::RescoredRequests,
+        Sample::CommittedUnits,
     ];
 
     /// Number of sample ids.
@@ -233,6 +249,7 @@ impl Sample {
             Sample::SolverChosen => "solver_chosen",
             Sample::DirtyObjects => "dirty_objects",
             Sample::RescoredRequests => "rescored_requests",
+            Sample::CommittedUnits => "committed_units",
         }
     }
 }

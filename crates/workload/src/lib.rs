@@ -57,7 +57,9 @@ pub use correlation::Correlation;
 pub use estimate::PopularityEstimator;
 pub use mobility::{ClusterWorkload, MobilityModel};
 pub use popularity::{Popularity, PopularityDist};
-pub use requests::{GeneratedRequest, RequestGenerator, ShiftingGenerator, TargetRecency};
+pub use requests::{
+    FlashCrowdGenerator, GeneratedRequest, RequestGenerator, ShiftingGenerator, TargetRecency,
+};
 pub use scenario::{NumRequestsMode, Table1Population, Table1Spec};
 pub use sizes::SizeDist;
 pub use standing::{ChurnOp, StandingWorkload};

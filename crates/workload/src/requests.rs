@@ -158,6 +158,98 @@ impl ShiftingGenerator {
     }
 }
 
+/// A request generator with a flash crowd: steady `baseline` demand over
+/// the first `baseline.len()` objects, plus — during the spike window —
+/// a sudden burst of `spike_per_time_unit` requests over the *remaining*
+/// objects (ranks drawn from `spike`, offset past the baseline range).
+/// Those objects were never requested before the spike, so they are
+/// stone cold in every cache: the exact stampede shape where many
+/// clients pile onto the same few uncached objects at once, which
+/// single-flight coalescing absorbs with one transfer per object while
+/// naive re-fetching launches duplicates every round the transfer is
+/// still on the wire.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdGenerator {
+    baseline: PopularityDist,
+    spike: PopularityDist,
+    per_time_unit: usize,
+    spike_per_time_unit: usize,
+    target: TargetRecency,
+    spike_start: u64,
+    spike_len: u64,
+    batches_generated: u64,
+}
+
+impl FlashCrowdGenerator {
+    /// Create a flash-crowd generator. The catalog it addresses has
+    /// `baseline.len() + spike.len()` objects: baseline ranks map to
+    /// objects `0..baseline.len()`, spike ranks to the cold tail after
+    /// them. The spike is live for batches
+    /// `spike_start..spike_start + spike_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either distribution is empty or `spike_len == 0`.
+    pub fn new(
+        baseline: PopularityDist,
+        spike: PopularityDist,
+        per_time_unit: usize,
+        spike_per_time_unit: usize,
+        target: TargetRecency,
+        spike_start: u64,
+        spike_len: u64,
+    ) -> Self {
+        assert!(
+            !baseline.is_empty(),
+            "baseline must cover at least 1 object"
+        );
+        assert!(!spike.is_empty(), "spike must cover at least 1 object");
+        assert!(spike_len > 0, "spike window must be non-empty");
+        Self {
+            baseline,
+            spike,
+            per_time_unit,
+            spike_per_time_unit,
+            target,
+            spike_start,
+            spike_len,
+            batches_generated: 0,
+        }
+    }
+
+    /// Total objects the generator addresses (size the catalog to this).
+    pub fn objects(&self) -> usize {
+        self.baseline.len() + self.spike.len()
+    }
+
+    /// Whether the *next* batch falls inside the spike window.
+    pub fn in_spike(&self) -> bool {
+        let t = self.batches_generated;
+        t >= self.spike_start && t < self.spike_start + self.spike_len
+    }
+
+    /// Generate the batch for the next time unit, advancing time.
+    pub fn batch(&mut self, rng: &mut StreamRng) -> Vec<GeneratedRequest> {
+        let spiking = self.in_spike();
+        let extra = if spiking { self.spike_per_time_unit } else { 0 };
+        let mut batch = Vec::with_capacity(self.per_time_unit + extra);
+        for _ in 0..self.per_time_unit {
+            batch.push(GeneratedRequest {
+                object: ObjectId(self.baseline.sample(rng) as u32),
+                target_recency: self.target.sample(rng),
+            });
+        }
+        for _ in 0..extra {
+            batch.push(GeneratedRequest {
+                object: ObjectId((self.baseline.len() + self.spike.sample(rng)) as u32),
+                target_recency: self.target.sample(rng),
+            });
+        }
+        self.batches_generated += 1;
+        batch
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +380,33 @@ mod tests {
         );
         let mut rng = RngStreams::new(5).stream("requests");
         let _ = gen.batch(&mut rng);
+    }
+
+    #[test]
+    fn flash_crowd_hits_cold_objects_only_inside_the_window() {
+        let mut gen = FlashCrowdGenerator::new(
+            Popularity::ZIPF1.build(20),
+            Popularity::ZIPF1.build(10),
+            8,
+            25,
+            TargetRecency::AlwaysFresh,
+            5,
+            3,
+        );
+        assert_eq!(gen.objects(), 30);
+        let mut rng = RngStreams::new(11).stream("flash");
+        for t in 0u64..12 {
+            let spiking = (5..8).contains(&t);
+            assert_eq!(gen.in_spike(), spiking, "t={t}");
+            let batch = gen.batch(&mut rng);
+            assert_eq!(batch.len(), if spiking { 33 } else { 8 });
+            let cold = batch.iter().filter(|r| r.object.index() >= 20).count();
+            if spiking {
+                assert_eq!(cold, 25, "burst lands entirely on the cold tail");
+            } else {
+                assert_eq!(cold, 0, "cold objects untouched outside the spike");
+            }
+            assert!(batch.iter().all(|r| r.object.index() < 30));
+        }
     }
 }

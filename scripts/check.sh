@@ -36,6 +36,45 @@ if [ -n "$violations" ]; then
     exit 1
 fi
 
+echo "==> outcome migration lint (no deprecated StepOutcome/LatencyStepOutcome)"
+# The deprecated aliases may appear only where they are defined (and in
+# their own pin test) and on the deprecated re-export line in lib.rs.
+violations=$(grep -rnE '\bStepOutcome\b|\bLatencyStepOutcome\b' \
+    --include='*.rs' \
+    crates/ tests/ examples/ src/ \
+    | grep -v "crates/core/src/outcome.rs" \
+    | grep -v "crates/core/src/lib.rs" \
+    || true)
+if [ -n "$violations" ]; then
+    echo "error: deprecated StepOutcome/LatencyStepOutcome used outside the alias shim (use RoundOutcome):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
+echo "==> latency-pipeline migration lint (no ad-hoc LatencyAwareSim constructors)"
+# Construction goes through StationBuilder::build_latency_aware; the
+# deprecated constructors may appear only in pipeline.rs (definition and
+# the shim-parity pin test).
+violations=$(grep -rnE 'LatencyAwareSim::(new|with_backbone)\(' \
+    --include='*.rs' \
+    crates/ tests/ examples/ src/ \
+    | grep -v "crates/core/src/pipeline.rs" \
+    || true)
+if [ -n "$violations" ]; then
+    echo "error: deprecated LatencyAwareSim constructor used outside the shim (use StationBuilder::build_latency_aware):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
+echo "==> flash-crowd smoke test (ext-flash-crowd quick run)"
+crowd_out=$(mktemp -d)
+cargo run -q -p basecache-experiments --release -- ext-flash-crowd --quick --csv "$crowd_out"
+test -s "$crowd_out/ext_flash_crowd.csv" \
+    || { echo "error: ext-flash-crowd did not write ext_flash_crowd.csv" >&2; exit 1; }
+head -1 "$crowd_out/ext_flash_crowd.csv" | grep -q 'spike intensity' \
+    || { echo "error: ext_flash_crowd.csv missing header" >&2; exit 1; }
+rm -rf "$crowd_out"
+
 echo "==> observability smoke test (ext-obs quick run + exporters)"
 obs_out=$(mktemp -d)
 cargo run -q -p basecache-experiments --release -- ext-obs --quick --csv "$obs_out"
@@ -79,6 +118,8 @@ cargo bench -p basecache-bench --bench planner
 for entry in 'cluster_round/sequential/1' 'cluster_round/sequential/16' \
              'cluster_round/parallel/16' \
              'planner/round/adaptive' 'planner/scale/adaptive/2000' \
+             'planner/inflight/coalesce' 'planner/inflight/naive' \
+             'planner/inflight/flash_crowd' \
              'planner/massive/build_full_rebuild/100000' \
              'planner/massive/build_incremental/100000' \
              'planner/massive/round_incremental/100000'; do
@@ -87,7 +128,7 @@ for entry in 'cluster_round/sequential/1' 'cluster_round/sequential/16' \
 done
 # ... and the massive-scale headline keys.
 for key in 'requests_per_second' 'incremental_build_speedup' \
-           'cluster_parallel_path'; do
+           'cluster_parallel_path' 'coalesced_fetch_ratio'; do
     grep -q "\"$key\"" BENCH_planner.json \
         || { echo "error: BENCH_planner.json missing $key" >&2; exit 1; }
 done

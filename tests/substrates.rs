@@ -3,12 +3,11 @@
 //! estimator stack, all through the public facade.
 
 use basecache::core::estimator::{RateEstimator, ReportEstimator};
-use basecache::core::pipeline::LatencyAwareSim;
 use basecache::core::planner::OnDemandPlanner;
 use basecache::core::recency::DecayModel;
 use basecache::core::request::RequestBatch;
 use basecache::core::{Estimation, StationBuilder};
-use basecache::net::{BroadcastSchedule, Catalog, Downlink, Link, ObjectId, ReportLog};
+use basecache::net::{BroadcastSchedule, Catalog, Downlink, Link, ObjectId, ReportLog, SharedLink};
 use basecache::sim::{RngStreams, SimDuration, SimTime};
 use basecache::workload::{Popularity, RequestGenerator, RequestTrace, TargetRecency};
 
@@ -29,13 +28,13 @@ fn warmed_pull_cache_beats_broadcast_on_access_delay() {
     let generator = RequestGenerator::new(pop, 20, TargetRecency::AlwaysFresh);
     let mut rng = RngStreams::new(31).stream("subs/pull");
     let trace = RequestTrace::record(&generator, 100, &mut rng);
-    let mut sim = LatencyAwareSim::new(
-        Catalog::uniform_unit(objects),
-        OnDemandPlanner::paper_default(),
-        20,
-        Link::new(20, SimDuration::from_ticks(2)),
-        Downlink::new(64, SimDuration::ZERO),
-    );
+    let mut sim = StationBuilder::new(Catalog::uniform_unit(objects))
+        .on_demand(OnDemandPlanner::paper_default(), 20)
+        .build_latency_aware(
+            SharedLink::new(Link::new(20, SimDuration::from_ticks(2))),
+            Downlink::new(64, SimDuration::ZERO),
+        )
+        .expect("valid latency configuration");
     for (_, batch) in trace.iter() {
         sim.step(batch);
     }
@@ -58,13 +57,13 @@ fn pipeline_wait_percentiles_are_ordered() {
     let mut means = Vec::new();
     let mut p95s = Vec::new();
     for latency in [1u64, 12] {
-        let mut sim = LatencyAwareSim::new(
-            Catalog::uniform_unit(40),
-            OnDemandPlanner::paper_default(),
-            10,
-            Link::new(4, SimDuration::from_ticks(latency)),
-            Downlink::new(64, SimDuration::ZERO),
-        );
+        let mut sim = StationBuilder::new(Catalog::uniform_unit(40))
+            .on_demand(OnDemandPlanner::paper_default(), 10)
+            .build_latency_aware(
+                SharedLink::new(Link::new(4, SimDuration::from_ticks(latency))),
+                Downlink::new(64, SimDuration::ZERO),
+            )
+            .expect("valid latency configuration");
         let generator =
             RequestGenerator::new(Popularity::Uniform.build(40), 8, TargetRecency::AlwaysFresh);
         let mut rng = RngStreams::new(77).stream("subs/p95");
