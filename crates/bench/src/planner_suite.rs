@@ -27,7 +27,10 @@ use basecache_core::scratch::PlannerScratch;
 use basecache_experiments::ext_flash_crowd;
 use basecache_knapsack::DpByCapacity;
 use basecache_net::InFlightConfig;
-use basecache_obs::{Recorder, Snapshot, StatsRecorder};
+use basecache_obs::{
+    AoiRecorder, CausalConfig, CausalRecorder, LifecycleEvent, LifecycleRecorder, Recorder,
+    Snapshot, StatsRecorder, Transition,
+};
 
 use crate::harness::{bench, bench_n, Measurement};
 use crate::{planning_requests, planning_round};
@@ -37,7 +40,7 @@ const OBJECTS: usize = 500;
 const REQUESTS: usize = 5000;
 const BUDGET: u64 = 5000;
 
-fn bench_round_paths(results: &mut Vec<Measurement>) -> (f64, f64, f64) {
+fn bench_round_paths(results: &mut Vec<Measurement>) -> (f64, f64, f64, f64) {
     let (generated, catalog, recency) = planning_requests(OBJECTS, REQUESTS, 77);
     // Pin the DP so the long-standing round entries keep measuring the
     // same code path now that the planner default is the adaptive
@@ -121,16 +124,72 @@ fn bench_round_paths(results: &mut Vec<Measurement>) -> (f64, f64, f64) {
         black_box(adaptive_scratch.achieved_value())
     });
 
+    // The same adaptive round under the full causal composition —
+    // flight recorder + lifecycle spans + AoI telemetry + invariant
+    // monitor, all teed behind the `Recorder` seam. Against the
+    // NullRecorder adaptive round above this ratio is the
+    // `lifecycle_recorder_overhead` headline (`scripts/check.sh` gates
+    // it at 1.25x).
+    let causal = CausalRecorder::new(CausalConfig::default());
+    let adaptive_observed =
+        OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::Adaptive);
+    let mut causal_scratch = PlannerScratch::new();
+    causal_scratch.reserve(catalog.len(), BUDGET);
+    let lifecycle_path = bench("planner/round/adaptive_lifecycle", || {
+        adaptive_observed.plan_requests_recorded(
+            &generated,
+            &catalog,
+            &recency,
+            BUDGET,
+            &mut causal_scratch,
+            &causal,
+        );
+        black_box(causal_scratch.achieved_value())
+    });
+
     let vs_seed = seed.median_ns() / scratch_path.median_ns();
     let vs_batch = batch_path.median_ns() / scratch_path.median_ns();
     let observed_overhead = observed_path.median_ns() / scratch_path.median_ns();
+    let lifecycle_overhead = lifecycle_path.median_ns() / adaptive_path.median_ns();
     results.push(seed);
     results.push(batch_path);
     results.push(scratch_path);
     results.push(observed_path);
     results.push(flight_path);
     results.push(adaptive_path);
-    (vs_seed, vs_batch, observed_overhead)
+    results.push(lifecycle_path);
+    (vs_seed, vs_batch, observed_overhead, lifecycle_overhead)
+}
+
+/// The two lifecycle hot-path notifications in isolation: one
+/// [`LifecycleEvent`] through the span table (open + update on an
+/// existing span) and one through the AoI age tables (a serve charging
+/// the distribution and the top-K sketch). Nanoseconds per event — the
+/// unit cost every instrumented transition pays.
+fn bench_obs_events(results: &mut Vec<Measurement>) {
+    let spans = LifecycleRecorder::new(256, 1024);
+    let mut tick = 0u64;
+    results.push(bench("planner/obs/lifecycle_event", || {
+        // Cycle over 64 keys so the linear-scan table stays at its
+        // steady-state occupancy instead of degenerating to one span.
+        let object = (tick % 64) as u32;
+        spans.lifecycle(LifecycleEvent::new(Transition::Served, object, 1, tick).times(2));
+        tick += 1;
+        black_box(tick)
+    }));
+    let aoi = AoiRecorder::new(256, 64, 8);
+    // Seed every origin: a serve against an unknown origin returns
+    // early, which would measure the miss path instead of the age math.
+    for object in 0..256u32 {
+        aoi.lifecycle(LifecycleEvent::new(Transition::Arrived, object, 1, 0).at_launch(0));
+    }
+    let mut aoi_tick = 1u64;
+    results.push(bench("planner/obs/aoi_event", || {
+        let object = (aoi_tick % 256) as u32;
+        aoi.lifecycle(LifecycleEvent::new(Transition::Served, object, 1, aoi_tick).times(2));
+        aoi_tick += 1;
+        black_box(aoi_tick)
+    }));
 }
 
 /// Rounds sampled for the per-stage breakdown.
@@ -304,6 +363,7 @@ struct Headlines<'a> {
     vs_seed: f64,
     vs_batch: f64,
     observed_overhead: f64,
+    lifecycle_overhead: f64,
     coalesced_fetch_ratio: f64,
     cluster_speedup: f64,
     cluster_parallel_path: &'a str,
@@ -315,6 +375,7 @@ fn write_json(results: &[Measurement], headlines: &Headlines, stages: &Snapshot)
         vs_seed,
         vs_batch,
         observed_overhead,
+        lifecycle_overhead,
         coalesced_fetch_ratio,
         cluster_speedup,
         cluster_parallel_path,
@@ -335,6 +396,12 @@ fn write_json(results: &[Measurement], headlines: &Headlines, stages: &Snapshot)
     ));
     out.push_str(&format!(
         "  \"stats_recorder_overhead\": {observed_overhead:.3},\n"
+    ));
+    // The adaptive round under the full causal composition (flight +
+    // lifecycle spans + AoI + invariant monitor) vs the NullRecorder
+    // adaptive round. `scripts/check.sh` gates this at 1.25x.
+    out.push_str(&format!(
+        "  \"lifecycle_recorder_overhead\": {lifecycle_overhead:.3},\n"
     ));
     // Share of flash-crowd fetch demand served by joining a transfer
     // already on the wire (quick preset, top spike intensity).
@@ -400,11 +467,16 @@ fn write_json(results: &[Measurement], headlines: &Headlines, stages: &Snapshot)
 /// Run the whole suite and write `BENCH_planner.json`.
 pub fn run() {
     let mut results = Vec::new();
-    let (vs_seed, vs_batch, observed_overhead) = bench_round_paths(&mut results);
+    let (vs_seed, vs_batch, observed_overhead, lifecycle_overhead) =
+        bench_round_paths(&mut results);
     println!(
         "round speedup: {vs_seed:.2}x vs seed full-table, {vs_batch:.2}x vs allocating batch path"
     );
-    println!("stats-recorder overhead on the round: {observed_overhead:.3}x\n");
+    println!("stats-recorder overhead on the round: {observed_overhead:.3}x");
+    println!(
+        "causal lifecycle-recorder overhead on the adaptive round: {lifecycle_overhead:.3}x\n"
+    );
+    bench_obs_events(&mut results);
     bench_trace_vs_trace_into(&mut results);
     bench_plan_solvers(&mut results);
     bench_plan_scale(&mut results);
@@ -431,6 +503,7 @@ pub fn run() {
             vs_seed,
             vs_batch,
             observed_overhead,
+            lifecycle_overhead,
             coalesced_fetch_ratio,
             cluster_speedup,
             cluster_parallel_path,

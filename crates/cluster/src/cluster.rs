@@ -357,6 +357,17 @@ impl ClusterSim {
             );
         }
         if recorder.enabled() {
+            // Cluster-wide gauges: requests still parked on in-flight
+            // transfers, and units resident across every cell's cache
+            // (the invariant monitor's accounting input).
+            let still_waiting: u64 = self
+                .last_outcomes
+                .iter()
+                .map(|o| o.still_waiting as u64)
+                .sum();
+            recorder.sample(Sample::StillWaiting, still_waiting as f64);
+            let cached: u64 = self.cells.iter().map(|c| c.station.cached_units()).sum();
+            recorder.sample(Sample::CachedUnits, cached as f64);
             for (i, cell_outcome) in self.last_outcomes.iter().enumerate() {
                 let key = i as u32;
                 if cell_outcome.units_downloaded > 0 {

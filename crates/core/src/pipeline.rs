@@ -26,7 +26,9 @@ use std::collections::HashSet;
 
 use basecache_cache::CacheStore;
 use basecache_net::{Catalog, Downlink, Link, ObjectId, RemoteServer, SharedLink, Version};
-use basecache_obs::{Event, NullRecorder, Recorder, Sample, Snapshot, Span, Stage};
+use basecache_obs::{
+    Event, LifecycleEvent, NullRecorder, Recorder, Sample, Snapshot, Span, Stage, Transition,
+};
 use basecache_sim::metrics::Welford;
 use basecache_sim::{P2Quantile, Scheduler, SimTime};
 use basecache_workload::GeneratedRequest;
@@ -42,6 +44,13 @@ use basecache_net::ClientId;
 struct Arrival {
     object: ObjectId,
     version: Version,
+    /// Tick the transfer entered the fixed network (lifecycle-span
+    /// correlation).
+    launched_at: u64,
+    /// Tick the first byte actually went out — later than `launched_at`
+    /// when the link's queue was backed up (wait decomposition:
+    /// queueing vs. on-wire).
+    started_at: u64,
 }
 
 /// A client request parked until its object arrives.
@@ -286,14 +295,23 @@ impl LatencyAwareSim {
             return false;
         }
         let size = self.catalog.size_of(object);
+        let version = self.server.version_of(object);
         let timing = self.fixed_net.enqueue(now, size);
         self.stats.units_downloaded += size;
         self.recorder.incr(Event::FetchesIssued);
+        if self.recorder.enabled() {
+            self.recorder.lifecycle(
+                LifecycleEvent::new(Transition::Launched, object.0, version.0, now.ticks())
+                    .at_launch(now.ticks()),
+            );
+        }
         self.in_flight.schedule_at(
             timing.arrives,
             Arrival {
                 object,
-                version: self.server.version_of(object),
+                version,
+                launched_at: now.ticks(),
+                started_at: timing.starts.ticks(),
             },
         );
         true
@@ -303,6 +321,7 @@ impl LatencyAwareSim {
     /// [`crate::BaseStationSim::step`]: one unified [`RoundOutcome`].
     pub fn step(&mut self, requests: &[GeneratedRequest]) -> RoundOutcome {
         let now = SimTime::from_ticks(self.tick);
+        let observing = self.recorder.enabled();
         self.recorder.begin_round(self.tick);
         self.recorder.incr(Event::Rounds);
         let mut recency_acc = Welford::new();
@@ -321,6 +340,30 @@ impl LatencyAwareSim {
             self.pending.remove(&arrival.object);
             arrived += 1;
             units += size;
+            if observing {
+                self.recorder.lifecycle(
+                    LifecycleEvent::new(
+                        Transition::Arrived,
+                        arrival.object.0,
+                        arrival.version.0,
+                        self.tick,
+                    )
+                    .at_launch(arrival.launched_at),
+                );
+                if arrival.version != self.server.version_of(arrival.object) {
+                    // Invalidated while on the wire.
+                    self.recorder.incr(Event::StaleArrivals);
+                    self.recorder.lifecycle(
+                        LifecycleEvent::new(
+                            Transition::InvalidatedStale,
+                            arrival.object.0,
+                            arrival.version.0,
+                            self.tick,
+                        )
+                        .at_launch(arrival.launched_at),
+                    );
+                }
+            }
 
             let parked = std::mem::take(&mut self.waiting);
             let mut still_parked = Vec::with_capacity(parked.len());
@@ -339,6 +382,28 @@ impl LatencyAwareSim {
                     self.stats.wait_p95.push(wait);
                     self.recorder.sample(Sample::FetchLatencyTicks, wait);
                     self.stats.waited += 1;
+                    if observing {
+                        // Decompose the wait: ticks spent while the
+                        // transfer sat in the link's queue vs. riding
+                        // the wire; the downlink serve is same-round.
+                        let issued = w.issued_at.ticks();
+                        let queueing = arrival.started_at.saturating_sub(issued);
+                        let on_wire = self.tick.saturating_sub(issued.max(arrival.started_at));
+                        self.recorder
+                            .sample(Sample::WaitQueueingTicks, queueing as f64);
+                        self.recorder
+                            .sample(Sample::WaitOnWireTicks, on_wire as f64);
+                        self.recorder.sample(Sample::WaitServeTicks, 0.0);
+                        self.recorder.lifecycle(
+                            LifecycleEvent::new(
+                                Transition::ServedFromWait,
+                                w.object.0,
+                                arrival.version.0,
+                                self.tick,
+                            )
+                            .at_launch(arrival.launched_at),
+                        );
+                    }
                     self.downlink.deliver_recorded(
                         now,
                         ClientId(0),
@@ -399,10 +464,38 @@ impl LatencyAwareSim {
                     &*self.recorder,
                 );
                 served_immediately += 1;
+                if observing {
+                    let version = self
+                        .cache
+                        .peek(r.object)
+                        .map_or_else(|| self.server.version_of(r.object), |e| e.version);
+                    self.recorder.lifecycle(LifecycleEvent::new(
+                        Transition::Served,
+                        r.object.0,
+                        version.0,
+                        self.tick,
+                    ));
+                }
             } else {
-                if !launched_now.contains(&r.object) {
+                let rode_existing = !launched_now.contains(&r.object);
+                if rode_existing {
                     joined += 1;
                     self.recorder.incr(Event::FetchesCoalesced);
+                }
+                if observing {
+                    // A fresh park is a `Requested` span opening; riding
+                    // a transfer launched in an earlier tick is a join.
+                    let transition = if rode_existing {
+                        Transition::Joined
+                    } else {
+                        Transition::Requested
+                    };
+                    self.recorder.lifecycle(LifecycleEvent::new(
+                        transition,
+                        r.object.0,
+                        self.server.version_of(r.object).0,
+                        self.tick,
+                    ));
                 }
                 self.waiting.push(Waiting {
                     object: r.object,
@@ -428,6 +521,12 @@ impl LatencyAwareSim {
             served_after_wait,
             still_waiting: self.waiting.len(),
         };
+        if observing {
+            self.recorder
+                .sample(Sample::StillWaiting, self.waiting.len() as f64);
+            self.recorder
+                .sample(Sample::CachedUnits, self.cache.used() as f64);
+        }
         self.recorder.end_round(self.tick);
         self.tick += 1;
         outcome

@@ -19,7 +19,9 @@ use basecache_net::{
     Catalog, InFlightConfig, InFlightLedger, InvalidationReport, ObjectId, ParkedWaiter,
     RemoteServer,
 };
-use basecache_obs::{Attr, Event, NullRecorder, Recorder, Sample, Snapshot, Span, Stage};
+use basecache_obs::{
+    Attr, Event, LifecycleEvent, NullRecorder, Recorder, Sample, Snapshot, Span, Stage, Transition,
+};
 use basecache_sim::metrics::Welford;
 use basecache_sim::SimTime;
 use basecache_workload::GeneratedRequest;
@@ -284,6 +286,23 @@ impl BaseStationSim {
         &self.cache
     }
 
+    /// Data units currently resident in the cache — the gauge behind the
+    /// [`Sample::CachedUnits`] channel and the invariant monitor's
+    /// cache-accounting check.
+    pub fn cached_units(&self) -> u64 {
+        self.cache.used()
+    }
+
+    /// The version of the cached copy of `id` (falling back to the
+    /// server's current version when nothing is cached) — the key
+    /// lifecycle serve events correlate spans by.
+    fn serve_version(&self, id: ObjectId) -> u64 {
+        match self.cache.peek(id) {
+            Some(entry) => entry.version.0,
+            None => self.server.version_of(id).0,
+        }
+    }
+
     /// Accumulated stats.
     pub fn stats(&self) -> &StationStats {
         &self.stats
@@ -518,14 +537,25 @@ impl BaseStationSim {
             }
         }
         drop(plan_span);
+        if observing {
+            for &id in &downloaded {
+                recorder.lifecycle(LifecycleEvent::new(
+                    Transition::Planned,
+                    id.0,
+                    self.server.version_of(id).0,
+                    self.tick,
+                ));
+            }
+        }
 
         let refresh_span = Span::enter(recorder, Stage::Refresh);
         let now = SimTime::from_ticks(self.tick);
         let mut units = 0u64;
         for &id in &downloaded {
             let size = self.catalog.size_of(id);
+            let version = self.server.version_of(id);
             self.cache
-                .insert(id, size, self.server.version_of(id), now)
+                .insert(id, size, version, now)
                 .expect("unbounded cache never refuses");
             if let Estimation::Estimator(est) = &mut self.estimation {
                 est.on_refresh(id, now);
@@ -533,6 +563,11 @@ impl BaseStationSim {
             units += size;
             if observing {
                 recorder.attribute(Attr::DownlinkUnitsByObject, id.0, size);
+                // Instantaneous downloads launch and land in one tick.
+                recorder.lifecycle(
+                    LifecycleEvent::new(Transition::Arrived, id.0, version.0, self.tick)
+                        .at_launch(self.tick),
+                );
             }
         }
         drop(refresh_span);
@@ -589,6 +624,12 @@ impl BaseStationSim {
                 if staleness > 0 {
                     recorder.attribute(Attr::ServeStalenessByObject, r.object.0, staleness);
                 }
+                recorder.lifecycle(LifecycleEvent::new(
+                    Transition::Served,
+                    r.object.0,
+                    self.serve_version(r.object),
+                    self.tick,
+                ));
             }
         }
         drop(serve_span);
@@ -618,6 +659,9 @@ impl BaseStationSim {
         };
         recorder.sample(Sample::AverageRecency, outcome.average_recency);
         recorder.sample(Sample::AverageScore, outcome.average_score);
+        if observing {
+            recorder.sample(Sample::CachedUnits, self.cache.used() as f64);
+        }
         recorder.end_round(self.tick);
         self.downloaded = downloaded;
         self.recency_buf = recency;
@@ -685,18 +729,34 @@ impl BaseStationSim {
         planner.plan_engine_recorded(engine, &recency, budget_units, &mut self.scratch, recorder);
         downloaded.extend_from_slice(self.scratch.downloads());
         drop(plan_span);
+        if observing {
+            for &id in &downloaded {
+                recorder.lifecycle(LifecycleEvent::new(
+                    Transition::Planned,
+                    id.0,
+                    self.server.version_of(id).0,
+                    self.tick,
+                ));
+            }
+        }
 
         let refresh_span = Span::enter(recorder, Stage::Refresh);
         let now = SimTime::from_ticks(self.tick);
         let mut units = 0u64;
         for &id in &downloaded {
             let size = self.catalog.size_of(id);
+            let version = self.server.version_of(id);
             self.cache
-                .insert(id, size, self.server.version_of(id), now)
+                .insert(id, size, version, now)
                 .expect("unbounded cache never refuses");
             units += size;
             if observing {
                 recorder.attribute(Attr::DownlinkUnitsByObject, id.0, size);
+                // Instantaneous downloads launch and land in one tick.
+                recorder.lifecycle(
+                    LifecycleEvent::new(Transition::Arrived, id.0, version.0, self.tick)
+                        .at_launch(self.tick),
+                );
             }
         }
         drop(refresh_span);
@@ -723,6 +783,9 @@ impl BaseStationSim {
         let served = engine.total_requests();
         {
             let stats = &mut self.stats;
+            let cache = &self.cache;
+            let server = &self.server;
+            let tick = self.tick;
             // Merge cursor over `downloaded`: both walks are ascending.
             let mut dl = 0usize;
             engine.for_each_active(|a| {
@@ -756,6 +819,16 @@ impl BaseStationSim {
                         }
                     }
                 }
+                if observing && n > 0 {
+                    let version = match cache.peek(a.object) {
+                        Some(entry) => entry.version.0,
+                        None => server.version_of(a.object).0,
+                    };
+                    recorder.lifecycle(
+                        LifecycleEvent::new(Transition::Served, a.object.0, version, tick)
+                            .times(n.min(u64::from(u32::MAX)) as u32),
+                    );
+                }
             });
         }
         drop(serve_span);
@@ -785,6 +858,9 @@ impl BaseStationSim {
         };
         recorder.sample(Sample::AverageRecency, outcome.average_recency);
         recorder.sample(Sample::AverageScore, outcome.average_score);
+        if observing {
+            recorder.sample(Sample::CachedUnits, self.cache.used() as f64);
+        }
         recorder.end_round(self.tick);
         self.downloaded = downloaded;
         self.recency_buf = recency;
@@ -840,7 +916,14 @@ impl BaseStationSim {
             let fetch_span = Span::enter(recorder, Stage::Fetch);
             loop {
                 flight.waiters.clear();
-                let Some(a) = flight.ledger.pop_arrival(now_tick, &mut flight.waiters) else {
+                let popped = if observing {
+                    flight
+                        .ledger
+                        .pop_arrival_recorded(now_tick, &mut flight.waiters, recorder)
+                } else {
+                    flight.ledger.pop_arrival(now_tick, &mut flight.waiters)
+                };
+                let Some(a) = popped else {
                     break;
                 };
                 self.cache
@@ -853,6 +936,31 @@ impl BaseStationSim {
                 arrived_count += 1;
                 if observing {
                     recorder.attribute(Attr::DownlinkUnitsByObject, a.object.0, a.size);
+                    if a.version != self.server.version_of(a.object) {
+                        // The copy was invalidated while on the wire.
+                        recorder.incr(Event::StaleArrivals);
+                        recorder.lifecycle(
+                            LifecycleEvent::new(
+                                Transition::InvalidatedStale,
+                                a.object.0,
+                                a.version.0,
+                                now_tick,
+                            )
+                            .at_launch(a.launched_at),
+                        );
+                    }
+                    if !flight.waiters.is_empty() {
+                        recorder.lifecycle(
+                            LifecycleEvent::new(
+                                Transition::ServedFromWait,
+                                a.object.0,
+                                a.version.0,
+                                now_tick,
+                            )
+                            .at_launch(a.launched_at)
+                            .times(flight.waiters.len().min(u32::MAX as usize) as u32),
+                        );
+                    }
                 }
                 // Waiters are served at the landed copy's *true* recency:
                 // if the version was invalidated while on the wire, they
@@ -875,6 +983,15 @@ impl BaseStationSim {
                     served_after_wait += 1;
                     recorder.sample(Sample::FetchLatencyTicks, wait);
                     if observing {
+                        // Decompose the wait: ticks spent before the
+                        // transfer launched (queueing) vs. riding the
+                        // wire; the serve itself is same-round (0 ticks),
+                        // kept as a channel so the model stays explicit.
+                        let queueing = a.launched_at.saturating_sub(w.issued_at);
+                        let on_wire = now_tick - w.issued_at.max(a.launched_at);
+                        recorder.sample(Sample::WaitQueueingTicks, queueing as f64);
+                        recorder.sample(Sample::WaitOnWireTicks, on_wire as f64);
+                        recorder.sample(Sample::WaitServeTicks, 0.0);
                         let staleness = ((1.0 - x) * 1_000.0).round() as u64;
                         if staleness > 0 {
                             recorder.attribute(Attr::ServeStalenessByObject, a.object.0, staleness);
@@ -951,6 +1068,16 @@ impl BaseStationSim {
         planner.solve_assembled(effective_budget, &mut self.scratch, recorder);
         downloaded.extend_from_slice(self.scratch.downloads());
         drop(plan_span);
+        if observing {
+            for &id in &downloaded {
+                recorder.lifecycle(LifecycleEvent::new(
+                    Transition::Planned,
+                    id.0,
+                    self.server.version_of(id).0,
+                    now_tick,
+                ));
+            }
+        }
 
         // (4) Launch the chosen transfers. Instant ones land right away,
         // popping back in launch (= ascending object) order, so the
@@ -961,17 +1088,26 @@ impl BaseStationSim {
             if flight.ledger.is_object_active(id) {
                 recorder.incr(Event::DuplicateFetches);
             }
-            flight.ledger.launch(
-                id,
-                self.server.version_of(id),
-                self.catalog.size_of(id),
-                now_tick,
-            );
+            let version = self.server.version_of(id);
+            let size = self.catalog.size_of(id);
+            if observing {
+                flight
+                    .ledger
+                    .launch_recorded(id, version, size, now_tick, recorder);
+            } else {
+                flight.ledger.launch(id, version, size, now_tick);
+            }
         }
         recorder.add(Event::FetchesIssued, launched_count as u64);
         if instant {
             flight.waiters.clear();
-            while let Some(a) = flight.ledger.pop_arrival(now_tick, &mut flight.waiters) {
+            while let Some(a) = if observing {
+                flight
+                    .ledger
+                    .pop_arrival_recorded(now_tick, &mut flight.waiters, recorder)
+            } else {
+                flight.ledger.pop_arrival(now_tick, &mut flight.waiters)
+            } {
                 self.cache
                     .insert(a.object, a.size, a.version, now)
                     .expect("unbounded cache never refuses");
@@ -1022,7 +1158,13 @@ impl BaseStationSim {
                     .ledger
                     .joinable(r.object, self.server.version_of(r.object))
             {
-                let launched_at = flight.ledger.join(r.object, r.target_recency, now_tick);
+                let launched_at = if observing {
+                    flight
+                        .ledger
+                        .join_recorded(r.object, r.target_recency, now_tick, recorder)
+                } else {
+                    flight.ledger.join(r.object, r.target_recency, now_tick)
+                };
                 if launched_at < now_tick {
                     joined += 1;
                     recorder.incr(Event::FetchesCoalesced);
@@ -1048,6 +1190,12 @@ impl BaseStationSim {
                 if staleness > 0 {
                     recorder.attribute(Attr::ServeStalenessByObject, r.object.0, staleness);
                 }
+                recorder.lifecycle(LifecycleEvent::new(
+                    Transition::Served,
+                    r.object.0,
+                    self.serve_version(r.object),
+                    now_tick,
+                ));
             }
         }
         drop(serve_span);
@@ -1079,6 +1227,9 @@ impl BaseStationSim {
         };
         recorder.sample(Sample::AverageRecency, outcome.average_recency);
         recorder.sample(Sample::AverageScore, outcome.average_score);
+        if observing {
+            recorder.sample(Sample::CachedUnits, self.cache.used() as f64);
+        }
         recorder.end_round(self.tick);
         self.downloaded = downloaded;
         self.recency_buf = recency;
@@ -1130,7 +1281,13 @@ impl BaseStationSim {
         if !instant {
             let fetch_span = Span::enter(recorder, Stage::Fetch);
             flight.waiters.clear();
-            while let Some(a) = flight.ledger.pop_arrival(now_tick, &mut flight.waiters) {
+            while let Some(a) = if observing {
+                flight
+                    .ledger
+                    .pop_arrival_recorded(now_tick, &mut flight.waiters, recorder)
+            } else {
+                flight.ledger.pop_arrival(now_tick, &mut flight.waiters)
+            } {
                 self.cache
                     .insert(a.object, a.size, a.version, now)
                     .expect("unbounded cache never refuses");
@@ -1138,6 +1295,19 @@ impl BaseStationSim {
                 arrived_count += 1;
                 if observing {
                     recorder.attribute(Attr::DownlinkUnitsByObject, a.object.0, a.size);
+                    if a.version != self.server.version_of(a.object) {
+                        // The copy was invalidated while on the wire.
+                        recorder.incr(Event::StaleArrivals);
+                        recorder.lifecycle(
+                            LifecycleEvent::new(
+                                Transition::InvalidatedStale,
+                                a.object.0,
+                                a.version.0,
+                                now_tick,
+                            )
+                            .at_launch(a.launched_at),
+                        );
+                    }
                 }
                 flight.arrived.push((a.object, a.launched_at));
             }
@@ -1201,6 +1371,16 @@ impl BaseStationSim {
         planner.solve_assembled(effective_budget, &mut self.scratch, recorder);
         downloaded.extend_from_slice(self.scratch.downloads());
         drop(plan_span);
+        if observing {
+            for &id in &downloaded {
+                recorder.lifecycle(LifecycleEvent::new(
+                    Transition::Planned,
+                    id.0,
+                    self.server.version_of(id).0,
+                    now_tick,
+                ));
+            }
+        }
 
         // (3) Launch; instant transfers land immediately, replaying the
         // instantaneous refresh loop.
@@ -1210,17 +1390,26 @@ impl BaseStationSim {
             if flight.ledger.is_object_active(id) {
                 recorder.incr(Event::DuplicateFetches);
             }
-            flight.ledger.launch(
-                id,
-                self.server.version_of(id),
-                self.catalog.size_of(id),
-                now_tick,
-            );
+            let version = self.server.version_of(id);
+            let size = self.catalog.size_of(id);
+            if observing {
+                flight
+                    .ledger
+                    .launch_recorded(id, version, size, now_tick, recorder);
+            } else {
+                flight.ledger.launch(id, version, size, now_tick);
+            }
         }
         recorder.add(Event::FetchesIssued, launched_count as u64);
         if instant {
             flight.waiters.clear();
-            while let Some(a) = flight.ledger.pop_arrival(now_tick, &mut flight.waiters) {
+            while let Some(a) = if observing {
+                flight
+                    .ledger
+                    .pop_arrival_recorded(now_tick, &mut flight.waiters, recorder)
+            } else {
+                flight.ledger.pop_arrival(now_tick, &mut flight.waiters)
+            } {
                 self.cache
                     .insert(a.object, a.size, a.version, now)
                     .expect("unbounded cache never refuses");
@@ -1256,6 +1445,7 @@ impl BaseStationSim {
         {
             let stats = &mut self.stats;
             let server = &self.server;
+            let cache = &self.cache;
             let ledger = &flight.ledger;
             let arrived = &flight.arrived;
             let mut dl = 0usize;
@@ -1276,14 +1466,41 @@ impl BaseStationSim {
                     ar += 1;
                 }
                 let n = a.requests;
+                let times = n.min(u64::from(u32::MAX)) as u32;
+                let cached_version = || match cache.peek(a.object) {
+                    Some(entry) => entry.version.0,
+                    None => server.version_of(a.object).0,
+                };
                 if downloaded_now && instant {
                     recency_acc.push_n(1.0, n);
                     score_acc.push_n(1.0, n);
                     stats.recency.push_n(1.0, n);
                     stats.score.push_n(1.0, n);
+                    if observing && n > 0 {
+                        recorder.lifecycle(
+                            LifecycleEvent::new(
+                                Transition::Served,
+                                a.object.0,
+                                cached_version(),
+                                now_tick,
+                            )
+                            .times(times),
+                        );
+                    }
                 } else if downloaded_now {
                     // Launched this round: the population waits for it.
                     waiting += n;
+                    if observing && n > 0 {
+                        recorder.lifecycle(
+                            LifecycleEvent::new(
+                                Transition::Requested,
+                                a.object.0,
+                                server.version_of(a.object).0,
+                                now_tick,
+                            )
+                            .times(times),
+                        );
+                    }
                 } else if !instant
                     && a.recency < 1.0
                     && ledger.joinable(a.object, server.version_of(a.object))
@@ -1292,6 +1509,17 @@ impl BaseStationSim {
                     recorder.add(Event::FetchesCoalesced, n);
                     joined += n;
                     waiting += n;
+                    if observing && n > 0 {
+                        recorder.lifecycle(
+                            LifecycleEvent::new(
+                                Transition::Joined,
+                                a.object.0,
+                                server.version_of(a.object).0,
+                                now_tick,
+                            )
+                            .times(times),
+                        );
+                    }
                 } else {
                     recency_acc.push_n(a.recency, n);
                     stats.recency.push_n(a.recency, n);
@@ -1304,8 +1532,37 @@ impl BaseStationSim {
                         stats.waited += n;
                         served_after_wait += n;
                         recorder.sample(Sample::FetchLatencyTicks, wait);
+                        if observing && n > 0 {
+                            // Standing requests wait from the launch round,
+                            // so the whole wait rides the wire; the serve is
+                            // same-round.
+                            recorder.sample(Sample::WaitQueueingTicks, 0.0);
+                            recorder.sample(Sample::WaitOnWireTicks, wait);
+                            recorder.sample(Sample::WaitServeTicks, 0.0);
+                            recorder.lifecycle(
+                                LifecycleEvent::new(
+                                    Transition::ServedFromWait,
+                                    a.object.0,
+                                    cached_version(),
+                                    now_tick,
+                                )
+                                .at_launch(launched_at)
+                                .times(times),
+                            );
+                        }
                     } else {
                         hits += n;
+                        if observing && n > 0 {
+                            recorder.lifecycle(
+                                LifecycleEvent::new(
+                                    Transition::Served,
+                                    a.object.0,
+                                    cached_version(),
+                                    now_tick,
+                                )
+                                .times(times),
+                            );
+                        }
                     }
                     if observing {
                         let staleness = ((1.0 - a.recency) * 1_000.0).round() as u64;
@@ -1349,6 +1606,9 @@ impl BaseStationSim {
         };
         recorder.sample(Sample::AverageRecency, outcome.average_recency);
         recorder.sample(Sample::AverageScore, outcome.average_score);
+        if observing {
+            recorder.sample(Sample::CachedUnits, self.cache.used() as f64);
+        }
         recorder.end_round(self.tick);
         self.downloaded = downloaded;
         self.recency_buf = recency;

@@ -224,7 +224,19 @@ fn on_demand_steady_state_steps_do_not_allocate() {
     // backlog and parked population climb to their (commitment-bounded)
     // steady state, so a warm-up that replays the measured wave-heavy
     // pattern covers the peak.
-    let recorders: [(&str, Option<Box<dyn basecache_obs::Recorder>>); 3] = [
+    // The causal composition rides the same matrix: lifecycle spans,
+    // AoI tables and the invariant monitor are all preallocated and
+    // update in place, so turning the full stack on must not cost a
+    // single steady-state allocation either.
+    let causal = || {
+        Box::new(basecache_obs::CausalRecorder::new(
+            basecache_obs::CausalConfig {
+                budget_units: Some(2500),
+                ..basecache_obs::CausalConfig::default()
+            },
+        ))
+    };
+    let recorders: [(&str, Option<Box<dyn basecache_obs::Recorder>>); 4] = [
         ("flight/null", None),
         (
             "flight/stats",
@@ -234,6 +246,7 @@ fn on_demand_steady_state_steps_do_not_allocate() {
             "flight/flight",
             Some(Box::new(basecache_obs::FlightRecorder::new(4096, 64, 8))),
         ),
+        ("flight/causal", Some(causal())),
     ];
     for (label, recorder) in recorders {
         let builder = StationBuilder::new(Catalog::from_sizes(&sizes))
@@ -288,17 +301,18 @@ fn on_demand_steady_state_steps_do_not_allocate() {
     // parallel dispatch boxes jobs.)
     // The in-flight variant runs the same columnar round with the
     // ledger in the loop (launches, joins, arrivals) — same bar.
-    for (label, with_recorder, inflight) in [
-        ("engine/null", false, false),
-        ("engine/flight", true, false),
-        ("engine/inflight", true, true),
+    for (label, recorder_kind, inflight) in [
+        ("engine/null", "null", false),
+        ("engine/flight", "flight", false),
+        ("engine/inflight", "flight", true),
+        ("engine/causal", "causal", true),
     ] {
         let builder = StationBuilder::new(Catalog::from_sizes(&sizes))
             .on_demand(OnDemandPlanner::paper_default(), 5000);
-        let builder = if with_recorder {
-            builder.recorder(Box::new(basecache_obs::FlightRecorder::new(4096, 64, 8)))
-        } else {
-            builder
+        let builder = match recorder_kind {
+            "flight" => builder.recorder(Box::new(basecache_obs::FlightRecorder::new(4096, 64, 8))),
+            "causal" => builder.recorder(causal()),
+            _ => builder,
         };
         let builder = if inflight {
             builder.in_flight(basecache_net::InFlightConfig::coalescing(2500))

@@ -9,8 +9,8 @@
 use basecache_core::planner::{OnDemandPlanner, SolverChoice};
 use basecache_core::recency::ScoringFunction;
 use basecache_core::StationBuilder;
-use basecache_net::{Catalog, ObjectId};
-use basecache_obs::{FlightRecorder, StatsRecorder};
+use basecache_net::{Catalog, InFlightConfig, ObjectId};
+use basecache_obs::{CausalConfig, CausalRecorder, FlightRecorder, Recorder, StatsRecorder};
 use basecache_sim::RngStreams;
 use basecache_workload::GeneratedRequest;
 
@@ -120,5 +120,83 @@ fn instrumented_runs_are_bit_identical_to_uninstrumented_ones() {
     assert!(
         basecache_obs::json::parse(&trace_json).is_ok(),
         "exported trace is valid JSON"
+    );
+}
+
+/// The causal composition (flight + lifecycle spans + AoI + invariant
+/// monitor) on the multi-round transfer path, where lifecycle events
+/// actually fire: still bit-identical outcomes, and a *correct* run
+/// must leave every invariant check silent.
+#[test]
+fn causal_recorder_is_inert_on_the_flight_path_and_monitor_stays_clean() {
+    let num_objects = 60u32;
+    let budget = 30u64;
+    let mut rng = RngStreams::new(0xCA5).stream("obs/causal_parity");
+    let sizes: Vec<u64> = (0..num_objects)
+        .map(|_| rng.random_range(1u64..=5))
+        .collect();
+
+    let build = |recorder: Option<Box<CausalRecorder>>| {
+        let mut b = StationBuilder::new(Catalog::from_sizes(&sizes))
+            .on_demand(planner(), budget)
+            .in_flight(InFlightConfig::coalescing(budget / 2));
+        if let Some(rec) = recorder {
+            b = b.recorder(rec);
+        }
+        b.build().unwrap()
+    };
+    let mut plain = build(None);
+    let mut causal = build(Some(Box::new(CausalRecorder::new(CausalConfig {
+        num_objects: num_objects as usize,
+        budget_units: Some(budget),
+        ..CausalConfig::default()
+    }))));
+
+    for t in 0..50u64 {
+        if t % 3 == 0 {
+            plain.apply_update_wave();
+            causal.apply_update_wave();
+        }
+        let requests: Vec<GeneratedRequest> = (0..50)
+            .map(|_| GeneratedRequest {
+                object: ObjectId(rng.random_range(0..num_objects)),
+                target_recency: rng.random_range(0.1f64..=1.0),
+            })
+            .collect();
+        let a = plain.step(&requests);
+        let b = causal.step(&requests);
+        assert_eq!(a, b, "tick {t}: outcomes diverged under CausalRecorder");
+        assert_eq!(
+            plain.last_downloaded(),
+            causal.last_downloaded(),
+            "tick {t}: download plans diverged under CausalRecorder"
+        );
+    }
+
+    let rec = causal
+        .recorder()
+        .as_any()
+        .downcast_ref::<CausalRecorder>()
+        .expect("built with a CausalRecorder");
+    // The lifecycle sink tracked real transfer spans...
+    let spans = rec.lifecycle_spans().spans();
+    assert!(!spans.is_empty(), "transfer spans were recorded");
+    assert!(
+        spans.iter().any(|s| s.served > 0),
+        "some span served requests"
+    );
+    // ...the AoI sink saw serves against cached copies...
+    let aoi_snapshot = rec.aoi().snapshot();
+    assert!(
+        aoi_snapshot.sample("aoi_at_serve").is_some(),
+        "ages were observed at serve time"
+    );
+    // ...and a correct, instrumented run trips zero invariants — the
+    // same checks the fault-injection suite proves *do* fire on seeded
+    // bugs.
+    assert!(
+        rec.monitor().is_clean(),
+        "clean run flagged violations: {:?}",
+        rec.monitor().snapshot().counters
     );
 }

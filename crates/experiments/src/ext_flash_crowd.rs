@@ -19,6 +19,7 @@
 use basecache_core::planner::OnDemandPlanner;
 use basecache_core::StationBuilder;
 use basecache_net::{Catalog, InFlightConfig};
+use basecache_obs::{CausalConfig, CausalRecorder, Recorder};
 use basecache_sim::RngStreams;
 use basecache_workload::{FlashCrowdGenerator, GeneratedRequest, Popularity, TargetRecency};
 
@@ -114,9 +115,14 @@ pub struct Point {
     pub coalesced_fetch_ratio: f64,
 }
 
-/// Run one spike intensity under one ledger mode. Both modes replay the
-/// identical request trace for the given intensity.
-pub fn run_point(params: &Params, spike_rate: usize, config: InFlightConfig) -> Point {
+/// Drive one (spike intensity, mode) run to completion — demand rounds,
+/// update waves, then the drain — and return the station for read-out.
+fn drive(
+    params: &Params,
+    spike_rate: usize,
+    config: InFlightConfig,
+    recorder: Option<Box<CausalRecorder>>,
+) -> basecache_core::BaseStationSim {
     let mut generator = FlashCrowdGenerator::new(
         Popularity::ZIPF1.build(params.baseline_objects),
         Popularity::Uniform.build(params.cold_objects),
@@ -131,11 +137,13 @@ pub fn run_point(params: &Params, spike_rate: usize, config: InFlightConfig) -> 
         .map(|_| generator.batch(&mut rng))
         .collect();
 
-    let mut station = StationBuilder::new(params.catalog())
+    let mut builder = StationBuilder::new(params.catalog())
         .on_demand(OnDemandPlanner::paper_default(), params.refresh_budget)
-        .in_flight(config)
-        .build()
-        .expect("valid configuration");
+        .in_flight(config);
+    if let Some(rec) = recorder {
+        builder = builder.recorder(rec);
+    }
+    let mut station = builder.build().expect("valid configuration");
     for (t, batch) in batches.iter().enumerate() {
         if (t as u64).is_multiple_of(params.update_period) {
             station.apply_update_wave();
@@ -156,6 +164,10 @@ pub fn run_point(params: &Params, spike_rate: usize, config: InFlightConfig) -> 
         rounds += 1;
         assert!(rounds <= limit, "drain did not converge");
     }
+    station
+}
+
+fn read_point(station: &basecache_core::BaseStationSim) -> Point {
     let ledger = station.flight_ledger().expect("flight mode").stats();
     Point {
         score: station.stats().score.mean().unwrap_or(1.0),
@@ -166,6 +178,70 @@ pub fn run_point(params: &Params, spike_rate: usize, config: InFlightConfig) -> 
     }
 }
 
+/// Run one spike intensity under one ledger mode. Both modes replay the
+/// identical request trace for the given intensity. Recorder-free: this
+/// is the path the `planner/inflight/flash_crowd` bench times, so the
+/// station runs with the default [`basecache_obs::NullRecorder`].
+pub fn run_point(params: &Params, spike_rate: usize, config: InFlightConfig) -> Point {
+    read_point(&drive(params, spike_rate, config, None))
+}
+
+/// [`run_point`] with the full [`CausalRecorder`] wired in: the same
+/// trace and physics (parity-tested in `basecache-core`), plus the
+/// causal read-out — wait decomposition, age-of-information and the
+/// invariant monitor's verdict.
+#[derive(Debug, Clone)]
+pub struct ProfiledPoint {
+    /// The headline metrics, identical to the unprofiled run.
+    pub point: Point,
+    /// Mean rounds a parked request spent queued before its transfer
+    /// launched.
+    pub wait_queueing: f64,
+    /// Mean rounds a parked request spent with its transfer on the wire.
+    pub wait_on_wire: f64,
+    /// Worst age-of-information observed at any serve, ticks.
+    pub peak_aoi: u64,
+    /// Mean age at serve, ticks.
+    pub mean_aoi: f64,
+    /// Transfer-lifecycle spans captured.
+    pub lifecycle_spans: usize,
+    /// Invariant violations flagged (0 on a correct run).
+    pub monitor_violations: u64,
+}
+
+/// Run one profiled spike point. The monitor runs fully armed — budget
+/// check at the refresh budget, and the single-flight check disarmed
+/// only under the naive baseline, where duplicates are the design.
+pub fn run_point_profiled(
+    params: &Params,
+    spike_rate: usize,
+    config: InFlightConfig,
+) -> ProfiledPoint {
+    let recorder = CausalRecorder::new(CausalConfig {
+        num_objects: params.baseline_objects + params.cold_objects,
+        budget_units: Some(params.refresh_budget),
+        allow_duplicate_flights: !config.coalesce,
+        ..CausalConfig::default()
+    });
+    let station = drive(params, spike_rate, config, Some(Box::new(recorder)));
+    let causal = station
+        .recorder()
+        .as_any()
+        .downcast_ref::<CausalRecorder>()
+        .expect("driven with a CausalRecorder");
+    let snapshot = causal.snapshot();
+    let sample_mean = |name: &str| snapshot.sample(name).map(|s| s.mean).unwrap_or(0.0);
+    ProfiledPoint {
+        point: read_point(&station),
+        wait_queueing: sample_mean("wait_queueing_ticks"),
+        wait_on_wire: sample_mean("wait_on_wire_ticks"),
+        peak_aoi: causal.aoi().peak_aoi(),
+        mean_aoi: sample_mean("aoi_at_serve"),
+        lifecycle_spans: causal.lifecycle_spans().spans().len(),
+        monitor_violations: causal.monitor().total_violations(),
+    }
+}
+
 /// Run the sweep: each spike intensity under coalescing and naive
 /// re-fetching over the same trace.
 pub fn run(params: &Params) -> Figure {
@@ -173,18 +249,28 @@ pub fn run(params: &Params) -> Figure {
         (
             run_point(params, rate, InFlightConfig::coalescing(params.bandwidth)),
             run_point(params, rate, InFlightConfig::naive(params.bandwidth)),
+            // A third, profiled coalescing run: identical physics
+            // (parity-tested), read out through the causal recorder for
+            // the wait-decomposition and AoI series below.
+            run_point_profiled(params, rate, InFlightConfig::coalescing(params.bandwidth)),
         )
     });
+    type Row = (Point, Point, ProfiledPoint);
     let xs: Vec<f64> = params.spike_rates.iter().map(|&r| r as f64).collect();
-    let pair =
-        |f: &dyn Fn(&Point) -> f64, side: &dyn Fn(&(Point, Point)) -> Point| -> Vec<(f64, f64)> {
-            xs.iter()
-                .zip(&results)
-                .map(|(&x, r)| (x, f(&side(r))))
-                .collect()
-        };
-    let coalesce = |r: &(Point, Point)| r.0;
-    let naive = |r: &(Point, Point)| r.1;
+    let pair = |f: &dyn Fn(&Point) -> f64, side: &dyn Fn(&Row) -> Point| -> Vec<(f64, f64)> {
+        xs.iter()
+            .zip(&results)
+            .map(|(&x, r)| (x, f(&side(r))))
+            .collect()
+    };
+    let profiled = |f: &dyn Fn(&ProfiledPoint) -> f64| -> Vec<(f64, f64)> {
+        xs.iter()
+            .zip(&results)
+            .map(|(&x, r)| (x, f(&r.2)))
+            .collect()
+    };
+    let coalesce = |r: &Row| r.0;
+    let naive = |r: &Row| r.1;
     let series = vec![
         Series::new(
             "delivered score (coalescing)",
@@ -203,6 +289,28 @@ pub fn run(params: &Params) -> Figure {
         Series::new(
             "coalesced fetch ratio (coalescing)",
             pair(&|p| p.coalesced_fetch_ratio, &coalesce),
+        ),
+        // Causal-profile series (appended: earlier indices are pinned
+        // by downstream readers).
+        Series::new(
+            "wait queueing, rounds (coalescing)",
+            profiled(&|p| p.wait_queueing),
+        ),
+        Series::new(
+            "wait on-wire, rounds (coalescing)",
+            profiled(&|p| p.wait_on_wire),
+        ),
+        Series::new(
+            "mean AoI at serve, ticks (coalescing)",
+            profiled(&|p| p.mean_aoi),
+        ),
+        Series::new(
+            "peak AoI at serve, ticks (coalescing)",
+            profiled(&|p| p.peak_aoi as f64),
+        ),
+        Series::new(
+            "monitor violations (coalescing)",
+            profiled(&|p| p.monitor_violations as f64),
         ),
     ];
     Figure::new(
@@ -261,5 +369,52 @@ mod tests {
         // absorbs a growing share of fetch demand by joining.
         assert!(n_dupes[last].1 > n_dupes[0].1);
         assert!(c_ratio[last].1 > c_ratio[0].1);
+
+        // The causal-profile series ride behind the pinned six: the
+        // wait decomposition explains the total wait, and the armed
+        // monitor stays silent across the whole sweep.
+        assert_eq!(fig.series.len(), 11);
+        let queueing = &fig.series[6].points;
+        let on_wire = &fig.series[7].points;
+        let peak_aoi = &fig.series[9].points;
+        let violations = &fig.series[10].points;
+        assert!(
+            on_wire[last].1 > 0.0,
+            "multi-round cold transfers put waiters on the wire"
+        );
+        let total = queueing[last].1 + on_wire[last].1;
+        assert!(
+            (total - c_wait[last].1).abs() < total.max(1.0) * 0.5,
+            "decomposition {total:.3} should be in the ballpark of the \
+             ledger's mean wait {:.3}",
+            c_wait[last].1
+        );
+        assert!(peak_aoi[last].1 > 0.0, "update waves age served copies");
+        assert!(
+            violations.iter().all(|&(_, v)| v == 0.0),
+            "a correct run must stay violation-free: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn profiled_point_matches_the_unprofiled_physics() {
+        let params = Params::quick();
+        let spike = *params.spike_rates.last().unwrap();
+        let config = InFlightConfig::coalescing(params.bandwidth);
+        let plain = run_point(&params, spike, config);
+        let profiled = run_point_profiled(&params, spike, config);
+        assert_eq!(
+            plain.score.to_bits(),
+            profiled.point.score.to_bits(),
+            "profiling must not perturb the simulation"
+        );
+        assert_eq!(plain.duplicate_launches, profiled.point.duplicate_launches);
+        assert_eq!(plain.units_launched, profiled.point.units_launched);
+        assert!(profiled.lifecycle_spans > 0);
+        assert_eq!(profiled.monitor_violations, 0);
+        // The naive baseline disarms only the single-flight check; the
+        // run is still conservation- and order-clean.
+        let naive = run_point_profiled(&params, spike, InFlightConfig::naive(params.bandwidth));
+        assert_eq!(naive.monitor_violations, 0);
     }
 }

@@ -1,23 +1,29 @@
-//! Extension experiment — flight-recorder profile of a representative
-//! run.
+//! Extension experiment — causal observability profile of a
+//! representative run.
 //!
-//! Drives the paper's on-demand DP policy with a live
-//! [`FlightRecorder`] — aggregate stats, a bounded event trace, a
-//! decimated per-round time series, and top-K attribution — and reports
-//! where the round actually goes: per-stage wall-clock (recency fill,
-//! planning, the DP solve, cache refresh, serving), knapsack shape
-//! (items, capacity, DP cells touched), delivered-quality
-//! distributions, and *which* objects and clients dominated the
-//! downlink. Under `--csv` the harness additionally writes the trace as
-//! Chrome-trace-event JSON (`ext_obs_trace.json`, loadable in Perfetto)
-//! and the round series as CSV (`ext_obs_series.csv`). The companion
-//! parity and allocation tests in `basecache-core` prove the
-//! instrumentation itself is free; this module is the read-out side.
+//! Drives the paper's on-demand DP policy with the full
+//! [`CausalRecorder`] — aggregate stats, a bounded event trace, a
+//! decimated per-round time series, top-K attribution, *and* the causal
+//! layer: transfer-lifecycle spans, age-of-information telemetry and
+//! the online invariant monitor — and reports where the round actually
+//! goes: per-stage wall-clock (recency fill, planning, the DP solve,
+//! cache refresh, serving), knapsack shape (items, capacity, DP cells
+//! touched), delivered-quality distributions, *which* objects and
+//! clients dominated the downlink, and how stale the copies they read
+//! were. Under `--csv` the harness additionally writes the point-event
+//! trace as Chrome-trace-event JSON (`ext_obs_trace.json`), the
+//! lifecycle spans as Perfetto async events
+//! (`ext_obs_lifecycle.json`), the round series and AoI trajectory as
+//! CSV (`ext_obs_series.csv`, `ext_obs_aoi.csv`) and the attribution
+//! channels with their Space-Saving error bounds (`ext_obs_topk.csv`).
+//! The companion parity and allocation tests in `basecache-core` prove
+//! the instrumentation itself is free; this module is the read-out
+//! side.
 
 use basecache_core::planner::OnDemandPlanner;
 use basecache_core::{Policy, StationBuilder};
 use basecache_net::Catalog;
-use basecache_obs::{Attr, FlightRecorder, Snapshot, TopEntry};
+use basecache_obs::{Attr, CausalConfig, CausalRecorder, Snapshot, TopEntry};
 use basecache_workload::Popularity;
 
 use crate::runner::{record_trace, RunConfig, RunResult};
@@ -85,6 +91,27 @@ pub struct Profile {
     pub top_clients: Vec<TopEntry>,
     /// Objects served stalest (weight = thousandths of lost recency).
     pub top_stale: Vec<TopEntry>,
+    /// Every attribution channel as CSV, with Space-Saving error bounds.
+    pub topk_csv: String,
+    /// Transfer-lifecycle spans as Perfetto async-event JSON.
+    pub lifecycle_json: String,
+    /// Lifecycle spans captured (open + closed).
+    pub lifecycle_spans: usize,
+    /// Spans still open when the run ended.
+    pub lifecycle_open: usize,
+    /// Closed spans the lifecycle ring overwrote (0 = full history).
+    pub lifecycle_dropped: u64,
+    /// Age-of-information trajectory as CSV (decimating per-round rows).
+    pub aoi_csv: String,
+    /// Worst age observed at any serve, ticks.
+    pub peak_aoi: u64,
+    /// Objects accumulating the most age×serves (worst-AoI top-K).
+    pub top_aoi: Vec<TopEntry>,
+    /// Total invariant violations the online monitor flagged (0 on a
+    /// correct run).
+    pub monitor_violations: u64,
+    /// The violation counters that fired, `(name, count)`.
+    pub monitor_counters: Vec<(&'static str, u64)>,
 }
 
 /// Trace ring capacity for the profiled run. Big enough to hold every
@@ -96,7 +123,13 @@ const SERIES_CAPACITY: usize = 256;
 /// Entities tracked per attribution channel.
 const TOP_K: usize = 8;
 
-/// Run the profiled simulation with a full flight recorder wired into
+/// Concurrently open lifecycle spans tracked before the oldest is
+/// force-closed into the ring.
+const OPEN_SPANS: usize = 512;
+/// Closed lifecycle spans retained (ring, overwriting oldest).
+const CLOSED_SPANS: usize = 4096;
+
+/// Run the profiled simulation with the full causal recorder wired into
 /// the station, and materialize everything it captured.
 pub fn run(params: &Params) -> Profile {
     let trace = record_trace(&params.config);
@@ -106,11 +139,16 @@ pub fn run(params: &Params) -> Profile {
             planner: OnDemandPlanner::paper_default(),
             budget_units: params.budget,
         })
-        .recorder(Box::new(FlightRecorder::new(
-            TRACE_CAPACITY,
-            SERIES_CAPACITY,
-            TOP_K,
-        )))
+        .recorder(Box::new(CausalRecorder::new(CausalConfig {
+            trace_capacity: TRACE_CAPACITY,
+            series_capacity: SERIES_CAPACITY,
+            top_k: TOP_K,
+            open_spans: OPEN_SPANS,
+            closed_spans: CLOSED_SPANS,
+            num_objects: config.objects,
+            budget_units: Some(params.budget),
+            allow_duplicate_flights: false,
+        })))
         .build()
         .expect("profiled policy is a valid configuration");
     let total = config.warmup_ticks + config.measure_ticks;
@@ -133,11 +171,21 @@ pub fn run(params: &Params) -> Profile {
         mean_score: stats.score.mean(),
         requests_served: stats.requests_served,
     };
-    let flight = station
+    let causal = station
         .recorder()
         .as_any()
-        .downcast_ref::<FlightRecorder>()
-        .expect("station was built with a FlightRecorder");
+        .downcast_ref::<CausalRecorder>()
+        .expect("station was built with a CausalRecorder");
+    let flight = causal.flight();
+    let spans = causal.lifecycle_spans().spans();
+    let monitor = causal.monitor();
+    let monitor_counters: Vec<(&'static str, u64)> = basecache_obs::MONITOR_EVENTS
+        .iter()
+        .filter_map(|&e| {
+            let count = monitor.count(e);
+            (count > 0).then_some((e.name(), count))
+        })
+        .collect();
     Profile {
         result,
         snapshot,
@@ -150,6 +198,16 @@ pub fn run(params: &Params) -> Profile {
         top_objects: flight.topk().top(Attr::DownlinkUnitsByObject),
         top_clients: flight.topk().top(Attr::DownlinkUnitsByClient),
         top_stale: flight.topk().top(Attr::ServeStalenessByObject),
+        topk_csv: flight.topk().to_csv(),
+        lifecycle_json: causal.lifecycle_spans().to_chrome_trace(),
+        lifecycle_spans: spans.len(),
+        lifecycle_open: spans.iter().filter(|s| s.open).count(),
+        lifecycle_dropped: causal.lifecycle_spans().dropped(),
+        aoi_csv: causal.aoi().to_csv(),
+        peak_aoi: causal.aoi().peak_aoi(),
+        top_aoi: causal.aoi().top(),
+        monitor_violations: monitor.total_violations(),
+        monitor_counters,
     }
 }
 
@@ -239,6 +297,13 @@ pub fn to_table(profile: &Profile) -> String {
         &profile.top_stale,
         "obj",
     );
+    write_top(
+        &mut out,
+        "worst age-of-information (age x serves, ticks)",
+        "age-ticks",
+        &profile.top_aoi,
+        "obj",
+    );
     let _ = writeln!(
         out,
         "round series: {} rows retained of {} rounds (stride {})",
@@ -254,6 +319,26 @@ pub fn to_table(profile: &Profile) -> String {
             " (bounded memory: oldest rounds evicted)"
         }
     );
+    let _ = writeln!(
+        out,
+        "lifecycle spans: {} captured ({} still open, {} dropped), peak AoI {} ticks",
+        profile.lifecycle_spans,
+        profile.lifecycle_open,
+        profile.lifecycle_dropped,
+        profile.peak_aoi
+    );
+    if profile.monitor_violations == 0 {
+        let _ = writeln!(out, "invariant monitor: clean (0 violations)");
+    } else {
+        let _ = writeln!(
+            out,
+            "invariant monitor: {} VIOLATION(S)",
+            profile.monitor_violations
+        );
+        for (name, count) in &profile.monitor_counters {
+            let _ = writeln!(out, "  {name:<32}{count:>6}");
+        }
+    }
     out
 }
 
@@ -303,18 +388,58 @@ mod tests {
             .get("traceEvents")
             .and_then(|v| v.as_array())
             .is_some());
-        // One series row per round, stride still 1.
+        // One series row per round, stride still 1 — and the export
+        // leads with the decimation metadata comment.
         assert_eq!(profile.rounds_seen, 12);
         assert_eq!(profile.series_rows, 12);
         assert_eq!(profile.series_stride, 1);
-        assert!(profile.series_csv.starts_with("tick,"));
-        assert_eq!(profile.series_csv.lines().count(), 13, "header + 12 rows");
+        assert!(
+            profile
+                .series_csv
+                .starts_with("# decimation_stride=1 rounds_seen=12"),
+            "{}",
+            profile.series_csv.lines().next().unwrap_or_default()
+        );
+        assert_eq!(
+            profile.series_csv.lines().count(),
+            14,
+            "metadata + header + 12 rows"
+        );
         // Attribution saw the downlink (Zipf demand downloads something
         // every round) and the report names the heavy hitters.
         assert!(!profile.top_objects.is_empty());
         let table = to_table(&profile);
         assert!(table.contains("top downlink consumers"), "{table}");
         assert!(table.contains("round series:"), "{table}");
+    }
+
+    #[test]
+    fn causal_channels_are_populated_and_monitor_is_clean() {
+        let profile = run(&tiny());
+        // Lifecycle spans were captured and export as parseable
+        // async-event JSON with the drop counter in the envelope.
+        assert!(profile.lifecycle_spans > 0);
+        assert_eq!(profile.lifecycle_dropped, 0, "tiny run fits the ring");
+        let parsed =
+            basecache_obs::json::parse(&profile.lifecycle_json).expect("valid lifecycle JSON");
+        assert!(parsed.get("droppedSpans").is_some());
+        assert!(parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .is_some_and(|evs| !evs.is_empty()));
+        // The AoI trajectory exported with its decimation metadata, and
+        // the update waves guarantee nonzero ages at serve time.
+        assert!(profile.aoi_csv.starts_with("# decimation_stride="));
+        assert!(profile.peak_aoi > 0, "waves make some serves aged");
+        assert!(!profile.top_aoi.is_empty());
+        // The attribution CSV carries the Space-Saving error column.
+        assert!(profile.topk_csv.starts_with("channel,label,weight,error"));
+        // A correct run trips zero invariants.
+        assert_eq!(profile.monitor_violations, 0);
+        assert!(profile.monitor_counters.is_empty());
+        let table = to_table(&profile);
+        assert!(table.contains("invariant monitor: clean"), "{table}");
+        assert!(table.contains("lifecycle spans:"), "{table}");
     }
 
     #[test]

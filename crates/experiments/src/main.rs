@@ -286,13 +286,20 @@ fn main() -> ExitCode {
                 basecache_obs::export::write_json(&profile.snapshot, &dir.join("ext_obs.json"))?;
                 std::fs::write(dir.join("ext_obs_trace.json"), &profile.trace_json)?;
                 std::fs::write(dir.join("ext_obs_series.csv"), &profile.series_csv)?;
+                std::fs::write(dir.join("ext_obs_lifecycle.json"), &profile.lifecycle_json)?;
+                std::fs::write(dir.join("ext_obs_aoi.csv"), &profile.aoi_csv)?;
+                std::fs::write(dir.join("ext_obs_topk.csv"), &profile.topk_csv)?;
                 Ok(())
             };
             match write_all() {
                 Ok(()) => println!(
                     "  (obs profile written to {dir}/ext_obs.{{csv,json}}; \
-                     Perfetto trace to {dir}/ext_obs_trace.json; \
-                     round series to {dir}/ext_obs_series.csv)",
+                     Perfetto traces to {dir}/ext_obs_trace.json and \
+                     {dir}/ext_obs_lifecycle.json; \
+                     round series to {dir}/ext_obs_series.csv; \
+                     AoI trajectory to {dir}/ext_obs_aoi.csv; \
+                     attribution to {dir}/ext_obs_topk.csv \
+                     [inspect with `basecache-trace waits|aoi|report`])",
                     dir = dir.display()
                 ),
                 Err(e) => eprintln!("  obs export failed: {e}"),

@@ -1,0 +1,454 @@
+//! Age-of-information telemetry: how old is the copy each client was
+//! served, and how stale had a copy grown by the time its refresh landed?
+//!
+//! The [`AoiRecorder`] listens to the same [`LifecycleEvent`] stream as
+//! the lifecycle span recorder and derives per-object *age of
+//! information*: the number of ticks between a served copy's origin (the
+//! tick its transfer launched — the last instant it was provably fresh)
+//! and the round that served it. Freshness-optimal refresh scheduling
+//! (ROADMAP item 4) consumes exactly this signal, so the recorder
+//! surfaces it three ways:
+//!
+//! - **Distributions** — `aoi_at_serve` (age suffered by clients) and
+//!   `aoi_at_refresh` (age a copy reached before its refresh arrived),
+//!   as streaming Welford + P² summaries in the snapshot.
+//! - **Worst offenders** — a Space-Saving top-K on the
+//!   [`Attr::AoiByObject`] channel, charging each serve's age to its
+//!   object.
+//! - **Trajectory** — a decimating per-round series (same policy as
+//!   [`crate::RoundSeries`]: bounded memory, halving resolution instead
+//!   of truncating) of serves, mean/peak AoI and refreshes per round.
+//!
+//! Recording is allocation-free: the per-object origin table, the
+//! streaming sinks and the series rows are all sized at construction.
+
+use std::cell::RefCell;
+
+use crate::ids::{Attr, Event, Sample, Stage};
+use crate::lifecycle::{LifecycleEvent, Transition, NO_TICK};
+use crate::recorder::Recorder;
+use crate::snapshot::{AttrSnapshot, Snapshot};
+use crate::stats::Dist;
+use crate::topk::{TopEntry, TopK};
+
+/// One retained round of the AoI trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AoiRow {
+    /// Sim tick of the round.
+    pub tick: u64,
+    /// Requests served (with a known-age copy) this round.
+    pub serves: u64,
+    /// Mean AoI across this round's serves (NaN when none).
+    pub mean_aoi: f64,
+    /// Worst AoI served this round.
+    pub peak_aoi: u64,
+    /// Fresh copies that arrived this round.
+    pub refreshes: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CurRound {
+    serves: u64,
+    aoi_sum: u64,
+    peak: u64,
+    refreshes: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Per-object origin tick of the cached copy ([`NO_TICK`] = never
+    /// cached / unknown). Keys beyond the table are ignored.
+    origin: Vec<u64>,
+    at_serve: Dist,
+    at_refresh: Dist,
+    topk: TopK,
+    peak_aoi: u64,
+    rows: Vec<AoiRow>,
+    stride: u64,
+    rounds_seen: u64,
+    in_round: bool,
+    cur: CurRound,
+}
+
+/// A recorder deriving age-of-information from lifecycle events. See the
+/// module docs for the three surfaces it exports.
+#[derive(Debug)]
+pub struct AoiRecorder {
+    capacity: usize,
+    state: RefCell<State>,
+}
+
+impl AoiRecorder {
+    /// A recorder for objects with dense keys `0..num_objects`, keeping
+    /// at most `series_capacity` trajectory rows (min 8) and a top-`k`
+    /// worst-AoI summary.
+    pub fn new(num_objects: usize, series_capacity: usize, k: usize) -> Self {
+        let capacity = series_capacity.max(8);
+        Self {
+            capacity,
+            state: RefCell::new(State {
+                origin: vec![NO_TICK; num_objects],
+                at_serve: Dist::new(),
+                at_refresh: Dist::new(),
+                topk: TopK::new(k),
+                peak_aoi: 0,
+                rows: Vec::with_capacity(capacity),
+                stride: 1,
+                rounds_seen: 0,
+                in_round: false,
+                cur: CurRound::default(),
+            }),
+        }
+    }
+
+    /// Worst AoI observed at any serve so far.
+    pub fn peak_aoi(&self) -> u64 {
+        self.state.borrow().peak_aoi
+    }
+
+    /// The worst-AoI objects, heaviest (most age-ticks suffered) first.
+    pub fn top(&self) -> Vec<TopEntry> {
+        self.state.borrow().topk.top()
+    }
+
+    /// Retained trajectory rows, oldest first.
+    pub fn rows(&self) -> Vec<AoiRow> {
+        self.state.borrow().rows.clone()
+    }
+
+    /// Current decimation stride: each retained row stands for this many
+    /// simulated rounds.
+    pub fn stride(&self) -> u64 {
+        self.state.borrow().stride
+    }
+
+    /// Rounds observed (before decimation).
+    pub fn rounds_seen(&self) -> u64 {
+        self.state.borrow().rounds_seen
+    }
+
+    /// Render the trajectory as CSV. The first line is a `#` metadata
+    /// comment carrying the decimation stride and true round count, so a
+    /// downstream diff can tell full-resolution data from decimated.
+    pub fn to_csv(&self) -> String {
+        let st = self.state.borrow();
+        let mut out = format!(
+            "# decimation_stride={} rounds_seen={}\n",
+            st.stride, st.rounds_seen
+        );
+        out.push_str("tick,serves,mean_aoi,peak_aoi,refreshes\n");
+        for r in &st.rows {
+            let mean = if r.mean_aoi.is_finite() {
+                format!("{}", r.mean_aoi)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                r.tick, r.serves, mean, r.peak_aoi, r.refreshes
+            ));
+        }
+        out
+    }
+
+    /// Forget everything without deallocating the tables.
+    pub fn reset(&self) {
+        let mut st = self.state.borrow_mut();
+        for o in st.origin.iter_mut() {
+            *o = NO_TICK;
+        }
+        st.at_serve = Dist::new();
+        st.at_refresh = Dist::new();
+        st.topk.reset();
+        st.peak_aoi = 0;
+        st.rows.clear();
+        st.stride = 1;
+        st.rounds_seen = 0;
+        st.in_round = false;
+        st.cur = CurRound::default();
+    }
+}
+
+impl Recorder for AoiRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&self, _event: Event, _n: u64) {}
+
+    #[inline]
+    fn sample(&self, _sample: Sample, _value: f64) {}
+
+    #[inline]
+    fn span_ns(&self, _stage: Stage, _ns: u64) {}
+
+    fn lifecycle(&self, event: LifecycleEvent) {
+        let mut st = self.state.borrow_mut();
+        let idx = event.object as usize;
+        if idx >= st.origin.len() {
+            return;
+        }
+        match event.transition {
+            Transition::Served | Transition::ServedFromWait => {
+                let origin = st.origin[idx];
+                if origin == NO_TICK {
+                    return;
+                }
+                let age = event.tick.saturating_sub(origin);
+                // One observation per (object, round) serve group — the
+                // same granularity the staleness channels use; the top-K
+                // weight still accounts for every request via `count`.
+                st.at_serve.push(age as f64);
+                st.topk
+                    .update(event.object, age.saturating_mul(u64::from(event.count)));
+                st.peak_aoi = st.peak_aoi.max(age);
+                st.cur.serves += u64::from(event.count);
+                st.cur.aoi_sum = st
+                    .cur
+                    .aoi_sum
+                    .saturating_add(age.saturating_mul(u64::from(event.count)));
+                st.cur.peak = st.cur.peak.max(age);
+            }
+            Transition::Arrived => {
+                let old = st.origin[idx];
+                if old != NO_TICK {
+                    st.at_refresh.push(event.tick.saturating_sub(old) as f64);
+                }
+                // The new copy is as old as its launch tick: it left the
+                // server then, and may have aged on the wire.
+                st.origin[idx] = if event.launch_tick != NO_TICK {
+                    event.launch_tick
+                } else {
+                    event.tick
+                };
+                st.cur.refreshes += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn begin_round(&self, _tick: u64) {
+        let mut st = self.state.borrow_mut();
+        st.in_round = true;
+        st.cur = CurRound::default();
+    }
+
+    fn end_round(&self, tick: u64) {
+        let mut st = self.state.borrow_mut();
+        if !st.in_round {
+            return;
+        }
+        st.in_round = false;
+        let idx = st.rounds_seen;
+        st.rounds_seen += 1;
+        if !idx.is_multiple_of(st.stride) {
+            return;
+        }
+        let row = AoiRow {
+            tick,
+            serves: st.cur.serves,
+            mean_aoi: if st.cur.serves > 0 {
+                st.cur.aoi_sum as f64 / st.cur.serves as f64
+            } else {
+                f64::NAN
+            },
+            peak_aoi: st.cur.peak,
+            refreshes: st.cur.refreshes,
+        };
+        if st.rows.len() == self.capacity {
+            // Halve resolution in place: keep even-indexed rows.
+            let mut w = 0;
+            let mut r = 0;
+            while r < st.rows.len() {
+                st.rows[w] = st.rows[r];
+                w += 1;
+                r += 2;
+            }
+            st.rows.truncate(w);
+            st.stride *= 2;
+            if !idx.is_multiple_of(st.stride) {
+                return;
+            }
+        }
+        st.rows.push(row);
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let st = self.state.borrow();
+        let samples = [
+            st.at_serve.summary(Sample::AoiAtServe.name()),
+            st.at_refresh.summary(Sample::AoiAtRefresh.name()),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let attrs = st
+            .topk
+            .top()
+            .into_iter()
+            .map(|e| AttrSnapshot {
+                channel: Attr::AoiByObject.name(),
+                label: Attr::AoiByObject.label(e.key),
+                weight: e.weight,
+                error: e.error,
+            })
+            .collect();
+        Snapshot {
+            samples,
+            attrs,
+            ..Snapshot::default()
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrive(rec: &AoiRecorder, object: u32, launch: u64, tick: u64) {
+        rec.lifecycle(LifecycleEvent::new(Transition::Arrived, object, 1, tick).at_launch(launch));
+    }
+
+    fn serve(rec: &AoiRecorder, object: u32, tick: u64, count: u32) {
+        rec.lifecycle(LifecycleEvent::new(Transition::Served, object, 1, tick).times(count));
+    }
+
+    #[test]
+    fn age_counts_from_the_launch_tick_not_the_arrival() {
+        let rec = AoiRecorder::new(4, 16, 4);
+        rec.begin_round(10);
+        arrive(&rec, 0, 5, 10); // launched at 5, landed at 10
+        serve(&rec, 0, 10, 1); // age = 10 - 5
+        rec.end_round(10);
+        let snap = rec.snapshot();
+        let s = snap.sample("aoi_at_serve").expect("recorded");
+        assert_eq!(s.count, 1);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(rec.peak_aoi(), 5);
+    }
+
+    #[test]
+    fn serves_before_any_arrival_are_unknown_age_and_skipped() {
+        let rec = AoiRecorder::new(4, 16, 4);
+        rec.begin_round(0);
+        serve(&rec, 2, 0, 3);
+        rec.end_round(0);
+        assert!(rec.snapshot().sample("aoi_at_serve").is_none());
+        assert!(rec.top().is_empty());
+    }
+
+    #[test]
+    fn refresh_age_measures_the_replaced_copy() {
+        let rec = AoiRecorder::new(4, 16, 4);
+        rec.begin_round(0);
+        arrive(&rec, 1, 0, 0);
+        rec.end_round(0);
+        rec.begin_round(9);
+        arrive(&rec, 1, 8, 9); // old copy originated at 0, now is 9
+        rec.end_round(9);
+        let snap = rec.snapshot();
+        let s = snap.sample("aoi_at_refresh").expect("recorded");
+        assert!((s.mean - 9.0).abs() < 1e-12);
+        // Subsequent serves age from the *new* origin (launch tick 8).
+        rec.begin_round(12);
+        serve(&rec, 1, 12, 1);
+        rec.end_round(12);
+        assert_eq!(rec.peak_aoi(), 4);
+    }
+
+    #[test]
+    fn topk_charges_age_times_count_to_the_object() {
+        let rec = AoiRecorder::new(4, 16, 4);
+        rec.begin_round(0);
+        arrive(&rec, 0, 0, 0);
+        arrive(&rec, 1, 0, 0);
+        rec.end_round(0);
+        rec.begin_round(10);
+        serve(&rec, 0, 10, 5); // 10 age × 5 requests = 50
+        serve(&rec, 1, 10, 1); // 10 age × 1 request = 10
+        rec.end_round(10);
+        let top = rec.top();
+        assert_eq!(top[0].key, 0);
+        assert_eq!(top[0].weight, 50);
+        assert_eq!(top[1].weight, 10);
+        let snap = rec.snapshot();
+        let worst: Vec<_> = snap.attrs_on("aoi_by_object").collect();
+        assert_eq!(worst[0].label, "obj#0");
+    }
+
+    #[test]
+    fn out_of_range_object_keys_are_ignored() {
+        let rec = AoiRecorder::new(2, 16, 4);
+        rec.begin_round(0);
+        arrive(&rec, 99, 0, 0);
+        serve(&rec, 99, 5, 1);
+        rec.end_round(5);
+        assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn series_decimates_instead_of_truncating() {
+        let rec = AoiRecorder::new(1, 8, 2);
+        for t in 0..100u64 {
+            rec.begin_round(t);
+            if t == 0 {
+                arrive(&rec, 0, 0, 0);
+            }
+            serve(&rec, 0, t, 1);
+            rec.end_round(t);
+        }
+        assert_eq!(rec.rounds_seen(), 100);
+        assert_eq!(rec.stride(), 16);
+        let rows = rec.rows();
+        assert!(rows.len() <= 8);
+        let ticks: Vec<u64> = rows.iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![0, 16, 32, 48, 64, 80, 96]);
+        // Mean AoI in round t is t (single serve of the tick-0 copy).
+        assert!((rows[1].mean_aoi - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_leads_with_decimation_metadata() {
+        let rec = AoiRecorder::new(1, 8, 2);
+        for t in 0..3u64 {
+            rec.begin_round(t);
+            rec.end_round(t);
+        }
+        let csv = rec.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("# decimation_stride=1 rounds_seen=3"),
+            "metadata comment first"
+        );
+        assert_eq!(
+            lines.next(),
+            Some("tick,serves,mean_aoi,peak_aoi,refreshes")
+        );
+        assert_eq!(lines.next(), Some("0,0,,0,0"), "NaN mean renders empty");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let rec = AoiRecorder::new(4, 16, 4);
+        rec.begin_round(0);
+        arrive(&rec, 0, 0, 0);
+        serve(&rec, 0, 0, 1);
+        rec.end_round(0);
+        rec.reset();
+        assert!(rec.snapshot().is_empty());
+        assert_eq!(rec.peak_aoi(), 0);
+        assert_eq!(rec.rounds_seen(), 0);
+        // Origins forgot too: the next serve has unknown age.
+        rec.begin_round(1);
+        serve(&rec, 0, 1, 1);
+        rec.end_round(1);
+        assert!(rec.snapshot().sample("aoi_at_serve").is_none());
+    }
+}

@@ -97,11 +97,30 @@ pub enum Event {
     /// Launches for an object that already had a transfer in flight —
     /// the naive re-fetching baseline's wasted work.
     DuplicateFetches,
+    /// Transfers that arrived carrying a version older than the server's
+    /// current one — the copy was invalidated while on the wire.
+    StaleArrivals,
+    /// Invariant monitor: more waiters were served off a transfer than
+    /// ever joined it (waiter conservation broke).
+    WaiterConservationViolations,
+    /// Invariant monitor: a round committed more in-flight units than
+    /// the configured refresh budget.
+    BudgetOvercommitViolations,
+    /// Invariant monitor: a second transfer was launched for an
+    /// `(object, version)` pair that already had one in flight while
+    /// single-flight coalescing was supposed to hold.
+    SingleFlightViolations,
+    /// Invariant monitor: the cache's used-units accounting shrank on an
+    /// insert-only store.
+    CacheAccountingViolations,
+    /// Invariant monitor: a transfer arrived at a tick earlier than a
+    /// previous arrival or earlier than its own launch.
+    ArrivalOrderViolations,
 }
 
 impl Event {
     /// Every counter id, in export order.
-    pub const ALL: [Event; 14] = [
+    pub const ALL: [Event; 20] = [
         Event::Rounds,
         Event::RequestsServed,
         Event::ObjectsDownloaded,
@@ -116,6 +135,12 @@ impl Event {
         Event::Handoffs,
         Event::FetchesCoalesced,
         Event::DuplicateFetches,
+        Event::StaleArrivals,
+        Event::WaiterConservationViolations,
+        Event::BudgetOvercommitViolations,
+        Event::SingleFlightViolations,
+        Event::CacheAccountingViolations,
+        Event::ArrivalOrderViolations,
     ];
 
     /// Number of counter ids.
@@ -144,6 +169,12 @@ impl Event {
             Event::Handoffs => "handoffs",
             Event::FetchesCoalesced => "fetches_coalesced",
             Event::DuplicateFetches => "duplicate_fetches",
+            Event::StaleArrivals => "stale_arrivals",
+            Event::WaiterConservationViolations => "waiter_conservation_violations",
+            Event::BudgetOvercommitViolations => "budget_overcommit_violations",
+            Event::SingleFlightViolations => "single_flight_violations",
+            Event::CacheAccountingViolations => "cache_accounting_violations",
+            Event::ArrivalOrderViolations => "arrival_order_violations",
         }
     }
 }
@@ -197,11 +228,30 @@ pub enum Sample {
     /// the observed round — what the planner subtracted from its budget
     /// before commissioning new downloads.
     CommittedUnits,
+    /// Age of information at serve time: ticks between the served copy's
+    /// origin (its launch tick) and the serving round.
+    AoiAtServe,
+    /// Age of information the moment a fresh copy arrived: how stale the
+    /// replaced copy had grown before the refresh landed.
+    AoiAtRefresh,
+    /// Queueing component of a waiter's delay: ticks between issuing the
+    /// request and the transfer actually launching.
+    WaitQueueingTicks,
+    /// On-wire component of a waiter's delay: ticks the transfer spent
+    /// on the fixed network after the waiter was parked on it.
+    WaitOnWireTicks,
+    /// Serve component of a waiter's delay: ticks between the transfer's
+    /// arrival and the waiter being served (0 when served on arrival).
+    WaitServeTicks,
+    /// Data units resident in the cache at end of round.
+    CachedUnits,
+    /// Requests still parked on in-flight transfers at end of round.
+    StillWaiting,
 }
 
 impl Sample {
     /// Every sample id, in export order.
-    pub const ALL: [Sample; 17] = [
+    pub const ALL: [Sample; 24] = [
         Sample::BatchSize,
         Sample::PlanProfit,
         Sample::AverageScore,
@@ -219,6 +269,13 @@ impl Sample {
         Sample::DirtyObjects,
         Sample::RescoredRequests,
         Sample::CommittedUnits,
+        Sample::AoiAtServe,
+        Sample::AoiAtRefresh,
+        Sample::WaitQueueingTicks,
+        Sample::WaitOnWireTicks,
+        Sample::WaitServeTicks,
+        Sample::CachedUnits,
+        Sample::StillWaiting,
     ];
 
     /// Number of sample ids.
@@ -250,6 +307,13 @@ impl Sample {
             Sample::DirtyObjects => "dirty_objects",
             Sample::RescoredRequests => "rescored_requests",
             Sample::CommittedUnits => "committed_units",
+            Sample::AoiAtServe => "aoi_at_serve",
+            Sample::AoiAtRefresh => "aoi_at_refresh",
+            Sample::WaitQueueingTicks => "wait_queueing_ticks",
+            Sample::WaitOnWireTicks => "wait_on_wire_ticks",
+            Sample::WaitServeTicks => "wait_serve_ticks",
+            Sample::CachedUnits => "cached_units",
+            Sample::StillWaiting => "still_waiting",
         }
     }
 }
@@ -276,17 +340,26 @@ pub enum Attr {
     /// Staleness suffered at serve time per cell (key: `CellId`;
     /// weight: quantized `1 - recency` summed over the cell's serves).
     ServeStalenessByCell,
+    /// Age-of-information suffered at serve time per object (key:
+    /// `ObjectId`; weight: AoI ticks summed over serves) — the worst-AoI
+    /// top-K that refresh scheduling will consume.
+    AoiByObject,
+    /// Invariant-monitor violations attributed to the object that
+    /// triggered them (key: `ObjectId`).
+    MonitorViolationsByObject,
 }
 
 impl Attr {
     /// Every attribution channel, in export order.
-    pub const ALL: [Attr; 6] = [
+    pub const ALL: [Attr; 8] = [
         Attr::DownlinkUnitsByObject,
         Attr::DownlinkUnitsByClient,
         Attr::ServeStalenessByObject,
         Attr::ServeStalenessByClient,
         Attr::DownlinkUnitsByCell,
         Attr::ServeStalenessByCell,
+        Attr::AoiByObject,
+        Attr::MonitorViolationsByObject,
     ];
 
     /// Number of attribution channels.
@@ -307,6 +380,8 @@ impl Attr {
             Attr::ServeStalenessByClient => "serve_staleness_by_client",
             Attr::DownlinkUnitsByCell => "downlink_units_by_cell",
             Attr::ServeStalenessByCell => "serve_staleness_by_cell",
+            Attr::AoiByObject => "aoi_by_object",
+            Attr::MonitorViolationsByObject => "monitor_violations_by_object",
         }
     }
 
@@ -314,7 +389,10 @@ impl Attr {
     /// (`obj#7`, `client#3`).
     pub fn label(self, key: u32) -> String {
         match self {
-            Attr::DownlinkUnitsByObject | Attr::ServeStalenessByObject => format!("obj#{key}"),
+            Attr::DownlinkUnitsByObject
+            | Attr::ServeStalenessByObject
+            | Attr::AoiByObject
+            | Attr::MonitorViolationsByObject => format!("obj#{key}"),
             Attr::DownlinkUnitsByClient | Attr::ServeStalenessByClient => format!("client#{key}"),
             Attr::DownlinkUnitsByCell | Attr::ServeStalenessByCell => format!("cell#{key}"),
         }
@@ -361,5 +439,7 @@ mod tests {
         assert_eq!(Attr::ServeStalenessByClient.label(9), "client#9");
         assert_eq!(Attr::DownlinkUnitsByCell.label(2), "cell#2");
         assert_eq!(Attr::ServeStalenessByCell.label(5), "cell#5");
+        assert_eq!(Attr::AoiByObject.label(11), "obj#11");
+        assert_eq!(Attr::MonitorViolationsByObject.label(4), "obj#4");
     }
 }

@@ -22,6 +22,15 @@
 //! [`FlightRecorder`] compose any of them behind the one [`Recorder`]
 //! parameter a station accepts.
 //!
+//! On top of the point events sits *causal* observability:
+//! [`LifecycleRecorder`] tracks each transfer as an async span
+//! (planned → launched/joined → arrived → served), exportable as
+//! Perfetto async duration events; [`AoiRecorder`] derives per-object
+//! age-of-information at serve and refresh time; [`InvariantMonitor`]
+//! is an always-on health layer that counts invariant violations
+//! instead of panicking; and [`CausalRecorder`] composes all of it with
+//! the flight recorder.
+//!
 //! Snapshots export to JSON or CSV via [`export`], feeding the experiment
 //! reports and the bench harness's per-stage breakdowns. The [`json`]
 //! module holds the minimal parser used to read those reports back.
@@ -45,9 +54,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aoi;
 pub mod export;
 pub mod ids;
 pub mod json;
+pub mod lifecycle;
+pub mod monitor;
 pub mod recorder;
 pub mod series;
 pub mod snapshot;
@@ -56,11 +68,14 @@ pub mod tee;
 pub mod topk;
 pub mod trace;
 
+pub use aoi::{AoiRecorder, AoiRow};
 pub use ids::{Attr, Event, Sample, Stage};
+pub use lifecycle::{LifeSpan, LifecycleEvent, LifecycleRecorder, Transition, NO_TICK};
+pub use monitor::{InvariantMonitor, MONITOR_EVENTS};
 pub use recorder::{NullRecorder, Recorder, Span};
 pub use series::{RoundRow, RoundSeries};
 pub use snapshot::{AttrSnapshot, CounterSnapshot, SampleSnapshot, Snapshot, SpanSnapshot};
 pub use stats::StatsRecorder;
-pub use tee::{FlightRecorder, Tee};
+pub use tee::{CausalConfig, CausalRecorder, FlightRecorder, Tee};
 pub use topk::{TopEntry, TopK, TopKRecorder};
 pub use trace::{TraceEntry, TraceEvent, TraceRecorder};

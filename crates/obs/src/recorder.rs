@@ -13,6 +13,7 @@ use std::any::Any;
 use std::time::Instant;
 
 use crate::ids::{Attr, Event, Sample, Stage};
+use crate::lifecycle::LifecycleEvent;
 use crate::snapshot::Snapshot;
 
 /// The instrumentation sink of the request path.
@@ -64,6 +65,13 @@ pub trait Recorder: std::fmt::Debug + Send {
     /// their heavy-hitter summaries without allocating.
     #[inline]
     fn attribute(&self, _attr: Attr, _key: u32, _weight: u64) {}
+
+    /// A transfer-lifecycle transition happened (see
+    /// [`crate::LifecycleRecorder`]). Aggregate sinks ignore it;
+    /// lifecycle and AoI sinks fold it into their span tables and
+    /// per-object ages without allocating.
+    #[inline]
+    fn lifecycle(&self, _event: LifecycleEvent) {}
 
     /// Downcast support, so a composed recorder handed to a station as
     /// `Box<dyn Recorder>` can be recovered as its concrete type at

@@ -132,9 +132,20 @@ impl RoundSeries {
     }
 
     /// Render the retained rows as CSV. `NaN` fields export empty.
+    ///
+    /// The first line is a `#` metadata comment carrying the decimation
+    /// stride and true round count, so a downstream diff can tell
+    /// full-resolution data (stride 1) from decimated comparisons.
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from(
+        let mut out = {
+            let st = self.state.borrow();
+            format!(
+                "# decimation_stride={} rounds_seen={}\n",
+                st.stride, st.rounds_seen
+            )
+        };
+        out.push_str(
             "tick,batch_size,mean_score,hit_ratio,downlink_util,units_fetched,\
              plan_profit,profit_bound\n",
         );
@@ -342,12 +353,16 @@ mod tests {
         let csv = series.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(
-            lines[0],
+            lines[0], "# decimation_stride=1 rounds_seen=1",
+            "metadata comment first"
+        );
+        assert_eq!(
+            lines[1],
             "tick,batch_size,mean_score,hit_ratio,downlink_util,units_fetched,\
              plan_profit,profit_bound"
         );
         // Unset observables render empty, not "NaN".
-        assert_eq!(lines[1], "7,3,,,,0,,");
+        assert_eq!(lines[2], "7,3,,,,0,,");
     }
 
     #[test]

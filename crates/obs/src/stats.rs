@@ -11,9 +11,11 @@ use crate::ids::{Event, Sample, Stage};
 use crate::recorder::Recorder;
 use crate::snapshot::{CounterSnapshot, SampleSnapshot, Snapshot, SpanSnapshot};
 
-/// One sampled distribution's streaming state.
+/// One sampled distribution's streaming state. Shared with the other
+/// in-crate sinks (AoI telemetry, wait decomposition) so every exported
+/// distribution carries the same Welford + P² summary.
 #[derive(Debug, Clone)]
-struct Dist {
+pub(crate) struct Dist {
     welford: Welford,
     p95: P2Quantile,
     min: f64,
@@ -21,7 +23,7 @@ struct Dist {
 }
 
 impl Dist {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             welford: Welford::new(),
             p95: P2Quantile::new(0.95),
@@ -30,11 +32,25 @@ impl Dist {
         }
     }
 
-    fn push(&mut self, x: f64) {
+    pub(crate) fn push(&mut self, x: f64) {
         self.welford.push(x);
         self.p95.push(x);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+    }
+
+    /// Export as a named sample summary, `None` if never pushed.
+    pub(crate) fn summary(&self, name: &'static str) -> Option<SampleSnapshot> {
+        let count = self.welford.count();
+        (count > 0).then(|| SampleSnapshot {
+            name,
+            count,
+            mean: self.welford.mean().unwrap_or(0.0),
+            std_dev: self.welford.std_dev().unwrap_or(0.0),
+            min: self.min,
+            max: self.max,
+            p95: self.p95.estimate().unwrap_or(0.0),
+        })
     }
 }
 
@@ -152,19 +168,7 @@ impl Recorder for StatsRecorder {
         let dists = self.samples.borrow();
         let samples = Sample::ALL
             .iter()
-            .filter_map(|&s| {
-                let d = &dists[s.index()];
-                let count = d.welford.count();
-                (count > 0).then(|| SampleSnapshot {
-                    name: s.name(),
-                    count,
-                    mean: d.welford.mean().unwrap_or(0.0),
-                    std_dev: d.welford.std_dev().unwrap_or(0.0),
-                    min: d.min,
-                    max: d.max,
-                    p95: d.p95.estimate().unwrap_or(0.0),
-                })
-            })
+            .filter_map(|&s| dists[s.index()].summary(s.name()))
             .collect();
         let span_stats = self.spans.borrow();
         let spans = Stage::ALL

@@ -129,6 +129,29 @@ impl TopKRecorder {
             ch.reset();
         }
     }
+
+    /// Render every channel's heavy hitters as CSV, **including the
+    /// Space-Saving `error` bound** (the maximum overestimate in
+    /// `weight`; 0 means exact) — previously only reachable in-process
+    /// via [`TopKRecorder::top`].
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let channels = self.channels.borrow();
+        let mut out = String::from("channel,label,weight,error\n");
+        for attr in Attr::ALL {
+            for e in channels[attr.index()].top() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{}",
+                    attr.name(),
+                    attr.label(e.key),
+                    e.weight,
+                    e.error
+                );
+            }
+        }
+        out
+    }
 }
 
 impl Recorder for TopKRecorder {
@@ -248,6 +271,22 @@ mod tests {
         assert_eq!(downlink[0].weight, 40);
         let stale: Vec<_> = snap.attrs_on("serve_staleness_by_client").collect();
         assert_eq!(stale[0].label, "client#0");
+    }
+
+    #[test]
+    fn csv_export_carries_the_error_bound() {
+        let rec = TopKRecorder::new(2);
+        rec.attribute(Attr::DownlinkUnitsByObject, 1, 10);
+        rec.attribute(Attr::DownlinkUnitsByObject, 2, 3);
+        rec.attribute(Attr::DownlinkUnitsByObject, 3, 1); // evicts key 2
+        let csv = rec.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "channel,label,weight,error");
+        assert!(lines.contains(&"downlink_units_by_object,obj#1,10,0"));
+        assert!(
+            lines.contains(&"downlink_units_by_object,obj#3,4,3"),
+            "evicting entry inherits the minimum as error bound: {csv}"
+        );
     }
 
     #[test]

@@ -254,7 +254,11 @@ impl TraceRecorder {
                 TraceEvent::Attribute { .. } => {}
             }
         }
-        let mut out = String::from("{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n");
+        let mut out = String::from("{\n\"displayTimeUnit\": \"ns\",\n");
+        // Export the drop counter so downstream diffing can tell a
+        // complete ring from one that overwrote history.
+        out.push_str(&format!("\"droppedEvents\": {},\n", self.dropped()));
+        out.push_str("\"traceEvents\": [\n");
         out.push_str(&lines.join(",\n"));
         out.push_str("\n]\n}\n");
         out
@@ -366,6 +370,7 @@ mod tests {
         trace.end_round(1);
         let json = trace.to_chrome_trace();
         assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"droppedEvents\": 0"));
         // Round 0's spans start at ts 0 (µs); round 1 starts after the
         // longest round-0 track — the 4µs step span.
         assert!(json.contains("\"name\": \"plan\", \"ph\": \"X\", \"ts\": 0, \"dur\": 2"));

@@ -12,6 +12,10 @@
 //! 3. [`diff_benches`] — compare two `BENCH_planner.json` files result by
 //!    result with a noise threshold, so CI can fail on a real regression
 //!    without flapping on timer jitter.
+//! 4. [`summarize_waits`] / [`summarize_aoi`] / [`rollup_report`] —
+//!    decompose lifecycle traces into queueing vs on-wire wait time,
+//!    summarize age-of-information CSV series, and roll both into one
+//!    report.
 //!
 //! Everything parses through [`basecache_obs::json`] — no external
 //! dependencies, same as the rest of the workspace.
@@ -37,6 +41,8 @@ pub struct TraceStats {
     pub instants: usize,
     /// Metadata ("M") events (thread names).
     pub metadata: usize,
+    /// Async duration events ("b"/"e" pairs — transfer lifecycles).
+    pub async_events: usize,
 }
 
 /// Validate `text` as a Chrome trace-event JSON file.
@@ -45,8 +51,12 @@ pub struct TraceStats {
 /// (`traceEvents` array present) and, per event, the fields each phase
 /// requires: every event needs a string `ph` and `name`; spans ("X")
 /// additionally need numeric `ts` and `dur`; counters ("C") need `ts`
-/// and an `args` object; instants ("i") need `ts`. Unknown phases are
-/// rejected — the exporter only emits these four.
+/// and an `args` object; instants ("i") need `ts`; async begin/end
+/// ("b"/"e", the lifecycle exporter) need numeric `ts` and an `id` to
+/// correlate the pair. Unknown phases are rejected — the exporters only
+/// emit these six (capital "B"/"E" nested-duration events are *not*
+/// accepted: nothing here emits them, and Perfetto renders them on a
+/// different track, so their appearance means a corrupted export).
 pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
     let root = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     let events = root
@@ -88,6 +98,15 @@ pub fn validate_trace(text: &str) -> Result<TraceStats, String> {
                     return Err(fail("instant (\"i\") without numeric ts"));
                 }
                 stats.instants += 1;
+            }
+            "b" | "e" => {
+                if !has_num("ts") {
+                    return Err(fail("async (\"b\"/\"e\") without numeric ts"));
+                }
+                if !has_num("id") {
+                    return Err(fail("async (\"b\"/\"e\") without numeric id"));
+                }
+                stats.async_events += 1;
             }
             other => return Err(fail(&format!("unexpected phase {other:?}"))),
         }
@@ -164,6 +183,261 @@ pub fn summarize_trace(text: &str) -> Result<String, String> {
         for (name, total) in &counter_totals {
             out.push_str(&format!("{name:<24} {total:>12.3}\n"));
         }
+    }
+    Ok(out)
+}
+
+/// Aggregates over the closed/open lifecycle spans of one trace file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WaitReport {
+    /// Lifecycle spans found ("b" events).
+    pub spans: usize,
+    /// Spans whose end was provisional (`"open": true` on the "e" event).
+    pub open: usize,
+    /// Spans that never launched (`launch_tick` null) — pure queueing.
+    pub never_launched: usize,
+    /// Spans flagged stale at least once.
+    pub stale: usize,
+    /// Waiters that joined in-flight transfers, summed.
+    pub joined: u64,
+    /// Requests served off these spans, summed.
+    pub served: u64,
+    /// Spans the exporter's ring dropped (`droppedSpans` envelope key).
+    pub dropped: u64,
+    /// Total µs spans spent queued (requested but not yet launched).
+    pub queueing_us: f64,
+    /// Total µs spans spent on the wire (launched but not yet ended).
+    pub on_wire_us: f64,
+    /// Largest single-span queueing time, µs.
+    pub max_queueing_us: f64,
+    /// Largest single-span on-wire time, µs.
+    pub max_on_wire_us: f64,
+}
+
+impl fmt::Display for WaitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} lifecycle spans ({} open, {} never launched, {} stale, {} dropped)",
+            self.spans, self.open, self.never_launched, self.stale, self.dropped
+        )?;
+        writeln!(
+            f,
+            "joined waiters: {}   serves: {}",
+            self.joined, self.served
+        )?;
+        let n = self.spans.max(1) as f64;
+        writeln!(
+            f,
+            "{:<12} {:>12} {:>12} {:>12}",
+            "phase", "total_us", "mean_us", "max_us"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>12.1} {:>12.1} {:>12.1}",
+            "queueing",
+            self.queueing_us,
+            self.queueing_us / n,
+            self.max_queueing_us
+        )?;
+        write!(
+            f,
+            "{:<12} {:>12.1} {:>12.1} {:>12.1}",
+            "on_wire",
+            self.on_wire_us,
+            self.on_wire_us / n,
+            self.max_on_wire_us
+        )
+    }
+}
+
+/// Decompose a lifecycle trace (async "b"/"e" events, as exported by
+/// the `LifecycleRecorder`) into per-span queueing vs on-wire time.
+///
+/// Queueing runs from the span's begin (`ts` of the "b" event, the tick
+/// the object was first requested or planned) to its `launch_tick`
+/// argument; on-wire runs from the launch to the span's end. A span
+/// with a null `launch_tick` never made it onto the network — its whole
+/// duration is queueing. Works on any [`validate_trace`]-clean file;
+/// files with no async events produce an all-zero report rather than an
+/// error, so the plain `TraceRecorder` export is accepted too.
+pub fn wait_decomposition(text: &str) -> Result<WaitReport, String> {
+    validate_trace(text)?;
+    let root = parse(text).expect("validated above");
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("validated above");
+    let mut report = WaitReport {
+        dropped: root
+            .get("droppedSpans")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0) as u64,
+        ..WaitReport::default()
+    };
+
+    // id → (begin_ts_us, launch_ts_us or None). Args live on the "b"
+    // event; the "e" event carries the end ts and the open flag.
+    let mut begins: BTreeMap<u64, (f64, Option<f64>)> = BTreeMap::new();
+    let arg_num = |ev: &Value, key: &str| {
+        ev.get("args")
+            .and_then(|a| a.get(key))
+            .and_then(Value::as_f64)
+    };
+    for ev in events {
+        let id = match ev.get("id").and_then(Value::as_f64) {
+            Some(id) => id as u64,
+            None => continue,
+        };
+        match ev.get("ph").and_then(Value::as_str) {
+            Some("b") => {
+                let begin_ts = ev.get("ts").and_then(Value::as_f64).unwrap_or(0.0);
+                // launch_tick is in ticks; the exporter maps one tick to
+                // 1000 µs on the synthetic timeline.
+                let launch_ts = arg_num(ev, "launch_tick").map(|t| t * 1_000.0);
+                report.spans += 1;
+                report.joined += arg_num(ev, "joined").unwrap_or(0.0) as u64;
+                report.served += arg_num(ev, "served").unwrap_or(0.0) as u64;
+                if arg_num(ev, "stale").unwrap_or(0.0) > 0.0 {
+                    report.stale += 1;
+                }
+                if launch_ts.is_none() {
+                    report.never_launched += 1;
+                }
+                begins.insert(id, (begin_ts, launch_ts));
+            }
+            Some("e") => {
+                let Some((begin_ts, launch_ts)) = begins.remove(&id) else {
+                    return Err(format!("async end for id {id} without a begin"));
+                };
+                if ev.get("args").and_then(|a| a.get("open")) == Some(&Value::Bool(true)) {
+                    report.open += 1;
+                }
+                let end_ts = ev.get("ts").and_then(Value::as_f64).unwrap_or(begin_ts);
+                let (queueing, on_wire) = match launch_ts {
+                    Some(launch) => {
+                        let launch = launch.clamp(begin_ts, end_ts.max(begin_ts));
+                        (launch - begin_ts, (end_ts - launch).max(0.0))
+                    }
+                    None => ((end_ts - begin_ts).max(0.0), 0.0),
+                };
+                report.queueing_us += queueing;
+                report.on_wire_us += on_wire;
+                report.max_queueing_us = report.max_queueing_us.max(queueing);
+                report.max_on_wire_us = report.max_on_wire_us.max(on_wire);
+            }
+            _ => {}
+        }
+    }
+    if let Some((&id, _)) = begins.iter().next() {
+        return Err(format!("async begin for id {id} without an end"));
+    }
+    Ok(report)
+}
+
+/// [`wait_decomposition`] rendered as the printable table the
+/// `basecache-trace waits` subcommand shows.
+pub fn summarize_waits(text: &str) -> Result<String, String> {
+    Ok(format!("{}\n", wait_decomposition(text)?))
+}
+
+/// Aggregates over an age-of-information CSV series (the
+/// `AoiRecorder::to_csv` format).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AoiReport {
+    /// Decimation stride the recorder settled on.
+    pub stride: u64,
+    /// Rounds the recorder observed (≥ rows × stride once decimated).
+    pub rounds_seen: u64,
+    /// Data rows in the series.
+    pub rows: usize,
+    /// Serves summed over the series.
+    pub serves: u64,
+    /// Refreshes summed over the series.
+    pub refreshes: u64,
+    /// Largest per-row peak age at serve, ticks.
+    pub peak_aoi: u64,
+    /// Serve-weighted mean age at serve, ticks (0 when nothing served).
+    pub mean_aoi: f64,
+}
+
+impl fmt::Display for AoiReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} AoI rows over {} rounds (stride {})",
+            self.rows, self.rounds_seen, self.stride
+        )?;
+        write!(
+            f,
+            "serves: {}   refreshes: {}   mean_aoi: {:.3}   peak_aoi: {}",
+            self.serves, self.refreshes, self.mean_aoi, self.peak_aoi
+        )
+    }
+}
+
+/// Parse and summarize an AoI CSV series.
+///
+/// The expected shape is the `AoiRecorder::to_csv` export: a
+/// `# decimation_stride=S rounds_seen=N` comment, the
+/// `tick,serves,mean_aoi,peak_aoi,refreshes` header, then one row per
+/// retained round (an empty `mean_aoi` cell means no serves that
+/// round). The mean here is serve-weighted across rows, so decimation
+/// doesn't skew it toward quiet rounds.
+pub fn summarize_aoi(text: &str) -> Result<AoiReport, String> {
+    let mut lines = text.lines();
+    let meta = lines.next().ok_or("empty AoI CSV")?;
+    let meta = meta
+        .strip_prefix("# ")
+        .ok_or("AoI CSV must start with a \"# decimation_stride=...\" comment")?;
+    let mut report = AoiReport::default();
+    for part in meta.split_whitespace() {
+        if let Some(v) = part.strip_prefix("decimation_stride=") {
+            report.stride = v.parse().map_err(|_| format!("bad stride {v:?}"))?;
+        } else if let Some(v) = part.strip_prefix("rounds_seen=") {
+            report.rounds_seen = v.parse().map_err(|_| format!("bad rounds_seen {v:?}"))?;
+        }
+    }
+    if report.stride == 0 {
+        return Err("metadata comment lacks decimation_stride".into());
+    }
+    match lines.next() {
+        Some("tick,serves,mean_aoi,peak_aoi,refreshes") => {}
+        other => return Err(format!("unexpected AoI CSV header {other:?}")),
+    }
+    let mut weighted = 0.0f64;
+    for (i, line) in lines.enumerate() {
+        let fail = |msg: &str| format!("row #{i}: {msg} in {line:?}");
+        let cols: Vec<&str> = line.split(',').collect();
+        let [_tick, serves, mean, peak, refreshes] = cols.as_slice() else {
+            return Err(fail("expected 5 columns"));
+        };
+        let serves: u64 = serves.parse().map_err(|_| fail("bad serves"))?;
+        let peak: u64 = peak.parse().map_err(|_| fail("bad peak_aoi"))?;
+        let refreshes: u64 = refreshes.parse().map_err(|_| fail("bad refreshes"))?;
+        if serves > 0 {
+            let mean: f64 = mean.parse().map_err(|_| fail("bad mean_aoi"))?;
+            weighted += mean * serves as f64;
+        }
+        report.rows += 1;
+        report.serves += serves;
+        report.refreshes += refreshes;
+        report.peak_aoi = report.peak_aoi.max(peak);
+    }
+    if report.serves > 0 {
+        report.mean_aoi = weighted / report.serves as f64;
+    }
+    Ok(report)
+}
+
+/// Roll a lifecycle trace and (optionally) an AoI series into one
+/// report — the `basecache-trace report` subcommand.
+pub fn rollup_report(trace_text: &str, aoi_text: Option<&str>) -> Result<String, String> {
+    let mut out = String::from("== transfer lifecycles ==\n");
+    out.push_str(&format!("{}\n", wait_decomposition(trace_text)?));
+    if let Some(aoi) = aoi_text {
+        out.push_str("\n== age of information ==\n");
+        out.push_str(&format!("{}\n", summarize_aoi(aoi)?));
     }
     Ok(out)
 }
@@ -323,7 +597,10 @@ pub fn diff_benches_filtered(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use basecache_obs::{Event, Recorder, Sample, Stage, TraceRecorder};
+    use basecache_obs::{
+        Event, LifecycleEvent, LifecycleRecorder, Recorder, Sample, Stage, TraceRecorder,
+        Transition,
+    };
 
     fn sample_trace() -> String {
         let rec = TraceRecorder::with_capacity(64);
@@ -368,6 +645,137 @@ mod tests {
         assert!(text.contains("plan"), "stage name from metadata: {text}");
         assert!(text.contains("6 spans"), "{text}");
         assert!(text.contains("rounds"), "counter tally present: {text}");
+    }
+
+    /// One transfer requested at tick 0, launched at 2, arrived at 5
+    /// with three parked waiters served; one request that never
+    /// launched (queue-only span, still open).
+    fn lifecycle_trace() -> String {
+        let rec = LifecycleRecorder::new(8, 32);
+        rec.lifecycle(LifecycleEvent::new(Transition::Requested, 7, 1, 0));
+        rec.lifecycle(LifecycleEvent::new(Transition::Launched, 7, 1, 2).at_launch(2));
+        rec.lifecycle(LifecycleEvent::new(Transition::Joined, 7, 1, 3).times(2));
+        rec.lifecycle(LifecycleEvent::new(Transition::Arrived, 7, 1, 5).at_launch(2));
+        rec.lifecycle(
+            LifecycleEvent::new(Transition::ServedFromWait, 7, 1, 5)
+                .at_launch(2)
+                .times(3),
+        );
+        rec.lifecycle(LifecycleEvent::new(Transition::Requested, 9, 4, 1));
+        rec.end_round(6);
+        rec.to_chrome_trace()
+    }
+
+    #[test]
+    fn lifecycle_trace_validates_with_async_events() {
+        let stats = validate_trace(&lifecycle_trace()).unwrap();
+        assert_eq!(stats.async_events, 4, "two spans, one b/e pair each");
+        assert!(stats.metadata >= 1);
+        // Capital-B nested durations stay rejected even now that
+        // lowercase async phases pass.
+        let nested = r#"{"traceEvents": [{"ph": "B", "name": "x", "ts": 0, "id": 1}]}"#;
+        assert!(validate_trace(nested)
+            .unwrap_err()
+            .contains("unexpected phase"));
+        // Async events without an id can't be correlated.
+        let no_id = r#"{"traceEvents": [{"ph": "b", "name": "x", "ts": 0}]}"#;
+        assert!(validate_trace(no_id).unwrap_err().contains("id"));
+    }
+
+    #[test]
+    fn wait_decomposition_splits_queueing_from_on_wire() {
+        let report = wait_decomposition(&lifecycle_trace()).unwrap();
+        assert_eq!(report.spans, 2);
+        assert_eq!(report.never_launched, 1, "obj#9 never launched");
+        assert_eq!(report.open, 1, "obj#9 swept open by end_round");
+        assert_eq!(report.joined, 2);
+        assert_eq!(report.served, 3);
+        assert_eq!(report.dropped, 0);
+        // obj#7: requested tick 0, launched 2, arrived 5 → 2 ticks
+        // queued + 3 on the wire. obj#9: open from tick 1 to the sweep
+        // at its last event (tick 1) → zero-length queueing.
+        assert_eq!(report.queueing_us, 2_000.0);
+        assert_eq!(report.on_wire_us, 3_000.0);
+        assert_eq!(report.max_on_wire_us, 3_000.0);
+        let text = summarize_waits(&lifecycle_trace()).unwrap();
+        assert!(text.contains("queueing"), "{text}");
+        assert!(text.contains("on_wire"), "{text}");
+    }
+
+    #[test]
+    fn wait_decomposition_flags_unpaired_async_events() {
+        let only_begin = r#"{"traceEvents": [
+            {"ph": "b", "name": "t", "ts": 0, "id": 4, "args": {"launch_tick": null}}]}"#;
+        assert!(wait_decomposition(only_begin)
+            .unwrap_err()
+            .contains("without an end"));
+        let only_end = r#"{"traceEvents": [
+            {"ph": "e", "name": "t", "ts": 0, "id": 4, "args": {"open": false}}]}"#;
+        assert!(wait_decomposition(only_end)
+            .unwrap_err()
+            .contains("without a begin"));
+        // A plain span/counter trace has no async events: empty report,
+        // not an error.
+        let report = wait_decomposition(&sample_trace()).unwrap();
+        assert_eq!(report.spans, 0);
+    }
+
+    fn aoi_csv() -> &'static str {
+        "# decimation_stride=2 rounds_seen=4\n\
+         tick,serves,mean_aoi,peak_aoi,refreshes\n\
+         0,2,1.5,3,1\n\
+         2,0,,0,0\n\
+         4,4,3,6,2\n"
+    }
+
+    #[test]
+    fn aoi_summary_weights_mean_by_serves() {
+        let report = summarize_aoi(aoi_csv()).unwrap();
+        assert_eq!(report.stride, 2);
+        assert_eq!(report.rounds_seen, 4);
+        assert_eq!(report.rows, 3);
+        assert_eq!(report.serves, 6);
+        assert_eq!(report.refreshes, 3);
+        assert_eq!(report.peak_aoi, 6);
+        // (1.5·2 + 3·4) / 6 = 2.5 — the empty-mean row contributes
+        // nothing.
+        assert!((report.mean_aoi - 2.5).abs() < 1e-9, "{}", report.mean_aoi);
+        assert!(report.to_string().contains("serves: 6"));
+    }
+
+    #[test]
+    fn malformed_aoi_csv_is_rejected() {
+        assert!(summarize_aoi("").is_err());
+        assert!(summarize_aoi("tick,serves\n1,2\n")
+            .unwrap_err()
+            .contains("comment"));
+        assert!(
+            summarize_aoi("# rounds_seen=3\ntick,serves,mean_aoi,peak_aoi,refreshes\n")
+                .unwrap_err()
+                .contains("decimation_stride")
+        );
+        assert!(
+            summarize_aoi("# decimation_stride=1 rounds_seen=1\nwrong,header\n")
+                .unwrap_err()
+                .contains("header")
+        );
+        assert!(summarize_aoi(
+            "# decimation_stride=1 rounds_seen=1\ntick,serves,mean_aoi,peak_aoi,refreshes\n1,x,,0,0\n"
+        )
+        .unwrap_err()
+        .contains("serves"));
+    }
+
+    #[test]
+    fn rollup_report_combines_sections() {
+        let text = rollup_report(&lifecycle_trace(), Some(aoi_csv())).unwrap();
+        assert!(text.contains("transfer lifecycles"), "{text}");
+        assert!(text.contains("age of information"), "{text}");
+        assert!(text.contains("queueing"), "{text}");
+        assert!(text.contains("peak_aoi: 6"), "{text}");
+        // Trace-only rollup skips the AoI section.
+        let solo = rollup_report(&lifecycle_trace(), None).unwrap();
+        assert!(!solo.contains("age of information"), "{solo}");
     }
 
     fn bench_json(pairs: &[(&str, f64)]) -> String {

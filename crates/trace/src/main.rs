@@ -3,12 +3,18 @@
 //! ```text
 //! basecache-trace validate  <trace.json>
 //! basecache-trace summarize <trace.json>
+//! basecache-trace waits     <trace.json>
+//! basecache-trace aoi       <aoi.csv>
+//! basecache-trace report    <trace.json> [aoi.csv]
 //! basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--only PREFIX] [--warn-only]
 //! ```
 //!
 //! `validate` and `summarize` operate on Chrome-trace-event files
 //! exported by the observability layer (load them in Perfetto or
-//! `chrome://tracing` for the visual version). `diff` compares two
+//! `chrome://tracing` for the visual version). `waits` decomposes a
+//! lifecycle trace (async "b"/"e" spans) into queueing vs on-wire wait
+//! time; `aoi` summarizes an age-of-information CSV series; `report`
+//! rolls both into one text block. `diff` compares two
 //! `BENCH_planner.json` runs by `median_ns` and exits nonzero when any
 //! bench slowed down by more than the threshold (default 10%), which
 //! makes it usable as a CI regression gate; `--warn-only` reports but
@@ -22,6 +28,9 @@ fn usage() -> ExitCode {
         "usage:\n  \
          basecache-trace validate  <trace.json>\n  \
          basecache-trace summarize <trace.json>\n  \
+         basecache-trace waits     <trace.json>\n  \
+         basecache-trace aoi       <aoi.csv>\n  \
+         basecache-trace report    <trace.json> [aoi.csv]\n  \
          basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--only PREFIX] [--warn-only]"
     );
     ExitCode::from(2)
@@ -74,6 +83,66 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("{path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "waits" => {
+            let [path] = rest else { return usage() };
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match basecache_trace::summarize_waits(&text) {
+                Ok(summary) => {
+                    print!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "aoi" => {
+            let [path] = rest else { return usage() };
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            match basecache_trace::summarize_aoi(&text) {
+                Ok(report) => {
+                    println!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "report" => {
+            let (trace_path, aoi_path) = match rest {
+                [t] => (t, None),
+                [t, a] => (t, Some(a)),
+                _ => return usage(),
+            };
+            let trace_text = match read(trace_path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let aoi_text = match aoi_path.map(|p| read(p)) {
+                Some(Ok(t)) => Some(t),
+                Some(Err(code)) => return code,
+                None => None,
+            };
+            match basecache_trace::rollup_report(&trace_text, aoi_text.as_deref()) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("basecache-trace report: {e}");
                     ExitCode::FAILURE
                 }
             }

@@ -78,17 +78,38 @@ rm -rf "$crowd_out"
 echo "==> observability smoke test (ext-obs quick run + exporters)"
 obs_out=$(mktemp -d)
 cargo run -q -p basecache-experiments --release -- ext-obs --quick --csv "$obs_out"
-for f in ext_obs.csv ext_obs.json ext_obs_trace.json ext_obs_series.csv; do
+for f in ext_obs.csv ext_obs.json ext_obs_trace.json ext_obs_series.csv \
+         ext_obs_lifecycle.json ext_obs_aoi.csv ext_obs_topk.csv; do
     test -s "$obs_out/$f" || { echo "error: ext-obs did not write $f" >&2; exit 1; }
 done
 grep -q '"counters"' "$obs_out/ext_obs.json" \
     || { echo "error: ext_obs.json missing counters section" >&2; exit 1; }
 
-echo "==> trace smoke test (exported trace parses as Chrome trace-event JSON)"
+echo "==> trace smoke test (exported traces parse as Chrome trace-event JSON)"
 cargo run -q -p basecache-trace --release -- validate "$obs_out/ext_obs_trace.json"
-head -1 "$obs_out/ext_obs_series.csv" | grep -q '^tick,' \
-    || { echo "error: ext_obs_series.csv missing header" >&2; exit 1; }
+cargo run -q -p basecache-trace --release -- validate "$obs_out/ext_obs_lifecycle.json"
+head -1 "$obs_out/ext_obs_series.csv" | grep -q '^# decimation_stride=' \
+    || { echo "error: ext_obs_series.csv missing decimation metadata" >&2; exit 1; }
+
+echo "==> lifecycle smoke test (wait decomposition, AoI summary, rollup report)"
+cargo run -q -p basecache-trace --release -- waits "$obs_out/ext_obs_lifecycle.json" \
+    | grep -q 'spans' \
+    || { echo "error: basecache-trace waits produced no span summary" >&2; exit 1; }
+head -1 "$obs_out/ext_obs_aoi.csv" | grep -q '^# decimation_stride=' \
+    || { echo "error: ext_obs_aoi.csv missing decimation metadata" >&2; exit 1; }
+cargo run -q -p basecache-trace --release -- aoi "$obs_out/ext_obs_aoi.csv" \
+    | grep -q 'peak_aoi' \
+    || { echo "error: basecache-trace aoi produced no AoI summary" >&2; exit 1; }
+cargo run -q -p basecache-trace --release -- report \
+    "$obs_out/ext_obs_lifecycle.json" "$obs_out/ext_obs_aoi.csv" \
+    | grep -q 'age of information' \
+    || { echo "error: basecache-trace report missing AoI section" >&2; exit 1; }
+head -1 "$obs_out/ext_obs_topk.csv" | grep -q '^channel,label,weight,error' \
+    || { echo "error: ext_obs_topk.csv missing error-bound header" >&2; exit 1; }
 rm -rf "$obs_out"
+
+echo "==> invariant-monitor fault injection (each check fires on its seeded fault)"
+cargo test -q -p basecache-obs --test monitor_faults
 
 echo "==> cluster smoke test (ext-cluster quick run)"
 cluster_out=$(mktemp -d)
@@ -117,9 +138,11 @@ cargo bench -p basecache-bench --bench planner
 # can only guard entries that exist in the fresh run.
 for entry in 'cluster_round/sequential/1' 'cluster_round/sequential/16' \
              'cluster_round/parallel/16' \
-             'planner/round/adaptive' 'planner/scale/adaptive/2000' \
+             'planner/round/adaptive' 'planner/round/adaptive_lifecycle' \
+             'planner/scale/adaptive/2000' \
              'planner/inflight/coalesce' 'planner/inflight/naive' \
              'planner/inflight/flash_crowd' \
+             'planner/obs/lifecycle_event' 'planner/obs/aoi_event' \
              'planner/massive/build_full_rebuild/100000' \
              'planner/massive/build_incremental/100000' \
              'planner/massive/round_incremental/100000'; do
@@ -128,10 +151,22 @@ for entry in 'cluster_round/sequential/1' 'cluster_round/sequential/16' \
 done
 # ... and the massive-scale headline keys.
 for key in 'requests_per_second' 'incremental_build_speedup' \
-           'cluster_parallel_path' 'coalesced_fetch_ratio'; do
+           'cluster_parallel_path' 'coalesced_fetch_ratio' \
+           'lifecycle_recorder_overhead'; do
     grep -q "\"$key\"" BENCH_planner.json \
         || { echo "error: BENCH_planner.json missing $key" >&2; exit 1; }
 done
+
+echo "==> lifecycle-recorder overhead gate (full causal stack vs NullRecorder round)"
+# The causal composition must stay within 1.25x of the uninstrumented
+# adaptive round; past that the "cheap enough to leave on" claim fails.
+overhead=$(grep -o '"lifecycle_recorder_overhead": *[0-9.]*' BENCH_planner.json \
+    | grep -o '[0-9.]*$')
+test -n "$overhead" \
+    || { echo "error: could not parse lifecycle_recorder_overhead" >&2; exit 1; }
+awk -v o="$overhead" 'BEGIN { exit !(o <= 1.25) }' \
+    || { echo "error: lifecycle_recorder_overhead $overhead exceeds the 1.25x gate" >&2; exit 1; }
+echo "    lifecycle_recorder_overhead = ${overhead}x (gate: <= 1.25x)"
 
 echo "==> bench regression gate (fresh run vs committed baseline)"
 # Same-machine noise on a shared container is real; the broad cross-run
