@@ -12,9 +12,10 @@
 
 use std::hint::black_box;
 
-use basecache_cluster::{ClusterSim, ExecutionMode};
+use basecache_cluster::{ClusterSim, ExecutionMode, L2Config};
 use basecache_core::planner::OnDemandPlanner;
 use basecache_core::StationBuilder;
+use basecache_experiments::ext_cluster;
 use basecache_net::{ArbiterPolicy, BackhaulArbiter, Catalog};
 use basecache_sim::{RngStreams, WorkerPool};
 use basecache_workload::{ClusterWorkload, MobilityModel, Popularity, TargetRecency};
@@ -90,4 +91,38 @@ pub fn bench_cluster_rounds(results: &mut Vec<Measurement>) -> (f64, &'static st
         results.push(par);
     }
     (speedup_at_max, parallel_path)
+}
+
+/// Cell count the L2-tier benches run at: the acceptance scale of the
+/// regional tier (8+ cells under Markov-ring roaming).
+pub const L2_CELLS: u32 = 8;
+
+/// Bench the cluster round with the regional L2 tier off and on at
+/// [`L2_CELLS`] cells (`cluster/l2/off` vs `cluster/l2/on` — the tier's
+/// directory exchange, backbone transfers and publishes all land inside
+/// the measured step), then measure the tier's origin-bandwidth savings
+/// over the quick experiment sweep. Returns the savings fraction
+/// (`1 - on/off` origin units), the `l2_origin_savings` headline.
+pub fn bench_l2_rounds(results: &mut Vec<Measurement>) -> f64 {
+    let mut off = build_cluster(L2_CELLS);
+    results.push(bench_n("cluster/l2/off", SAMPLES, || black_box(off.step())));
+
+    let mut on = build_cluster(L2_CELLS).with_l2(L2Config {
+        intercell_units_per_round: TOTAL_BUDGET,
+        ..L2Config::default()
+    });
+    results.push(bench_n("cluster/l2/on", SAMPLES, || black_box(on.step())));
+
+    let params = ext_cluster::L2Params::quick();
+    let config = L2Config {
+        intercell_units_per_round: params.intercell_budget,
+        ..L2Config::default()
+    };
+    let (_, off_units) = ext_cluster::run_l2_point(&params, L2_CELLS, None);
+    let (_, on_units) = ext_cluster::run_l2_point(&params, L2_CELLS, Some(config));
+    if off_units > 0 {
+        1.0 - on_units as f64 / off_units as f64
+    } else {
+        0.0
+    }
 }

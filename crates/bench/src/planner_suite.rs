@@ -367,6 +367,7 @@ struct Headlines<'a> {
     coalesced_fetch_ratio: f64,
     cluster_speedup: f64,
     cluster_parallel_path: &'a str,
+    l2_origin_savings: f64,
     massive: crate::massive_suite::MassiveReport,
 }
 
@@ -379,6 +380,7 @@ fn write_json(results: &[Measurement], headlines: &Headlines, stages: &Snapshot)
         coalesced_fetch_ratio,
         cluster_speedup,
         cluster_parallel_path,
+        l2_origin_savings,
         ref massive,
     } = *headlines;
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
@@ -413,6 +415,11 @@ fn write_json(results: &[Measurement], headlines: &Headlines, stages: &Snapshot)
     ));
     out.push_str(&format!(
         "  \"cluster_parallel_path\": \"{cluster_parallel_path}\",\n"
+    ));
+    // Fraction of origin (backhaul) bandwidth the regional L2 tier
+    // saves at 8 cells under Markov-ring roaming (quick sweep preset).
+    out.push_str(&format!(
+        "  \"l2_origin_savings\": {l2_origin_savings:.3},\n"
     ));
     // Headlines from the massive round-engine suite
     // (`planner/massive/*`): standing requests served per second of
@@ -491,6 +498,12 @@ pub fn run() {
         "cluster round at 16 cells: {cluster_speedup:.2}x parallel speedup on this machine \
          ({cluster_parallel_path})\n"
     );
+    let l2_origin_savings = crate::cluster_suite::bench_l2_rounds(&mut results);
+    println!(
+        "regional L2 tier at {} cells: {:.1}% origin bandwidth saved\n",
+        crate::cluster_suite::L2_CELLS,
+        l2_origin_savings * 100.0
+    );
     let massive = crate::massive_suite::bench_massive(&crate::massive_suite::FULL, &mut results);
     println!(
         "massive round engine: {:.2e} requests/s, incremental build {:.2}x faster than full rebuild\n",
@@ -507,6 +520,7 @@ pub fn run() {
             coalesced_fetch_ratio,
             cluster_speedup,
             cluster_parallel_path,
+            l2_origin_savings,
             massive,
         },
         &stages,

@@ -9,6 +9,8 @@ use basecache_obs::{Attr, Event, NullRecorder, Recorder, Sample, Snapshot};
 use basecache_sim::WorkerPool;
 use basecache_workload::{ClusterWorkload, GeneratedRequest};
 
+use crate::l2::{L2Config, RegionalL2, TIER_L1, TIER_L2, TIER_ORIGIN};
+
 /// One cell: a base station plus the per-cell buffers the cluster
 /// round reuses (request batch copy, recency scratch for the demand
 /// probe). Owning the buffers here lets a whole cell move onto a
@@ -49,7 +51,16 @@ impl Cell {
                 *slot = 1.0;
             }
         }
-        demand
+        // Units already committed to this station's in-flight transfers
+        // are on the wire, not new demand — subtract them so the
+        // arbiter stops double-counting bandwidth (PR 7 follow-on).
+        // Zero outside in-flight mode, keeping the instantaneous path
+        // bit-identical.
+        let committed = self
+            .station
+            .flight_ledger()
+            .map_or(0, |ledger| ledger.committed_at(self.station.tick()));
+        demand.saturating_sub(committed)
     }
 
     fn step(&mut self) -> RoundOutcome {
@@ -123,6 +134,11 @@ pub struct ClusterStepOutcome {
     pub average_score: f64,
     /// Served-weighted mean delivered recency (1.0 when no requests).
     pub average_recency: f64,
+    /// Copies pulled over the inter-cell backbone this round (0 with
+    /// the L2 tier disabled).
+    pub l2_transfers: u64,
+    /// Data units those L2 transfers moved (0 with the tier disabled).
+    pub l2_units: u64,
 }
 
 /// The sharded multi-cell simulation.
@@ -143,6 +159,9 @@ pub struct ClusterSim {
     demands: Vec<u64>,
     budgets: Vec<u64>,
     last_outcomes: Vec<RoundOutcome>,
+    /// The regional L2 tier; `None` (the default) is the exact PR 8
+    /// cluster, bit for bit.
+    l2: Option<RegionalL2>,
 }
 
 impl ClusterSim {
@@ -172,6 +191,7 @@ impl ClusterSim {
             demands: vec![0; n],
             budgets: vec![0; n],
             last_outcomes: Vec::with_capacity(n),
+            l2: None,
         })
     }
 
@@ -179,6 +199,22 @@ impl ClusterSim {
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Enable the regional L2 tier (shared version directory +
+    /// inter-cell backbone). L2 rounds step cells interleaved in cell
+    /// id order — exchange, step, publish — so each cell's exchange
+    /// already sees every earlier cell's same-round origin downloads;
+    /// an installed worker pool is bypassed while the tier is enabled.
+    pub fn with_l2(mut self, config: L2Config) -> Self {
+        let catalog = self.cells[0].station.catalog();
+        self.l2 = Some(RegionalL2::new(catalog, config));
+        self
+    }
+
+    /// The regional L2 tier, when enabled.
+    pub fn l2(&self) -> Option<&RegionalL2> {
+        self.l2.as_ref()
     }
 
     /// Install a cluster-level recorder for the aggregate round
@@ -268,24 +304,44 @@ impl ClusterSim {
             cell.station.set_download_budget(budget);
         }
 
-        // 3. Step every cell under its allocation.
+        // 3. Step every cell under its allocation. With the L2 tier
+        // enabled the round is *interleaved sequential* — exchange,
+        // step, publish, per cell in id order — because cell i+1's
+        // exchange must see cell i's same-round publishes for the
+        // region single-flight guarantee to hold; an installed worker
+        // pool is bypassed. Without L2 this is the exact PR 8 path.
         self.last_outcomes.clear();
-        match &self.mode {
-            ExecutionMode::Sequential => {
-                for cell in &mut self.cells {
-                    let outcome = cell.step();
-                    self.last_outcomes.push(outcome);
-                }
+        if let Some(l2) = &mut self.l2 {
+            let recorder: &dyn Recorder = &*self.recorder;
+            l2.begin_round();
+            for (i, cell) in self.cells.iter_mut().enumerate() {
+                let id = i as u32;
+                l2.exchange(&mut cell.station, &cell.batch, id, self.tick, recorder);
+                let outcome = cell.step();
+                cell.station.clear_plan_exclusions();
+                l2.publish_downloads(&cell.station, id, self.tick, recorder);
+                l2.attribute_serves(&cell.station, &cell.batch, self.tick, recorder);
+                self.last_outcomes.push(outcome);
             }
-            ExecutionMode::Parallel(pool) => {
-                let cells = std::mem::take(&mut self.cells);
-                let results = pool.scatter_gather(cells, |mut cell: Cell| {
-                    let outcome = cell.step();
-                    (cell, outcome)
-                });
-                for (cell, outcome) in results {
-                    self.cells.push(cell);
-                    self.last_outcomes.push(outcome);
+            l2.end_round();
+        } else {
+            match &self.mode {
+                ExecutionMode::Sequential => {
+                    for cell in &mut self.cells {
+                        let outcome = cell.step();
+                        self.last_outcomes.push(outcome);
+                    }
+                }
+                ExecutionMode::Parallel(pool) => {
+                    let cells = std::mem::take(&mut self.cells);
+                    let results = pool.scatter_gather(cells, |mut cell: Cell| {
+                        let outcome = cell.step();
+                        (cell, outcome)
+                    });
+                    for (cell, outcome) in results {
+                        self.cells.push(cell);
+                        self.last_outcomes.push(outcome);
+                    }
                 }
             }
         }
@@ -326,6 +382,8 @@ impl ClusterSim {
             } else {
                 1.0
             },
+            l2_transfers: self.l2.as_ref().map_or(0, |l2| l2.round_transfers()),
+            l2_units: self.l2.as_ref().map_or(0, |l2| l2.round_units()),
         };
         self.record_round(&outcome);
         self.tick += 1;
@@ -384,6 +442,21 @@ impl ClusterSim {
                         .round() as u64;
                 if staleness > 0 {
                     recorder.attribute(Attr::ServeStalenessByCell, key, staleness);
+                }
+            }
+        }
+        // L2-only channels: absent (not zero) while the tier is
+        // disabled, so the disabled round records exactly as before.
+        if let Some(l2) = &self.l2 {
+            recorder.add(Event::L2Transfers, l2.round_transfers());
+            recorder.add(Event::L2Units, l2.round_units());
+            recorder.add(Event::L2Invalidations, l2.round_invalidations());
+            if recorder.enabled() {
+                let tiers = l2.round_tiers();
+                for (tier, &count) in [TIER_L1, TIER_L2, TIER_ORIGIN].iter().zip(&tiers) {
+                    if count > 0 {
+                        recorder.attribute(Attr::ServesByTier, *tier, count);
+                    }
                 }
             }
         }

@@ -33,8 +33,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//!
+//! PR 9 adds an optional **regional L2 tier** ([`RegionalL2`], enabled
+//! via [`ClusterSim::with_l2`]): a shared version directory plus a
+//! costed inter-cell backbone that lets a cell pull a neighbor's fresh
+//! copy instead of re-paying origin, with region-wide single-flight
+//! enforced structurally (and verified by the online invariant
+//! monitor). With L2 disabled the cluster is bit-identical to before.
+
 mod cluster;
 mod drive;
+mod l2;
 
 pub use cluster::{Cell, ClusterError, ClusterSim, ClusterStepOutcome, ExecutionMode};
 pub use drive::{run_rounds, DriveConfig};
+pub use l2::{L2Config, RegionalL2, TIER_L1, TIER_L2, TIER_ORIGIN};

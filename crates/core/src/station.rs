@@ -17,7 +17,7 @@ use basecache_cache::CacheStore;
 use basecache_knapsack::Item;
 use basecache_net::{
     Catalog, InFlightConfig, InFlightLedger, InvalidationReport, ObjectId, ParkedWaiter,
-    RemoteServer,
+    RemoteServer, Version,
 };
 use basecache_obs::{
     Attr, Event, LifecycleEvent, NullRecorder, Recorder, Sample, Snapshot, Span, Stage, Transition,
@@ -155,6 +155,12 @@ pub struct BaseStationSim {
     scratch: PlannerScratch,
     recency_buf: Vec<f64>,
     downloaded: Vec<ObjectId>,
+    /// Objects the planner must not origin-fetch this round (sorted
+    /// ascending): a regional L2 tier sets these when another cell
+    /// already fetched — or is fetching — the current version, so the
+    /// region-wide single-flight contract holds. Empty outside L2 mode,
+    /// and the empty case takes the exact unfiltered planning path.
+    plan_exclusions: Vec<ObjectId>,
     /// In-flight download mode (multi-round transfers + single-flight
     /// coalescing); `None` is the paper's instantaneous model.
     flight: Option<FlightState>,
@@ -223,6 +229,7 @@ impl BaseStationSim {
             scratch,
             recency_buf: Vec::new(),
             downloaded: Vec::new(),
+            plan_exclusions: Vec::new(),
             flight: None,
         }
     }
@@ -279,6 +286,12 @@ impl BaseStationSim {
     /// updates).
     pub fn server_mut(&mut self) -> &mut RemoteServer {
         &mut self.server
+    }
+
+    /// The remote server (inspection — e.g. the regional L2 exchange
+    /// asking which version is current before consulting its directory).
+    pub fn server(&self) -> &RemoteServer {
+        &self.server
     }
 
     /// The cache (inspection).
@@ -422,6 +435,55 @@ impl BaseStationSim {
         &self.downloaded
     }
 
+    /// Forbid the next step's planner from origin-fetching `objects`
+    /// (the regional L2 tier already holds — or is fetching — their
+    /// current versions). The list is copied, sorted and deduplicated
+    /// into a reusable buffer; it stays in force until
+    /// [`Self::clear_plan_exclusions`]. With an empty list the planning
+    /// path is exactly the unfiltered one, bit for bit.
+    pub fn set_plan_exclusions(&mut self, objects: &[ObjectId]) {
+        self.plan_exclusions.clear();
+        self.plan_exclusions.extend_from_slice(objects);
+        self.plan_exclusions.sort_unstable();
+        self.plan_exclusions.dedup();
+    }
+
+    /// Drop every planner exclusion (see [`Self::set_plan_exclusions`]).
+    pub fn clear_plan_exclusions(&mut self) {
+        self.plan_exclusions.clear();
+    }
+
+    /// The objects currently excluded from origin fetching, ascending.
+    pub fn plan_exclusions(&self) -> &[ObjectId] {
+        &self.plan_exclusions
+    }
+
+    /// The version of the cached copy of `id`, if one is resident.
+    pub fn cached_version_of(&self, id: ObjectId) -> Option<Version> {
+        self.cache.peek(id).map(|entry| entry.version)
+    }
+
+    /// Install a copy of `id` obtained from a remote peer (an L2
+    /// neighbor cell) at the version *the peer holds* — which may lag
+    /// the origin. The copy lands in the cache exactly like a download,
+    /// but the recency estimator is only told about a refresh when the
+    /// installed version is the origin's current one; a stale L2 copy
+    /// keeps its honest staleness. Returns the object's size in units
+    /// (what the transfer cost the inter-cell link).
+    pub fn install_remote_copy(&mut self, id: ObjectId, version: Version) -> u64 {
+        let size = self.catalog.size_of(id);
+        let now = SimTime::from_ticks(self.tick);
+        self.cache
+            .insert(id, size, version, now)
+            .expect("unbounded cache never refuses");
+        if version == self.server.version_of(id) {
+            if let Estimation::Estimator(est) = &mut self.estimation {
+                est.on_refresh(id, now);
+            }
+        }
+        size
+    }
+
     /// Deliver a server invalidation report to the station's estimator
     /// (ignored under [`Estimation::Oracle`]).
     pub fn deliver_report(&mut self, report: &InvalidationReport) {
@@ -469,14 +531,40 @@ impl BaseStationSim {
                 planner,
                 budget_units,
             } => {
-                planner.plan_requests_recorded(
-                    requests,
-                    &self.catalog,
-                    &recency,
-                    budget_units,
-                    &mut self.scratch,
-                    recorder,
-                );
+                if self.plan_exclusions.is_empty() {
+                    planner.plan_requests_recorded(
+                        requests,
+                        &self.catalog,
+                        &recency,
+                        budget_units,
+                        &mut self.scratch,
+                        recorder,
+                    );
+                } else {
+                    // Same two halves as `plan_requests_recorded`, with
+                    // the L2-excluded objects compacted out of the
+                    // assembled instance before the solve — the region
+                    // already holds (or is fetching) their current
+                    // versions, so this cell must not pay origin.
+                    planner.assemble_requests_into(
+                        requests,
+                        &self.catalog,
+                        &recency,
+                        &mut self.scratch,
+                    );
+                    let mut keep = 0usize;
+                    for i in 0..self.scratch.items.len() {
+                        let o = self.scratch.objects[i];
+                        if self.plan_exclusions.binary_search(&o).is_err() {
+                            self.scratch.items[keep] = self.scratch.items[i];
+                            self.scratch.objects[keep] = self.scratch.objects[i];
+                            keep += 1;
+                        }
+                    }
+                    self.scratch.items.truncate(keep);
+                    self.scratch.objects.truncate(keep);
+                    planner.solve_assembled(budget_units, &mut self.scratch, recorder);
+                }
                 downloaded.extend_from_slice(self.scratch.downloads());
             }
             Policy::OnDemandLowestRecency { k_objects } => {
@@ -1032,15 +1120,21 @@ impl BaseStationSim {
             requests
         };
         planner.assemble_requests_into(planner_input, &self.catalog, &recency, &mut self.scratch);
-        if coalesce && !instant {
+        let excluding = !self.plan_exclusions.is_empty();
+        if (coalesce && !instant) || excluding {
             // A joinable object can still reach the instance as a
             // zero-profit item (fresh cache, redundant transfer active);
             // drop such items so the single-flight contract holds no
-            // matter how the solver tie-breaks zero profit.
+            // matter how the solver tie-breaks zero profit. L2-excluded
+            // objects (the region already holds or is fetching their
+            // current versions) are compacted out in the same pass.
             let mut keep = 0usize;
             for i in 0..self.scratch.items.len() {
                 let o = self.scratch.objects[i];
-                if !flight.ledger.joinable(o, self.server.version_of(o)) {
+                let dropped =
+                    (coalesce && !instant && flight.ledger.joinable(o, self.server.version_of(o)))
+                        || (excluding && self.plan_exclusions.binary_search(&o).is_ok());
+                if !dropped {
                     self.scratch.items[keep] = self.scratch.items[i];
                     self.scratch.objects[keep] = self.scratch.objects[i];
                     keep += 1;

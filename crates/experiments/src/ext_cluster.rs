@@ -19,12 +19,15 @@
 //! One series per arbiter policy (mean delivered score vs N) plus a
 //! handoffs-per-round series documenting the mobility pressure.
 
-use basecache_cluster::{run_rounds, ClusterSim, DriveConfig};
+use basecache_cluster::{run_rounds, ClusterSim, DriveConfig, L2Config};
 use basecache_core::planner::OnDemandPlanner;
 use basecache_core::StationBuilder;
 use basecache_net::{ArbiterPolicy, BackhaulArbiter, Catalog};
+use basecache_obs::{Event, InvariantMonitor};
 use basecache_sim::RngStreams;
-use basecache_workload::{ClusterWorkload, MobilityModel, Popularity, TargetRecency};
+use basecache_workload::{
+    ClusterWorkload, MobilityModel, Popularity, RoamingScenario, TargetRecency,
+};
 
 use crate::report::{Figure, Series};
 
@@ -180,6 +183,182 @@ pub fn run(params: &Params) -> Figure {
     )
 }
 
+/// Parameters of the two-tier (regional L2) sweep.
+#[derive(Debug, Clone)]
+pub struct L2Params {
+    /// Objects in the shared catalog.
+    pub objects: usize,
+    /// Roaming clients over the whole region.
+    pub clients: u32,
+    /// Requests per client per round.
+    pub requests_per_client: usize,
+    /// Global backhaul (origin) budget per round, in data units.
+    pub total_budget: u64,
+    /// Inter-cell backbone budget per round, in data units.
+    pub intercell_budget: u64,
+    /// Per-round probability that a client hops to a ring neighbour.
+    pub move_prob: f64,
+    /// Cluster-wide update wave period in rounds.
+    pub update_period: u64,
+    /// Rounds simulated per point.
+    pub rounds: u64,
+    /// Cell counts to sweep.
+    pub cell_counts: Vec<u32>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl L2Params {
+    /// Full-fidelity setup.
+    pub fn paper() -> Self {
+        Self {
+            objects: 300,
+            clients: 400,
+            requests_per_client: 2,
+            total_budget: 240,
+            intercell_budget: 480,
+            move_prob: 0.2,
+            update_period: 5,
+            rounds: 150,
+            cell_counts: vec![1, 2, 4, 8, 16],
+            seed: 16_500,
+        }
+    }
+
+    /// CI-sized setup.
+    pub fn quick() -> Self {
+        Self {
+            objects: 80,
+            clients: 120,
+            total_budget: 90,
+            intercell_budget: 90,
+            rounds: 40,
+            cell_counts: vec![1, 4, 8],
+            ..Self::paper()
+        }
+    }
+}
+
+fn build_l2_cluster(params: &L2Params, cells: u32, l2: Option<L2Config>) -> ClusterSim {
+    let sizes: Vec<u64> = (0..params.objects as u64).map(|i| 1 + i % 5).collect();
+    let stations = (0..cells)
+        .map(|_| {
+            StationBuilder::new(Catalog::from_sizes(&sizes))
+                .on_demand(OnDemandPlanner::paper_default(), 0)
+                .build()
+                .expect("valid configuration")
+        })
+        .collect();
+    let workload = RoamingScenario {
+        cells,
+        clients: params.clients,
+        objects: params.objects,
+        requests_per_client: params.requests_per_client,
+        move_prob: params.move_prob,
+    }
+    .build(&RngStreams::new(params.seed));
+    let sim = ClusterSim::new(
+        stations,
+        workload,
+        BackhaulArbiter::new(ArbiterPolicy::ProportionalToDemand, params.total_budget),
+    )
+    .expect("one station per cell");
+    match l2 {
+        // Every L2 experiment run is watched by the online monitor with
+        // the region single-flight check armed.
+        Some(config) => sim
+            .with_l2(config)
+            .with_recorder(Box::new(InvariantMonitor::new().region_single_flight())),
+        None => sim,
+    }
+}
+
+/// One sweep point: (mean delivered score, total origin units) for
+/// `cells` cells, with or without the regional L2 tier.
+///
+/// # Panics
+///
+/// Panics if the armed invariant monitor observes any violation on an
+/// L2-enabled run — the region-wide single-flight invariant is part of
+/// the experiment's contract, not merely plotted.
+pub fn run_l2_point(params: &L2Params, cells: u32, l2: Option<L2Config>) -> (f64, u64) {
+    let enabled = l2.is_some();
+    let mut cluster = build_l2_cluster(params, cells, l2);
+    let outcomes = run_rounds(
+        &mut cluster,
+        DriveConfig {
+            rounds: params.rounds,
+            wave_every: Some(params.update_period),
+        },
+    );
+    if enabled {
+        let monitor = cluster
+            .recorder()
+            .as_any()
+            .downcast_ref::<InvariantMonitor>()
+            .expect("monitor installed on L2 runs");
+        assert_eq!(
+            monitor.count(Event::RegionSingleFlightViolations),
+            0,
+            "region single-flight violated; offenders: {:?}",
+            monitor.offenders()
+        );
+        assert!(monitor.is_clean(), "invariant monitor flagged the run");
+    }
+    let mut score_sum = 0.0;
+    let mut served = 0u64;
+    let mut origin_units = 0u64;
+    for out in &outcomes {
+        score_sum += out.average_score * out.served as f64;
+        served += out.served as u64;
+        origin_units += out.units_downloaded;
+    }
+    (
+        if served > 0 {
+            score_sum / served as f64
+        } else {
+            1.0
+        },
+        origin_units,
+    )
+}
+
+/// Run the two-tier sweep: per cell count, mean delivered score with
+/// the tier off and on, plus the fraction of origin bandwidth the tier
+/// saved (`1 - on/off`).
+pub fn run_l2(params: &L2Params) -> Figure {
+    let config = L2Config {
+        intercell_units_per_round: params.intercell_budget,
+        ..L2Config::default()
+    };
+    let mut off_scores = Vec::new();
+    let mut on_scores = Vec::new();
+    let mut savings = Vec::new();
+    for &cells in &params.cell_counts {
+        let x = f64::from(cells);
+        let (off_score, off_units) = run_l2_point(params, cells, None);
+        let (on_score, on_units) = run_l2_point(params, cells, Some(config));
+        off_scores.push((x, off_score));
+        on_scores.push((x, on_score));
+        let saved = if off_units > 0 {
+            1.0 - on_units as f64 / off_units as f64
+        } else {
+            0.0
+        };
+        savings.push((x, saved));
+    }
+    Figure::new(
+        "Extension: regional L2 tier under Markov-ring roaming",
+        "number of cells",
+        "mixed units (see series)",
+        vec![
+            Series::new("mean score (L1 only)", off_scores),
+            Series::new("mean score (L1+L2)", on_scores),
+            Series::new("origin bandwidth saved (fraction)", savings),
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +406,52 @@ mod tests {
         // Mobility is actually happening once there is >1 cell.
         assert_eq!(handoffs.points.first().unwrap().1, 0.0, "N=1 cannot hop");
         assert!(handoffs.last_y().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn l2_tier_saves_origin_bandwidth_without_costing_score() {
+        let fig = run_l2(&L2Params::quick());
+        let off = &fig.series[0];
+        let on = &fig.series[1];
+        let saved = &fig.series[2];
+
+        // A one-cell region has no neighbors: the tier saves nothing.
+        assert_eq!(saved.points.first().unwrap().1, 0.0);
+
+        // The acceptance bar: ≥ 20% origin bandwidth saved at 8 cells.
+        let last = saved.last_y().unwrap();
+        assert!(
+            last >= 0.20,
+            "L2 must save ≥ 20% origin bandwidth at 8 cells, got {last:.3}"
+        );
+
+        // Cheap bandwidth, not cheap quality: the tier's score stays at
+        // least close to the single-tier baseline everywhere.
+        for (o, n) in off.points.iter().zip(&on.points) {
+            assert!(
+                n.1 >= o.1 - 0.02,
+                "L2 degraded score at {} cells: {} vs {}",
+                o.0,
+                n.1,
+                o.1
+            );
+        }
+    }
+
+    #[test]
+    fn l2_sweep_is_deterministic() {
+        let p = L2Params {
+            cell_counts: vec![4],
+            rounds: 15,
+            ..L2Params::quick()
+        };
+        let config = L2Config {
+            intercell_units_per_round: p.intercell_budget,
+            ..L2Config::default()
+        };
+        let a = run_l2_point(&p, 4, Some(config));
+        let b = run_l2_point(&p, 4, Some(config));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -53,7 +53,8 @@ fn parse_args() -> Result<Options, String> {
 fn usage() -> String {
     "usage: experiments [all|fig2|fig3|fig4|fig5a|fig5b|fig6a|fig6b|table1|\
      ext-adaptive|ext-adaptive-solver|ext-hybrid|ext-estimators|ext-flash-crowd|ext-latency|\
-     ext-poisson|ext-multicell|ext-cluster|ext-broadcast|ext-bounded-cache|ext-obs]... \
+     ext-poisson|ext-multicell|ext-cluster|ext-cluster-l2|ext-broadcast|ext-bounded-cache|\
+     ext-obs]... \
      [--quick] [--csv DIR]"
         .to_string()
 }
@@ -238,6 +239,15 @@ fn main() -> ExitCode {
             ext_cluster::Params::paper()
         };
         emit(&ext_cluster::run(&p), &opts, "ext_cluster.csv");
+    }
+    if want("ext-cluster-l2") {
+        matched = true;
+        let p = if opts.quick {
+            ext_cluster::L2Params::quick()
+        } else {
+            ext_cluster::L2Params::paper()
+        };
+        emit(&ext_cluster::run_l2(&p), &opts, "ext_cluster_l2.csv");
     }
     if want("ext-poisson") {
         matched = true;

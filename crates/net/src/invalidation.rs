@@ -7,10 +7,18 @@
 //! approximately from a lossy one (wireless links drop reports). The
 //! estimator experiments measure how report loss degrades the on-demand
 //! planner.
+//!
+//! The module also hosts the regional coherence channel the L2 tier
+//! rides: a [`VersionBus`] version pub/sub where cells publish the
+//! copies they hold and the freshest version wins. A publish of a newer
+//! version retires the stale directory entry (the `InvalidatedRemote`
+//! lifecycle transition); a publish of an *older* version — a copy that
+//! was invalidated while its transfer was on the wire — loses the race
+//! and is dropped, so a stale L2 hit can never be served as fresh.
 
 use basecache_sim::SimTime;
 
-use crate::object::{Catalog, ObjectId};
+use crate::object::{Catalog, ObjectId, Version};
 
 /// One broadcast invalidation report: the objects updated in
 /// `(previous report, at]`.
@@ -82,6 +90,187 @@ impl ReportLog {
     }
 }
 
+/// Sentinel for "no cell holds a registered copy".
+pub const NO_HOLDER: u32 = u32::MAX;
+
+/// What happened when a copy was published to the [`VersionBus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// First registered copy of the object in the region.
+    Installed,
+    /// The publish carried a fresher version: the previous holder's
+    /// stale entry was retired (an `InvalidatedRemote` in lifecycle
+    /// terms).
+    Invalidated {
+        /// Cell whose directory entry was retired.
+        previous_holder: u32,
+        /// Version the retired entry held.
+        previous_version: Version,
+    },
+    /// The exact `(object, version)` was already registered; the
+    /// directory keeps its current holder.
+    Duplicate {
+        /// Cell already registered for this version.
+        holder: u32,
+    },
+    /// The published copy is *older* than the directory's — it was
+    /// invalidated while in flight and lost the race. The directory is
+    /// untouched; the publisher must treat its copy as stale.
+    Stale {
+        /// Version the directory currently holds.
+        current: Version,
+    },
+}
+
+/// One version announcement on the bus, in publish order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusUpdate {
+    /// Monotone publish sequence number (1-based).
+    pub sequence: u64,
+    /// Object the announcement covers.
+    pub object: ObjectId,
+    /// Version now registered for the object.
+    pub version: Version,
+    /// Cell holding the registered copy.
+    pub holder: u32,
+}
+
+/// The regional version pub/sub: a shared directory mapping each object
+/// to the freshest `(version, holder)` any cell has registered, plus a
+/// bounded announcement ring subscribers drain by cursor.
+///
+/// Monotonicity is the load-bearing guarantee: the registered version
+/// of an object never decreases, so a lookup can trust that whatever it
+/// returns was the freshest published copy at that instant — stale
+/// publishes (copies invalidated mid-flight) are rejected with
+/// [`PublishOutcome::Stale`] instead of clobbering the directory.
+#[derive(Debug, Clone)]
+pub struct VersionBus {
+    versions: Vec<Version>,
+    holders: Vec<u32>,
+    ring: Vec<BusUpdate>,
+    ring_capacity: usize,
+    head: usize,
+    sequence: u64,
+    invalidations: u64,
+}
+
+impl VersionBus {
+    /// An empty directory for the catalog's objects, retaining the last
+    /// `ring_capacity` announcements (min 16) for subscribers.
+    pub fn new(catalog: &Catalog, ring_capacity: usize) -> Self {
+        let ring_capacity = ring_capacity.max(16);
+        Self {
+            versions: vec![Version(0); catalog.len()],
+            holders: vec![NO_HOLDER; catalog.len()],
+            ring: Vec::with_capacity(ring_capacity),
+            ring_capacity,
+            head: 0,
+            sequence: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Register `holder`'s copy of `object` at `version`. The freshest
+    /// version wins; see [`PublishOutcome`] for the race semantics.
+    pub fn publish(&mut self, object: ObjectId, version: Version, holder: u32) -> PublishOutcome {
+        let i = object.index();
+        let current_holder = self.holders[i];
+        let current = self.versions[i];
+        if current_holder != NO_HOLDER {
+            if version < current {
+                return PublishOutcome::Stale { current };
+            }
+            if version == current {
+                return PublishOutcome::Duplicate {
+                    holder: current_holder,
+                };
+            }
+        }
+        let outcome = if current_holder == NO_HOLDER {
+            PublishOutcome::Installed
+        } else {
+            self.invalidations += 1;
+            PublishOutcome::Invalidated {
+                previous_holder: current_holder,
+                previous_version: current,
+            }
+        };
+        self.versions[i] = version;
+        self.holders[i] = holder;
+        self.sequence += 1;
+        let update = BusUpdate {
+            sequence: self.sequence,
+            object,
+            version,
+            holder,
+        };
+        if self.ring.len() < self.ring_capacity {
+            self.ring.push(update);
+            self.head = self.ring.len() % self.ring_capacity;
+        } else {
+            self.ring[self.head] = update;
+            self.head = (self.head + 1) % self.ring_capacity;
+        }
+        outcome
+    }
+
+    /// The freshest registered copy of `object`, if any cell holds one.
+    pub fn lookup(&self, object: ObjectId) -> Option<(Version, u32)> {
+        let i = object.index();
+        (self.holders[i] != NO_HOLDER).then(|| (self.versions[i], self.holders[i]))
+    }
+
+    /// Whether `(object, version)` is exactly what the directory holds —
+    /// the "may I join the regional copy?" question.
+    pub fn holds(&self, object: ObjectId, version: Version) -> bool {
+        self.lookup(object).is_some_and(|(v, _)| v == version)
+    }
+
+    /// Drop `object`'s directory entry (the holding cell evicted it).
+    pub fn retire(&mut self, object: ObjectId) {
+        self.holders[object.index()] = NO_HOLDER;
+    }
+
+    /// Append every announcement with sequence > `cursor` to `out`,
+    /// oldest first, and return the updated cursor. Announcements that
+    /// rolled off the bounded ring before the subscriber drained them
+    /// are counted in `missed` (the subscriber should resync its view
+    /// from lookups).
+    pub fn drain_since(&self, cursor: u64, out: &mut Vec<BusUpdate>) -> (u64, u64) {
+        let mut missed = 0;
+        let mut newest = cursor;
+        let len = self.ring.len();
+        let oldest_seq = self.sequence.saturating_sub(len as u64) + 1;
+        if self.sequence > 0 && cursor + 1 < oldest_seq {
+            missed = oldest_seq - cursor - 1;
+        }
+        for k in 0..len {
+            let idx = if len == self.ring_capacity {
+                (self.head + k) % self.ring_capacity
+            } else {
+                k
+            };
+            let update = self.ring[idx];
+            if update.sequence > cursor {
+                out.push(update);
+                newest = newest.max(update.sequence);
+            }
+        }
+        (newest, missed)
+    }
+
+    /// Total announcements published so far.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Stale directory entries retired by fresher publishes.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +313,94 @@ mod tests {
         let b = log.cut_report(SimTime::from_ticks(2));
         let c = log.cut_report(SimTime::from_ticks(3));
         assert_eq!((a.sequence, b.sequence, c.sequence), (1, 2, 3));
+    }
+
+    #[test]
+    fn bus_registers_and_looks_up_the_freshest_copy() {
+        let mut bus = VersionBus::new(&catalog(), 16);
+        assert_eq!(bus.lookup(ObjectId(0)), None);
+        assert_eq!(
+            bus.publish(ObjectId(0), Version(1), 2),
+            PublishOutcome::Installed
+        );
+        assert_eq!(bus.lookup(ObjectId(0)), Some((Version(1), 2)));
+        assert!(bus.holds(ObjectId(0), Version(1)));
+        assert!(!bus.holds(ObjectId(0), Version(2)));
+    }
+
+    #[test]
+    fn fresher_publish_invalidates_the_stale_entry() {
+        let mut bus = VersionBus::new(&catalog(), 16);
+        bus.publish(ObjectId(3), Version(1), 0);
+        assert_eq!(
+            bus.publish(ObjectId(3), Version(4), 1),
+            PublishOutcome::Invalidated {
+                previous_holder: 0,
+                previous_version: Version(1),
+            }
+        );
+        assert_eq!(bus.lookup(ObjectId(3)), Some((Version(4), 1)));
+        assert_eq!(bus.invalidations(), 1);
+    }
+
+    #[test]
+    fn stale_publish_loses_the_race_and_leaves_the_directory_alone() {
+        let mut bus = VersionBus::new(&catalog(), 16);
+        bus.publish(ObjectId(2), Version(5), 0);
+        assert_eq!(
+            bus.publish(ObjectId(2), Version(3), 1),
+            PublishOutcome::Stale {
+                current: Version(5)
+            }
+        );
+        assert_eq!(bus.lookup(ObjectId(2)), Some((Version(5), 0)));
+        assert_eq!(bus.invalidations(), 0, "a lost race is not a retire");
+    }
+
+    #[test]
+    fn duplicate_publish_keeps_the_first_holder() {
+        let mut bus = VersionBus::new(&catalog(), 16);
+        bus.publish(ObjectId(1), Version(2), 0);
+        assert_eq!(
+            bus.publish(ObjectId(1), Version(2), 3),
+            PublishOutcome::Duplicate { holder: 0 }
+        );
+        assert_eq!(bus.lookup(ObjectId(1)), Some((Version(2), 0)));
+    }
+
+    #[test]
+    fn retire_drops_the_entry() {
+        let mut bus = VersionBus::new(&catalog(), 16);
+        bus.publish(ObjectId(4), Version(1), 2);
+        bus.retire(ObjectId(4));
+        assert_eq!(bus.lookup(ObjectId(4)), None);
+    }
+
+    #[test]
+    fn subscribers_drain_by_cursor_and_count_ring_losses() {
+        let mut bus = VersionBus::new(&catalog(), 16);
+        bus.publish(ObjectId(0), Version(1), 0);
+        bus.publish(ObjectId(1), Version(1), 1);
+        let mut seen = Vec::new();
+        let (cursor, missed) = bus.drain_since(0, &mut seen);
+        assert_eq!((cursor, missed), (2, 0));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].object, ObjectId(0));
+        assert_eq!(seen[1].sequence, 2);
+        // Nothing new: the cursor stands still.
+        seen.clear();
+        assert_eq!(bus.drain_since(cursor, &mut seen), (cursor, 0));
+        assert!(seen.is_empty());
+        // Push 20 more announcements through the 16-slot ring: a
+        // subscriber still at cursor 2 lost the oldest ones.
+        for v in 2..22u64 {
+            bus.publish(ObjectId(2), Version(v), 0);
+        }
+        seen.clear();
+        let (newest, missed) = bus.drain_since(cursor, &mut seen);
+        assert_eq!(newest, 22);
+        assert_eq!(missed, 4, "sequences 3..=6 rolled off");
+        assert_eq!(seen.len(), 16);
+        assert!(seen.windows(2).all(|w| w[0].sequence < w[1].sequence));
     }
 }

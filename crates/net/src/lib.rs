@@ -23,7 +23,10 @@
 //!   handoff/disconnect, exercised by the `mobile_cell` example.
 //! * [`inflight`] — [`InFlightLedger`]: multi-round transfers with
 //!   single-flight coalescing and commitment accounting.
-//! * [`invalidation`] — server invalidation reports.
+//! * [`invalidation`] — server invalidation reports, plus the regional
+//!   [`VersionBus`] version pub/sub the L2 tier's coherence rides.
+//! * [`intercell`] — [`InterCellLink`]: the per-round unit budget of the
+//!   regional backbone L2 transfers travel.
 //! * [`broadcast`] — broadcast-disk programs (the related-work baseline).
 //! * [`backhaul`] — the shared fixed-network budget arbiter splitting a
 //!   global per-round download budget across cells.
@@ -52,6 +55,7 @@ pub mod backhaul;
 pub mod broadcast;
 pub mod downlink;
 pub mod inflight;
+pub mod intercell;
 pub mod invalidation;
 pub mod link;
 pub mod object;
@@ -64,7 +68,10 @@ pub use downlink::Downlink;
 pub use inflight::{
     ActiveTransfer, Arrived, InFlightConfig, InFlightLedger, LedgerStats, ParkedWaiter,
 };
-pub use invalidation::{InvalidationReport, ReportLog};
+pub use intercell::InterCellLink;
+pub use invalidation::{
+    BusUpdate, InvalidationReport, PublishOutcome, ReportLog, VersionBus, NO_HOLDER,
+};
 pub use link::{Link, SharedLink, TransferTiming};
 pub use object::{Catalog, ObjectId, ObjectSpec, Version};
 pub use server::{RemoteServer, UpdateProcess};

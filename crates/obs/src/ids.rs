@@ -116,11 +116,23 @@ pub enum Event {
     /// Invariant monitor: a transfer arrived at a tick earlier than a
     /// previous arrival or earlier than its own launch.
     ArrivalOrderViolations,
+    /// Invariant monitor: an `(object, version)` pair was fetched from
+    /// origin more than once across a whole region while the L2 tier's
+    /// region-wide single-flight guarantee was supposed to hold.
+    RegionSingleFlightViolations,
+    /// Requests served out of the regional L2 tier (a neighbor cell's
+    /// copy travelled the inter-cell link instead of the backhaul).
+    L2Transfers,
+    /// Data units moved over the inter-cell link by L2 transfers.
+    L2Units,
+    /// Stale regional-directory entries retired by the version pub/sub
+    /// when a fresher copy landed at some cell.
+    L2Invalidations,
 }
 
 impl Event {
     /// Every counter id, in export order.
-    pub const ALL: [Event; 20] = [
+    pub const ALL: [Event; 24] = [
         Event::Rounds,
         Event::RequestsServed,
         Event::ObjectsDownloaded,
@@ -141,6 +153,10 @@ impl Event {
         Event::SingleFlightViolations,
         Event::CacheAccountingViolations,
         Event::ArrivalOrderViolations,
+        Event::RegionSingleFlightViolations,
+        Event::L2Transfers,
+        Event::L2Units,
+        Event::L2Invalidations,
     ];
 
     /// Number of counter ids.
@@ -175,6 +191,10 @@ impl Event {
             Event::SingleFlightViolations => "single_flight_violations",
             Event::CacheAccountingViolations => "cache_accounting_violations",
             Event::ArrivalOrderViolations => "arrival_order_violations",
+            Event::RegionSingleFlightViolations => "region_single_flight_violations",
+            Event::L2Transfers => "l2_transfers",
+            Event::L2Units => "l2_units",
+            Event::L2Invalidations => "l2_invalidations",
         }
     }
 }
@@ -347,11 +367,15 @@ pub enum Attr {
     /// Invariant-monitor violations attributed to the object that
     /// triggered them (key: `ObjectId`).
     MonitorViolationsByObject,
+    /// Requests served per cache tier (key: tier code — 0 = local L1,
+    /// 1 = regional L2 neighbor, 2 = origin download). Three keys, so a
+    /// top-K sink of capacity ≥ 3 records the channel exactly.
+    ServesByTier,
 }
 
 impl Attr {
     /// Every attribution channel, in export order.
-    pub const ALL: [Attr; 8] = [
+    pub const ALL: [Attr; 9] = [
         Attr::DownlinkUnitsByObject,
         Attr::DownlinkUnitsByClient,
         Attr::ServeStalenessByObject,
@@ -360,6 +384,7 @@ impl Attr {
         Attr::ServeStalenessByCell,
         Attr::AoiByObject,
         Attr::MonitorViolationsByObject,
+        Attr::ServesByTier,
     ];
 
     /// Number of attribution channels.
@@ -382,6 +407,7 @@ impl Attr {
             Attr::ServeStalenessByCell => "serve_staleness_by_cell",
             Attr::AoiByObject => "aoi_by_object",
             Attr::MonitorViolationsByObject => "monitor_violations_by_object",
+            Attr::ServesByTier => "serves_by_tier",
         }
     }
 
@@ -395,6 +421,7 @@ impl Attr {
             | Attr::MonitorViolationsByObject => format!("obj#{key}"),
             Attr::DownlinkUnitsByClient | Attr::ServeStalenessByClient => format!("client#{key}"),
             Attr::DownlinkUnitsByCell | Attr::ServeStalenessByCell => format!("cell#{key}"),
+            Attr::ServesByTier => format!("tier#{key}"),
         }
     }
 }
@@ -441,5 +468,6 @@ mod tests {
         assert_eq!(Attr::ServeStalenessByCell.label(5), "cell#5");
         assert_eq!(Attr::AoiByObject.label(11), "obj#11");
         assert_eq!(Attr::MonitorViolationsByObject.label(4), "obj#4");
+        assert_eq!(Attr::ServesByTier.label(1), "tier#1");
     }
 }

@@ -51,6 +51,17 @@ pub enum Transition {
     /// The copy was invalidated (a newer version exists upstream) while
     /// the span was still live — the arrival or serve was stale.
     InvalidatedStale,
+    /// `count` requests were served off a copy pulled from the regional
+    /// L2 tier (a neighbor cell) over the inter-cell link.
+    ServedFromL2,
+    /// An L2 copy was installed into the local L1 cache (promotion) —
+    /// the object's span gains a local residency without an origin
+    /// download.
+    PromotedToL1,
+    /// A remote (L2) copy of this `(object, version)` was invalidated
+    /// by the coherence channel because a fresher version landed at
+    /// some cell in the region.
+    InvalidatedRemote,
 }
 
 impl Transition {
@@ -65,6 +76,9 @@ impl Transition {
             Transition::ServedFromWait => "served_from_wait",
             Transition::Served => "served",
             Transition::InvalidatedStale => "invalidated_stale",
+            Transition::ServedFromL2 => "served_from_l2",
+            Transition::PromotedToL1 => "promoted_to_l1",
+            Transition::InvalidatedRemote => "invalidated_remote",
         }
     }
 }
@@ -406,10 +420,15 @@ impl Recorder for LifecycleRecorder {
             Transition::Arrived => {
                 span.arrived_tick = event.tick;
             }
-            Transition::ServedFromWait | Transition::Served => {
+            Transition::ServedFromWait | Transition::Served | Transition::ServedFromL2 => {
                 span.served = span.served.saturating_add(event.count);
             }
-            Transition::InvalidatedStale => {
+            Transition::PromotedToL1 => {
+                // A promotion lands the copy locally just like an origin
+                // arrival — close the span at end of round.
+                span.arrived_tick = event.tick;
+            }
+            Transition::InvalidatedStale | Transition::InvalidatedRemote => {
                 span.stale = true;
             }
         }

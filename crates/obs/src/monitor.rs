@@ -24,6 +24,12 @@
 //!   store ([`Event::CacheAccountingViolations`]).
 //! - **Arrival order** — arrivals land at monotone ticks, never before
 //!   their own launch ([`Event::ArrivalOrderViolations`]).
+//! - **Region single-flight** (opt-in via
+//!   [`InvariantMonitor::region_single_flight`]) — under a regional L2
+//!   tier, an `(object, version)` pair is origin-fetched at most once
+//!   across the whole region; a second arrival of the same pair means a
+//!   cell paid backhaul for a copy a neighbor already held
+//!   ([`Event::RegionSingleFlightViolations`]).
 
 use std::cell::{Cell, RefCell};
 
@@ -34,15 +40,17 @@ use crate::snapshot::{AttrSnapshot, CounterSnapshot, Snapshot};
 use crate::topk::{TopEntry, TopK};
 
 /// The violation counters the monitor maintains, in export order.
-pub const MONITOR_EVENTS: [Event; 5] = [
+pub const MONITOR_EVENTS: [Event; 6] = [
     Event::WaiterConservationViolations,
     Event::BudgetOvercommitViolations,
     Event::SingleFlightViolations,
     Event::CacheAccountingViolations,
     Event::ArrivalOrderViolations,
+    Event::RegionSingleFlightViolations,
 ];
 
 const INFLIGHT_CAPACITY: usize = 256;
+const ORIGIN_CAPACITY: usize = 1024;
 
 #[derive(Debug)]
 struct State {
@@ -57,6 +65,10 @@ struct State {
     cached_units: f64,
     /// Latest arrival tick seen.
     last_arrival: u64,
+    /// `(object, version)` pairs already origin-fetched somewhere in the
+    /// region (only maintained when the region check is armed), oldest
+    /// first; bounded, evicts silently when full.
+    origin_fetched: Vec<(u32, u64)>,
     /// Worst offenders across every check.
     offenders: TopK,
 }
@@ -70,6 +82,9 @@ pub struct InvariantMonitor {
     /// `true` under naive re-fetching, where duplicate transfers are
     /// expected and the single-flight check must stay quiet.
     allow_duplicate_flights: bool,
+    /// `true` when the region-wide origin single-flight check is armed
+    /// (an L2 tier is coordinating origin fetches across cells).
+    region_single_flight: bool,
     violations: [Cell<u64>; MONITOR_EVENTS.len()],
     state: RefCell<State>,
 }
@@ -87,6 +102,7 @@ impl InvariantMonitor {
         Self {
             budget: None,
             allow_duplicate_flights: false,
+            region_single_flight: false,
             violations: std::array::from_fn(|_| Cell::new(0)),
             state: RefCell::new(State {
                 inflight: Vec::with_capacity(INFLIGHT_CAPACITY),
@@ -94,6 +110,7 @@ impl InvariantMonitor {
                 served: 0,
                 cached_units: f64::NAN,
                 last_arrival: 0,
+                origin_fetched: Vec::new(),
                 offenders: TopK::new(8),
             }),
         }
@@ -110,6 +127,20 @@ impl InvariantMonitor {
     /// launches duplicates by design).
     pub fn allow_duplicate_flights(mut self) -> Self {
         self.allow_duplicate_flights = true;
+        self
+    }
+
+    /// Arm the region-wide origin single-flight check: every
+    /// [`Transition::Arrived`] event is an origin fetch, and the same
+    /// `(object, version)` arriving twice anywhere in the region means
+    /// the L2 tier failed to share the first copy. Only arm this on a
+    /// cluster-level recorder whose arrival stream is region-scoped.
+    pub fn region_single_flight(mut self) -> Self {
+        self.region_single_flight = true;
+        self.state
+            .borrow_mut()
+            .origin_fetched
+            .reserve(ORIGIN_CAPACITY);
         self
     }
 
@@ -155,6 +186,7 @@ impl InvariantMonitor {
         st.served = 0;
         st.cached_units = f64::NAN;
         st.last_arrival = 0;
+        st.origin_fetched.clear();
         st.offenders.reset();
     }
 }
@@ -225,7 +257,7 @@ impl Recorder for InvariantMonitor {
                 }
             }
             Transition::Arrived => {
-                let (out_of_order, before_launch) = {
+                let (out_of_order, before_launch, region_dup) = {
                     let mut st = self.state.borrow_mut();
                     let key = (event.object, event.version);
                     if let Some(i) = st.inflight.iter().position(|&k| k == key) {
@@ -235,10 +267,25 @@ impl Recorder for InvariantMonitor {
                     st.last_arrival = st.last_arrival.max(event.tick);
                     let before_launch =
                         event.launch_tick != NO_TICK && event.tick < event.launch_tick;
-                    (out_of_order, before_launch)
+                    let region_dup = if self.region_single_flight {
+                        let dup = st.origin_fetched.contains(&key);
+                        if !dup {
+                            if st.origin_fetched.len() == ORIGIN_CAPACITY {
+                                st.origin_fetched.remove(0);
+                            }
+                            st.origin_fetched.push(key);
+                        }
+                        dup
+                    } else {
+                        false
+                    };
+                    (out_of_order, before_launch, region_dup)
                 };
                 if out_of_order || before_launch {
                     self.flag(Event::ArrivalOrderViolations, event.object);
+                }
+                if region_dup {
+                    self.flag(Event::RegionSingleFlightViolations, event.object);
                 }
             }
             Transition::ServedFromWait => {
@@ -378,6 +425,29 @@ mod tests {
         // Arriving before your own launch is also time travel.
         mon.lifecycle(ev(Transition::Arrived, 3, 1, 20).at_launch(25));
         assert_eq!(mon.count(Event::ArrivalOrderViolations), 2);
+    }
+
+    #[test]
+    fn region_single_flight_fires_on_second_origin_fetch() {
+        let mon = InvariantMonitor::new().region_single_flight();
+        mon.lifecycle(ev(Transition::Arrived, 4, 2, 3));
+        assert!(mon.is_clean(), "first origin fetch of (4, v2) is fine");
+        // A different version is a legitimate refresh.
+        mon.lifecycle(ev(Transition::Arrived, 4, 3, 5));
+        assert!(mon.is_clean());
+        // The same (object, version) arriving again means some cell
+        // re-paid origin for a copy the region already held.
+        mon.lifecycle(ev(Transition::Arrived, 4, 2, 7));
+        assert_eq!(mon.count(Event::RegionSingleFlightViolations), 1);
+        assert_eq!(mon.offenders()[0].key, 4);
+    }
+
+    #[test]
+    fn region_single_flight_is_disarmed_by_default() {
+        let mon = InvariantMonitor::new();
+        mon.lifecycle(ev(Transition::Arrived, 4, 2, 3));
+        mon.lifecycle(ev(Transition::Arrived, 4, 2, 7));
+        assert_eq!(mon.count(Event::RegionSingleFlightViolations), 0);
     }
 
     #[test]

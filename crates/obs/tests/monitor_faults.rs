@@ -33,6 +33,9 @@ enum Fault {
     CacheShrink,
     /// Deliver an arrival stamped before its own launch tick.
     TimeTravel,
+    /// Origin-fetch an (object, version) a second time in the same
+    /// region — the L2 tier should have shared the first copy.
+    RegionRefetch,
 }
 
 impl Fault {
@@ -45,6 +48,7 @@ impl Fault {
             Fault::DuplicateLaunch => Some(Event::SingleFlightViolations),
             Fault::CacheShrink => Some(Event::CacheAccountingViolations),
             Fault::TimeTravel => Some(Event::ArrivalOrderViolations),
+            Fault::RegionRefetch => Some(Event::RegionSingleFlightViolations),
         }
     }
 }
@@ -90,6 +94,11 @@ fn replay(rec: &dyn Recorder, fault: Fault) {
         rec.lifecycle(
             LifecycleEvent::new(Transition::Arrived, object, 1, arrive).at_launch(launch),
         );
+        if fault == Fault::RegionRefetch && r == 2 {
+            // A second cell re-fetched round 1's object from origin at
+            // the version the region already holds.
+            rec.lifecycle(LifecycleEvent::new(Transition::Arrived, 1, 1, arrive));
+        }
         // Seeded in the last round: an inflated serve count keeps the
         // cumulative served > parked imbalance for every later round,
         // so a mid-script seed would (correctly) fire more than once.
@@ -173,6 +182,29 @@ fn object_keyed_faults_name_the_offender() {
             "{fault:?}: the object of the seeded round is named"
         );
     }
+}
+
+#[test]
+fn region_check_fires_only_when_armed() {
+    // Disarmed (the default station-level monitor): the duplicate
+    // arrival is not an invariant failure.
+    let monitor = armed_monitor();
+    replay(&monitor, Fault::RegionRefetch);
+    assert_eq!(monitor.count(Event::RegionSingleFlightViolations), 0);
+
+    // Armed (a cluster-level monitor watching region-scoped arrivals):
+    // the clean script stays silent, the seeded refetch fires exactly
+    // its check.
+    let monitor = armed_monitor().region_single_flight();
+    replay(&monitor, Fault::None);
+    assert!(monitor.is_clean(), "clean region stream stays clean");
+    let monitor = armed_monitor().region_single_flight();
+    replay(&monitor, Fault::RegionRefetch);
+    for &event in &MONITOR_EVENTS {
+        let want = u64::from(event == Event::RegionSingleFlightViolations);
+        assert_eq!(monitor.count(event), want, "{}", event.name());
+    }
+    assert_eq!(monitor.offenders()[0].key, 1, "the refetched object");
 }
 
 #[test]

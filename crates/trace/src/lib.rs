@@ -430,14 +430,85 @@ pub fn summarize_aoi(text: &str) -> Result<AoiReport, String> {
     Ok(report)
 }
 
-/// Roll a lifecycle trace and (optionally) an AoI series into one
-/// report — the `basecache-trace report` subcommand.
-pub fn rollup_report(trace_text: &str, aoi_text: Option<&str>) -> Result<String, String> {
+/// Human names of the `serves_by_tier` attribution keys, indexed by
+/// tier code (0 = local L1 cache, 1 = regional L2 neighbor, 2 = origin).
+const TIER_NAMES: [&str; 3] = ["L1 (local)", "L2 (neighbor)", "origin"];
+
+/// Per-tier hit-ratio table from an exported obs snapshot JSON (the
+/// `write_json` format): sums the `serves_by_tier` attribution channel
+/// (labels `tier#0`/`tier#1`/`tier#2`) and renders one row per tier
+/// with its share of all serves.
+///
+/// Errors if the document is not a snapshot export, carries a label
+/// outside the three known tiers, or has no tier attribution at all
+/// (a single-tier run — the channel only exists when the cluster's
+/// regional L2 tier is enabled).
+pub fn tier_hit_table(snapshot_text: &str) -> Result<String, String> {
+    let root = parse(snapshot_text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let attrs = root
+        .get("attrs")
+        .and_then(Value::as_array)
+        .ok_or("missing \"attrs\" array (not an obs snapshot export?)")?;
+    let mut tiers = [0u64; 3];
+    let mut seen = false;
+    for entry in attrs {
+        let obj = entry.as_object().ok_or("attrs entry is not an object")?;
+        if obj.get("channel").and_then(Value::as_str) != Some("serves_by_tier") {
+            continue;
+        }
+        let label = obj
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or("serves_by_tier entry without string label")?;
+        let weight = obj
+            .get("weight")
+            .and_then(Value::as_f64)
+            .ok_or("serves_by_tier entry without numeric weight")?;
+        let slot = match label {
+            "tier#0" => 0,
+            "tier#1" => 1,
+            "tier#2" => 2,
+            other => return Err(format!("unknown tier label {other:?}")),
+        };
+        tiers[slot] += weight as u64;
+        seen = true;
+    }
+    if !seen {
+        return Err("no serves_by_tier attribution in snapshot (single-tier run?)".to_string());
+    }
+    let total: u64 = tiers.iter().sum();
+    use fmt::Write as _;
+    let mut out = format!("{:<14} {:>10} {:>8}\n", "tier", "serves", "ratio");
+    for (name, &serves) in TIER_NAMES.iter().zip(&tiers) {
+        let ratio = if total > 0 {
+            serves as f64 / total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "{name:<14} {serves:>10} {ratio:>8.3}");
+    }
+    let _ = writeln!(out, "{:<14} {total:>10}", "total");
+    Ok(out)
+}
+
+/// Roll a lifecycle trace and (optionally) an AoI series and an obs
+/// snapshot into one report — the `basecache-trace report` subcommand.
+/// The snapshot contributes the per-tier hit-ratio table when it
+/// carries the `serves_by_tier` channel.
+pub fn rollup_report(
+    trace_text: &str,
+    aoi_text: Option<&str>,
+    snapshot_text: Option<&str>,
+) -> Result<String, String> {
     let mut out = String::from("== transfer lifecycles ==\n");
     out.push_str(&format!("{}\n", wait_decomposition(trace_text)?));
     if let Some(aoi) = aoi_text {
         out.push_str("\n== age of information ==\n");
         out.push_str(&format!("{}\n", summarize_aoi(aoi)?));
+    }
+    if let Some(snapshot) = snapshot_text {
+        out.push_str("\n== per-tier hit ratios ==\n");
+        out.push_str(&tier_hit_table(snapshot)?);
     }
     Ok(out)
 }
@@ -766,16 +837,66 @@ mod tests {
         .contains("serves"));
     }
 
+    fn tier_snapshot() -> &'static str {
+        r#"{
+  "counters": {"l2_transfers": 7},
+  "samples": [],
+  "spans": [],
+  "attrs": [
+    {"channel": "downlink_units_by_cell", "label": "cell#0", "weight": 4, "error": 0},
+    {"channel": "serves_by_tier", "label": "tier#0", "weight": 120, "error": 0},
+    {"channel": "serves_by_tier", "label": "tier#1", "weight": 60, "error": 0},
+    {"channel": "serves_by_tier", "label": "tier#2", "weight": 20, "error": 0}
+  ]
+}"#
+    }
+
     #[test]
     fn rollup_report_combines_sections() {
-        let text = rollup_report(&lifecycle_trace(), Some(aoi_csv())).unwrap();
+        let text = rollup_report(&lifecycle_trace(), Some(aoi_csv()), None).unwrap();
         assert!(text.contains("transfer lifecycles"), "{text}");
         assert!(text.contains("age of information"), "{text}");
         assert!(text.contains("queueing"), "{text}");
         assert!(text.contains("peak_aoi: 6"), "{text}");
-        // Trace-only rollup skips the AoI section.
-        let solo = rollup_report(&lifecycle_trace(), None).unwrap();
+        // Trace-only rollup skips the optional sections.
+        let solo = rollup_report(&lifecycle_trace(), None, None).unwrap();
         assert!(!solo.contains("age of information"), "{solo}");
+        assert!(!solo.contains("per-tier hit ratios"), "{solo}");
+        // A snapshot with tier attribution adds the hit-ratio table.
+        let tiered = rollup_report(&lifecycle_trace(), None, Some(tier_snapshot())).unwrap();
+        assert!(tiered.contains("per-tier hit ratios"), "{tiered}");
+        assert!(tiered.contains("L2 (neighbor)"), "{tiered}");
+    }
+
+    #[test]
+    fn tier_table_computes_ratios() {
+        let table = tier_hit_table(tier_snapshot()).unwrap();
+        assert!(table.contains("L1 (local)"), "{table}");
+        let l1 = table.lines().find(|l| l.starts_with("L1")).unwrap();
+        assert!(l1.contains("120") && l1.contains("0.600"), "{l1}");
+        let l2 = table.lines().find(|l| l.starts_with("L2")).unwrap();
+        assert!(l2.contains("60") && l2.contains("0.300"), "{l2}");
+        let origin = table.lines().find(|l| l.starts_with("origin")).unwrap();
+        assert!(
+            origin.contains("20") && origin.contains("0.100"),
+            "{origin}"
+        );
+        assert!(table.contains("total") && table.contains("200"), "{table}");
+    }
+
+    #[test]
+    fn tier_table_rejects_unusable_snapshots() {
+        assert!(tier_hit_table("not json").unwrap_err().contains("JSON"));
+        assert!(tier_hit_table(r#"{"counters": {}}"#)
+            .unwrap_err()
+            .contains("attrs"));
+        // Snapshot without the channel: explicit single-tier error.
+        let single = r#"{"attrs": [{"channel": "downlink_units_by_cell",
+            "label": "cell#0", "weight": 4, "error": 0}]}"#;
+        assert!(tier_hit_table(single).unwrap_err().contains("single-tier"));
+        let bad = r#"{"attrs": [{"channel": "serves_by_tier",
+            "label": "tier#9", "weight": 4, "error": 0}]}"#;
+        assert!(tier_hit_table(bad).unwrap_err().contains("tier#9"));
     }
 
     fn bench_json(pairs: &[(&str, f64)]) -> String {

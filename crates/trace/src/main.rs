@@ -5,7 +5,7 @@
 //! basecache-trace summarize <trace.json>
 //! basecache-trace waits     <trace.json>
 //! basecache-trace aoi       <aoi.csv>
-//! basecache-trace report    <trace.json> [aoi.csv]
+//! basecache-trace report    <trace.json> [aoi.csv] [snapshot.json]
 //! basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--only PREFIX] [--warn-only]
 //! ```
 //!
@@ -14,7 +14,9 @@
 //! `chrome://tracing` for the visual version). `waits` decomposes a
 //! lifecycle trace (async "b"/"e" spans) into queueing vs on-wire wait
 //! time; `aoi` summarizes an age-of-information CSV series; `report`
-//! rolls both into one text block. `diff` compares two
+//! rolls both into one text block, plus — when given an obs snapshot
+//! JSON — a per-tier hit-ratio table (L1 / L2-neighbor / origin) from
+//! the cluster's `serves_by_tier` attribution channel. `diff` compares two
 //! `BENCH_planner.json` runs by `median_ns` and exits nonzero when any
 //! bench slowed down by more than the threshold (default 10%), which
 //! makes it usable as a CI regression gate; `--warn-only` reports but
@@ -30,7 +32,7 @@ fn usage() -> ExitCode {
          basecache-trace summarize <trace.json>\n  \
          basecache-trace waits     <trace.json>\n  \
          basecache-trace aoi       <aoi.csv>\n  \
-         basecache-trace report    <trace.json> [aoi.csv]\n  \
+         basecache-trace report    <trace.json> [aoi.csv] [snapshot.json]\n  \
          basecache-trace diff <base.json> <new.json> [--threshold-pct N] [--only PREFIX] [--warn-only]"
     );
     ExitCode::from(2)
@@ -122,9 +124,10 @@ fn main() -> ExitCode {
             }
         }
         "report" => {
-            let (trace_path, aoi_path) = match rest {
-                [t] => (t, None),
-                [t, a] => (t, Some(a)),
+            let (trace_path, aoi_path, snapshot_path) = match rest {
+                [t] => (t, None, None),
+                [t, a] => (t, Some(a), None),
+                [t, a, s] => (t, Some(a), Some(s)),
                 _ => return usage(),
             };
             let trace_text = match read(trace_path) {
@@ -136,7 +139,16 @@ fn main() -> ExitCode {
                 Some(Err(code)) => return code,
                 None => None,
             };
-            match basecache_trace::rollup_report(&trace_text, aoi_text.as_deref()) {
+            let snapshot_text = match snapshot_path.map(|p| read(p)) {
+                Some(Ok(t)) => Some(t),
+                Some(Err(code)) => return code,
+                None => None,
+            };
+            match basecache_trace::rollup_report(
+                &trace_text,
+                aoi_text.as_deref(),
+                snapshot_text.as_deref(),
+            ) {
                 Ok(report) => {
                     print!("{report}");
                     ExitCode::SUCCESS

@@ -55,7 +55,7 @@ pub mod trace_stats;
 
 pub use correlation::Correlation;
 pub use estimate::PopularityEstimator;
-pub use mobility::{ClusterWorkload, MobilityModel};
+pub use mobility::{ClusterWorkload, MobilityModel, RoamingScenario};
 pub use popularity::{Popularity, PopularityDist};
 pub use requests::{
     FlashCrowdGenerator, GeneratedRequest, RequestGenerator, ShiftingGenerator, TargetRecency,

@@ -245,6 +245,48 @@ impl ClusterWorkload {
     }
 }
 
+/// A packaged Markov-ring roaming scenario: the canonical workload the
+/// cooperative (L2) cluster experiments run against, and the regime
+/// Avrachenkov et al.'s geographic-overlap argument needs — the *same*
+/// Zipf-popular catalog is demanded from every cell, so a neighbor
+/// usually fetched what this cell is about to pay origin for.
+///
+/// Bundling the knobs keeps experiment, bench and test call sites in
+/// literal agreement instead of each re-spelling the same nine
+/// [`ClusterWorkload::new`] arguments.
+#[derive(Debug, Clone)]
+pub struct RoamingScenario {
+    /// Cells on the ring.
+    pub cells: u32,
+    /// Roaming clients over the whole region.
+    pub clients: u32,
+    /// Catalog size the shared Zipf popularity is built over.
+    pub objects: usize,
+    /// Requests per client per tick.
+    pub requests_per_client: usize,
+    /// Per-tick probability that a client hops to a ring neighbour.
+    pub move_prob: f64,
+}
+
+impl RoamingScenario {
+    /// Build the workload: uniform initial placement, shared Zipf(1)
+    /// object popularity, always-fresh targets, Markov-ring mobility.
+    pub fn build(&self, streams: &RngStreams) -> ClusterWorkload {
+        ClusterWorkload::new(
+            self.cells,
+            self.clients,
+            Popularity::Uniform,
+            Popularity::ZIPF1.build(self.objects),
+            TargetRecency::AlwaysFresh,
+            self.requests_per_client,
+            MobilityModel::MarkovRing {
+                move_prob: self.move_prob,
+            },
+            streams,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

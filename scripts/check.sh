@@ -120,6 +120,15 @@ head -1 "$cluster_out/ext_cluster.csv" | grep -q 'number of cells' \
     || { echo "error: ext_cluster.csv missing header" >&2; exit 1; }
 rm -rf "$cluster_out"
 
+echo "==> cluster L2 smoke test (ext-cluster-l2 quick run)"
+l2_out=$(mktemp -d)
+cargo run -q -p basecache-experiments --release -- ext-cluster-l2 --quick --csv "$l2_out"
+test -s "$l2_out/ext_cluster_l2.csv" \
+    || { echo "error: ext-cluster-l2 did not write ext_cluster_l2.csv" >&2; exit 1; }
+grep -q 'origin bandwidth saved' "$l2_out/ext_cluster_l2.csv" \
+    || { echo "error: ext_cluster_l2.csv missing savings series" >&2; exit 1; }
+rm -rf "$l2_out"
+
 echo "==> massive round-engine smoke (reduced scale)"
 # The full 100k-object / 1M-request suite runs with the planner bench
 # below; this reduced-scale pass proves the pipeline end to end on
@@ -138,6 +147,7 @@ cargo bench -p basecache-bench --bench planner
 # can only guard entries that exist in the fresh run.
 for entry in 'cluster_round/sequential/1' 'cluster_round/sequential/16' \
              'cluster_round/parallel/16' \
+             'cluster/l2/off' 'cluster/l2/on' \
              'planner/round/adaptive' 'planner/round/adaptive_lifecycle' \
              'planner/scale/adaptive/2000' \
              'planner/inflight/coalesce' 'planner/inflight/naive' \
@@ -152,7 +162,7 @@ done
 # ... and the massive-scale headline keys.
 for key in 'requests_per_second' 'incremental_build_speedup' \
            'cluster_parallel_path' 'coalesced_fetch_ratio' \
-           'lifecycle_recorder_overhead'; do
+           'lifecycle_recorder_overhead' 'l2_origin_savings'; do
     grep -q "\"$key\"" BENCH_planner.json \
         || { echo "error: BENCH_planner.json missing $key" >&2; exit 1; }
 done
