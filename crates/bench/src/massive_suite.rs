@@ -16,6 +16,10 @@
 //!   recency observation, incremental rescore, adaptive solve, refresh,
 //!   columnar serve), from which the `requests_per_second` figure in
 //!   `BENCH_planner.json` is derived.
+//! - `solve_only/{expanding_core,full_core}` — the assembled massive
+//!   instance solved in isolation with the certified expanding-core
+//!   endgame on (default) vs off; their ratio is the
+//!   `massive_solve_speedup` figure in `BENCH_planner.json`.
 //!
 //! The `--smoke` variant runs the identical pipeline at 1/50 scale so
 //! `scripts/check.sh` can execute it on every run.
@@ -30,6 +34,7 @@ use basecache_core::planner::OnDemandPlanner;
 use basecache_core::recency::ScoringFunction;
 use basecache_core::scratch::PlannerScratch;
 use basecache_core::StationBuilder;
+use basecache_knapsack::{AdaptiveScratch, AdaptiveSolver};
 use basecache_net::{Catalog, ObjectId};
 use basecache_sim::{RngStreams, SimTime, WorkerPool};
 use basecache_workload::{ChurnOp, Popularity, StandingWorkload, TargetRecency};
@@ -81,6 +86,10 @@ pub struct MassiveReport {
     /// Full-rebuild median over incremental-build median at the
     /// configured churn.
     pub incremental_build_speedup: f64,
+    /// Solve-only A/B on the assembled massive instance: full-sweep
+    /// median (`with_endgame(0, _)`, the pre-endgame solve) over the
+    /// default certified expanding-core median.
+    pub massive_solve_speedup: f64,
 }
 
 /// Deterministic catalog + standing population + cache recency for a
@@ -236,13 +245,44 @@ pub fn bench_massive(scale: &MassiveScale, results: &mut Vec<Measurement>) -> Ma
     );
     let requests_per_second = scale.requests as f64 * 1e9 / round.median_ns();
 
+    // --- solve_only A/B: the instance the station round just solved,
+    // re-solved in isolation with the certified expanding-core endgame
+    // (plus tied-instance certified pruning) on — the default — and
+    // off (`with_endgame(0, _)` restores the pre-endgame full sweep,
+    // which on this instance degenerates to the full-table DP). Both
+    // answers are bit-identical (`tests/engine_parity.rs` pins that);
+    // only the work differs, and the ratio is the
+    // `massive_solve_speedup` headline.
+    engine.assemble_into(&mut scratch);
+    let items = scratch.items().to_vec();
+    let mut ad = AdaptiveScratch::new();
+    let on_solver = AdaptiveSolver::default();
+    let solve_on = bench_n(
+        &format!(
+            "planner/massive/solve_only/expanding_core/{}",
+            scale.objects
+        ),
+        scale.samples,
+        || black_box(on_solver.solve_into(&items, scale.budget, &mut ad)),
+    );
+    let off_solver = AdaptiveSolver::default().with_endgame(0, 8);
+    let solve_off = bench_n(
+        &format!("planner/massive/solve_only/full_core/{}", scale.objects),
+        scale.samples,
+        || black_box(off_solver.solve_into(&items, scale.budget, &mut ad)),
+    );
+    let massive_solve_speedup = solve_off.median_ns() / solve_on.median_ns();
+
     results.push(full);
     results.push(incr);
     results.push(incr_zipf);
     results.push(round);
+    results.push(solve_on);
+    results.push(solve_off);
     MassiveReport {
         requests_per_second,
         incremental_build_speedup,
+        massive_solve_speedup,
     }
 }
 
@@ -255,7 +295,12 @@ pub fn run_standalone(smoke: bool) {
     let report = bench_massive(scale, &mut results);
     println!(
         "\nmassive round engine at {} objects / {} requests: \
-         {:.2e} requests/s, incremental build {:.2}x faster than full rebuild",
-        scale.objects, scale.requests, report.requests_per_second, report.incremental_build_speedup
+         {:.2e} requests/s, incremental build {:.2}x faster than full rebuild, \
+         certified expanding-core solve {:.2}x faster than the full sweep",
+        scale.objects,
+        scale.requests,
+        report.requests_per_second,
+        report.incremental_build_speedup,
+        report.massive_solve_speedup
     );
 }

@@ -433,6 +433,14 @@ fn write_json(results: &[Measurement], headlines: &Headlines, stages: &Snapshot)
         "  \"incremental_build_speedup\": {:.2},\n",
         massive.incremental_build_speedup
     ));
+    // Solve-only A/B on the assembled massive instance: what the
+    // certified expanding-core endgame (with tied-instance certified
+    // pruning) saves over the pre-endgame full sweep, answers
+    // bit-identical. `scripts/check.sh` gates this at ≥ 5x.
+    out.push_str(&format!(
+        "  \"massive_solve_speedup\": {:.2},\n",
+        massive.massive_solve_speedup
+    ));
     out.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };

@@ -46,7 +46,12 @@ pub enum SolverChoice {
 }
 
 impl SolverChoice {
-    fn solve(self, mapped: &MappedInstance, budget: u64) -> basecache_knapsack::Solution {
+    fn solve(
+        self,
+        mapped: &MappedInstance,
+        budget: u64,
+        adaptive: AdaptiveSolver,
+    ) -> basecache_knapsack::Solution {
         match self {
             SolverChoice::ExactDp => DpByCapacity.solve(mapped.instance(), budget),
             SolverChoice::Greedy => GreedyDensity.solve(mapped.instance(), budget),
@@ -54,7 +59,7 @@ impl SolverChoice {
             SolverChoice::BranchAndBound => {
                 BranchAndBound::default().solve(mapped.instance(), budget)
             }
-            SolverChoice::Adaptive => AdaptiveSolver::default().solve(mapped.instance(), budget),
+            SolverChoice::Adaptive => adaptive.solve(mapped.instance(), budget),
         }
     }
 }
@@ -64,12 +69,26 @@ impl SolverChoice {
 pub struct OnDemandPlanner {
     scoring: ScoringFunction,
     solver: SolverChoice,
+    adaptive: AdaptiveSolver,
 }
 
 impl OnDemandPlanner {
     /// Create a planner.
     pub fn new(scoring: ScoringFunction, solver: SolverChoice) -> Self {
-        Self { scoring, solver }
+        Self {
+            scoring,
+            solver,
+            adaptive: AdaptiveSolver::default(),
+        }
+    }
+
+    /// Replace the configured [`AdaptiveSolver`] (node budgets, core
+    /// window parameters) used by [`SolverChoice::Adaptive`] rounds.
+    /// The solver stays exact under any configuration — this only moves
+    /// work between its terminal strategies.
+    pub fn with_adaptive_solver(mut self, adaptive: AdaptiveSolver) -> Self {
+        self.adaptive = adaptive;
+        self
     }
 
     /// The paper's configuration: inverse-ratio scoring with an exact
@@ -98,7 +117,7 @@ impl OnDemandPlanner {
         budget: u64,
     ) -> DownloadPlan {
         let mapped = build_instance(batch, catalog, recency, self.scoring);
-        let solution = self.solver.solve(&mapped, budget);
+        let solution = self.solver.solve(&mapped, budget, self.adaptive);
         let mut download = mapped.selected_objects(&solution);
         download.sort_unstable();
         DownloadPlan {
@@ -316,7 +335,7 @@ impl OnDemandPlanner {
                             scratch.hint.push(i);
                         }
                     }
-                    let value = AdaptiveSolver::default().solve_with_hint_into(
+                    let value = self.adaptive.solve_with_hint_into(
                         &scratch.items,
                         budget,
                         &scratch.hint,
@@ -341,6 +360,7 @@ impl OnDemandPlanner {
                         Sample::SolverChosen,
                         scratch.adaptive.method().code() as f64,
                     );
+                    recorder.sample(Sample::CoreRounds, scratch.adaptive.core_rounds() as f64);
                 }
                 choice => {
                     let instance = Instance::new(scratch.items.clone())

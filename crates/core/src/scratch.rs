@@ -4,7 +4,10 @@
 //! needs — the per-object aggregation arrays, the knapsack items, the
 //! DP scratch, and the resulting download list — so a steady-state
 //! [`crate::station::BaseStationSim`] round performs **zero heap
-//! allocations** (see `tests/alloc_free.rs`).
+//! allocations** once the buffers have grown to their working sizes
+//! (see `tests/alloc_free.rs`; the adaptive solver's DP tables size
+//! themselves to the solved core, not the whole catalog, so the first
+//! few rounds may still grow them).
 //!
 //! [`crate::planner::OnDemandPlanner::plan_requests_into`] aggregates the
 //! raw request slice directly (duplicate requests for one object become
@@ -67,8 +70,11 @@ impl PlannerScratch {
     }
 
     /// Pre-size for a catalog of `num_objects` objects and a per-round
-    /// budget of `budget` data units, so even the first round allocates
-    /// nothing.
+    /// budget of `budget` data units. The aggregation buffers reach
+    /// their steady-state size immediately; the adaptive solver's DP
+    /// tables are deliberately *not* pre-sized to `num_objects ×
+    /// budget` — they grow lazily to the (far smaller) core the first
+    /// solves actually visit, and are allocation-free from then on.
     pub fn reserve(&mut self, num_objects: usize, budget: u64) {
         self.per_profit.resize(num_objects, 0.0);
         self.per_count.resize(num_objects, 0);
@@ -87,6 +93,14 @@ impl PlannerScratch {
     /// size, items fixed, terminal method, bound values).
     pub fn adaptive(&self) -> &AdaptiveScratch {
         &self.adaptive
+    }
+
+    /// The knapsack items of the last assembled instance,
+    /// object-ascending — one per requested object with positive
+    /// profit. The solve-only benches read the assembled instance
+    /// through this to time the solver in isolation.
+    pub fn items(&self) -> &[Item] {
+        &self.items
     }
 
     /// Objects the last planning round decided to download, ascending.

@@ -13,6 +13,7 @@ use basecache_core::planner::{OnDemandPlanner, SolverChoice};
 use basecache_core::recency::ScoringFunction;
 use basecache_core::scratch::PlannerScratch;
 use basecache_core::{BaseStationSim, Policy, StationBuilder};
+use basecache_knapsack::AdaptiveSolver;
 use basecache_net::{Catalog, CellId, ObjectId};
 use basecache_obs::FlightRecorder;
 use basecache_sim::{RngStreams, StreamRng};
@@ -128,6 +129,44 @@ fn warm_started_correlated_rounds_stay_bit_identical() {
         }
         for &o in dp_scratch.downloads() {
             recency[o.index()] = 1.0;
+        }
+    }
+}
+
+/// Planner-level expanding-core coverage: a tiny initial window that
+/// must expand geometrically, a mid-size one that certifies on most
+/// rounds, and the endgame disabled outright all plan bit-identically
+/// to the exact DP — across the same random round stream, with both
+/// scratches persisting so warm-start hints and lazily grown DP tables
+/// carry between rounds.
+#[test]
+fn endgame_configured_planners_stay_bit_identical() {
+    for (initial, growth) in [(2usize, 2usize), (16, 4), (0, 8)] {
+        let exact = OnDemandPlanner::new(ScoringFunction::InverseRatio, SolverChoice::ExactDp);
+        let adaptive = OnDemandPlanner::paper_default()
+            .with_adaptive_solver(AdaptiveSolver::default().with_endgame(initial, growth));
+        let mut dp_scratch = PlannerScratch::new();
+        let mut ad_scratch = PlannerScratch::new();
+        let mut rng = RngStreams::new(0xADA_9003).stream("core/adaptive-endgame");
+        for round in 0..120 {
+            let (catalog, recency, requests, budget) = random_round(&mut rng);
+            exact.plan_requests_into(&requests, &catalog, &recency, budget, &mut dp_scratch);
+            adaptive.plan_requests_into(&requests, &catalog, &recency, budget, &mut ad_scratch);
+            assert_eq!(
+                ad_scratch.downloads(),
+                dp_scratch.downloads(),
+                "round {round} endgame ({initial},{growth}): chosen set diverges"
+            );
+            assert_eq!(ad_scratch.download_size(), dp_scratch.download_size());
+            assert_eq!(
+                ad_scratch.achieved_value().to_bits(),
+                dp_scratch.achieved_value().to_bits(),
+                "round {round} endgame ({initial},{growth}): profit bits diverge"
+            );
+            assert_eq!(
+                ad_scratch.average_score().to_bits(),
+                dp_scratch.average_score().to_bits()
+            );
         }
     }
 }

@@ -371,4 +371,39 @@ fn on_demand_steady_state_steps_do_not_allocate() {
             );
         }
     }
+
+    // The expanding-core endgame at the solver level: sub-margin profit
+    // gaps defeat every certification attempt, so each solve expands
+    // the window geometrically until it degenerates to the full core —
+    // the maximum number of in-round expansions the solver can do. Once
+    // the scratch has seen the largest shape, re-solving (window
+    // rebuilds, pending-list compaction, per-window DP tables included)
+    // must never touch the heap.
+    {
+        use basecache_knapsack::{AdaptiveScratch, AdaptiveSolver, Item};
+        let items: Vec<Item> = (0..300)
+            .map(|i| Item::new(2, 1.0 + i as f64 * 1e-13))
+            .collect();
+        let solver = AdaptiveSolver::default().with_endgame(8, 2);
+        let mut scratch = AdaptiveScratch::new();
+        let caps = [151u64, 251, 201];
+        for cap in caps {
+            solver.solve_into(&items, cap, &mut scratch);
+        }
+        for (round, cap) in caps.iter().cycle().take(9).enumerate() {
+            let before = allocation_count();
+            solver.solve_into(&items, *cap, &mut scratch);
+            let after = allocation_count();
+            assert_eq!(
+                after - before,
+                0,
+                "round {round}: warm expanding-core solve allocated {} time(s)",
+                after - before
+            );
+            assert!(
+                scratch.core_rounds() >= 2,
+                "round {round}: the solve was expected to expand in-round"
+            );
+        }
+    }
 }

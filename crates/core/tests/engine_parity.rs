@@ -21,9 +21,11 @@ use basecache_core::recency::ScoringFunction;
 use basecache_core::station::BaseStationSim;
 use basecache_core::RoundOutcome;
 use basecache_core::StationBuilder;
+use basecache_knapsack::AdaptiveSolver;
 use basecache_net::{Catalog, ObjectId};
 use basecache_obs::{FlightRecorder, Snapshot};
-use basecache_sim::{SimTime, WorkerPool};
+use basecache_sim::{RngStreams, SimTime, WorkerPool};
+use basecache_workload::{ChurnOp, Popularity, StandingWorkload, TargetRecency};
 
 const OBJECTS: usize = 48;
 const BUDGET: u64 = 14;
@@ -306,6 +308,116 @@ fn engine_round_downloads_uncached_requested_objects() {
     assert!(station.last_downloaded().is_empty());
     assert_eq!(out.cache_hits, 3);
     assert_eq!(out.average_score, 1.0);
+}
+
+/// Strip the solver-work telemetry the expanding-core endgame is
+/// *supposed* to change — DP cell counts, core sizes, fixing counts,
+/// method codes, expansion rounds — plus wall-clock spans. Every
+/// remaining observable must match bit-for-bit.
+fn solver_blind(snapshot: &Snapshot) -> Snapshot {
+    let mut s = snapshot.clone();
+    s.spans.clear();
+    s.counters.retain(|c| c.name != "dp_cells_touched");
+    s.samples.retain(|sample| {
+        !matches!(
+            sample.name,
+            "core_size" | "items_fixed" | "solver_chosen" | "core_rounds"
+        )
+    });
+    s
+}
+
+/// The certified expanding-core endgame (and its tied-instance
+/// certified pruning) must be invisible in the massive round's
+/// observables: at 100k-object scale under real churn, a station +
+/// engine pair with the endgame on and one with it off
+/// (`with_endgame(0, _)` restores the pre-endgame full sweep) produce
+/// bit-identical round outcomes, download sets, accumulated stats,
+/// flight-recorder round series and recorder snapshots — modulo the
+/// solver-work telemetry the endgame exists to shrink.
+///
+/// This is the massive-bench fixture scaled down in requests and
+/// budget only (the object count — the axis the endgame's claim is
+/// about — stays at 100k) so the endgame-off reference's full DP stays
+/// affordable in debug builds.
+#[test]
+fn massive_round_is_bit_identical_with_the_endgame_on_and_off() {
+    const MASSIVE_OBJECTS: usize = 100_000;
+    const REQUESTS: usize = 150_000;
+    const MASSIVE_BUDGET: u64 = 600;
+    const CHURN: usize = 500;
+    const ROUNDS: usize = 3;
+
+    let streams = RngStreams::new(0x03A5_50FF);
+    let sizes: Vec<u64> = {
+        let mut rng = streams.stream("massive/sizes");
+        (0..MASSIVE_OBJECTS)
+            .map(|_| rng.random_range(1..=8))
+            .collect()
+    };
+    let catalog = Catalog::from_sizes(&sizes);
+    let workload = StandingWorkload::new(
+        Popularity::ZIPF1.build(MASSIVE_OBJECTS),
+        REQUESTS,
+        TargetRecency::Uniform { lo: 0.3, hi: 1.0 },
+    );
+    let (objs, targets) = workload.generate_columns(&mut streams.stream("massive/requests"));
+    let mut ops: Vec<ChurnOp> = Vec::new();
+    workload.churn_into(
+        CHURN * ROUNDS,
+        &mut streams.stream("massive/churn"),
+        &mut ops,
+    );
+    let updates: Vec<ObjectId> = {
+        let mut rng = streams.stream("massive/updates");
+        (0..ROUNDS * (CHURN / 5))
+            .map(|_| ObjectId(rng.random_range(0..MASSIVE_OBJECTS as u32)))
+            .collect()
+    };
+
+    let rig = |solver: AdaptiveSolver| {
+        let planner = OnDemandPlanner::paper_default().with_adaptive_solver(solver);
+        let station = StationBuilder::new(catalog.clone())
+            .on_demand(planner, MASSIVE_BUDGET)
+            .recorder(Box::new(FlightRecorder::new(512, 64, 8)))
+            .build()
+            .expect("valid configuration");
+        let mut engine = RoundEngine::new(&catalog, ScoringFunction::InverseRatio).with_shards(16);
+        engine.push_columns(&objs, &targets);
+        (station, engine)
+    };
+    let (mut on_station, mut on_engine) = rig(AdaptiveSolver::default());
+    let (mut off_station, mut off_engine) = rig(AdaptiveSolver::default().with_endgame(0, 8));
+
+    for round in 0..ROUNDS {
+        for op in &ops[round * CHURN..(round + 1) * CHURN] {
+            on_engine.retarget(op.object, op.slot_seed, op.target);
+            off_engine.retarget(op.object, op.slot_seed, op.target);
+        }
+        for &object in &updates[round * (CHURN / 5)..(round + 1) * (CHURN / 5)] {
+            let now = SimTime::from_ticks(on_station.tick());
+            on_station.server_mut().apply_update(object, now);
+            let now = SimTime::from_ticks(off_station.tick());
+            off_station.server_mut().apply_update(object, now);
+        }
+        let out_on = on_station.step_engine(&mut on_engine);
+        let out_off = off_station.step_engine(&mut off_engine);
+        assert_eq!(out_on, out_off, "round {round}: outcomes diverge");
+        assert_eq!(
+            on_station.last_downloaded(),
+            off_station.last_downloaded(),
+            "round {round}: download sets diverge"
+        );
+    }
+    assert_eq!(on_station.stats(), off_station.stats(), "stats diverge");
+    let rows = series_bits(&on_station);
+    assert!(!rows.is_empty(), "no rounds recorded");
+    assert_eq!(rows, series_bits(&off_station), "round series diverges");
+    assert_eq!(
+        solver_blind(&on_station.obs_snapshot()),
+        solver_blind(&off_station.obs_snapshot()),
+        "recorder snapshots diverge beyond solver-work telemetry"
+    );
 }
 
 /// Property test: random round scripts with adversarial churn levels

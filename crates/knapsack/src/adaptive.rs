@@ -37,9 +37,23 @@
 //! the full DP resolves the resulting solution ties through the
 //! accumulation order of its table cells — an artifact no shortcut can
 //! reproduce. The pipeline detects bit-equal profit pairs up front and
-//! routes those instances to the full DP wholesale, so parity on tied
-//! instances holds by construction; the fast paths only ever run where
-//! the optimum is decided by margin-separated comparisons.
+//! declines *two-sided* fixing on those instances. One direction does
+//! survive ties: removing an item certified (margin-strictly) to sit in
+//! **no** optimal solution leaves the DP's backtrack path — and with it
+//! the canonical tie resolution — bit-identical, so tied instances are
+//! pruned forced-out-only and swept by the bounded DP over the
+//! survivors ([`AdaptiveSolver::solve_tied_certified`] documents the
+//! argument). Everything else on a tied instance runs the full DP
+//! wholesale, exactly as before.
+//!
+//! **Expanding-core endgame.** When the surviving core is still large,
+//! the terminal DP does not sweep it wholesale: a small window around
+//! the core's Dantzig break item is solved exactly (the denser head
+//! assumed in, the sparser tail assumed out) and the assumptions are
+//! *certified* against the per-item fractional bounds, with the window
+//! growing geometrically on any certification failure — worst case
+//! degenerating to exactly the full-core sweep. See
+//! [`SolveMethod::ExpandingCore`] and `DESIGN.md` §15.
 
 use crate::{DpByCapacity, DpScratch, Instance, Item, Solution, Solver};
 
@@ -57,16 +71,23 @@ pub enum SolveMethod {
     /// The bounded DP ran on the reduced core (or on the full instance
     /// for degenerate profit scales).
     CoreDp,
+    /// The expanding-core endgame solved a small window of the core
+    /// exactly and certified the result against the global fractional
+    /// bounds, never sweeping the full core. (A window that had to
+    /// expand all the way to the full core reports [`SolveMethod::CoreDp`]
+    /// instead — by then the full-core sweep actually ran.)
+    ExpandingCore,
 }
 
 impl SolveMethod {
-    /// Dense numeric code for recorder samples
-    /// (0 = certified greedy, 1 = branch-and-bound, 2 = core DP).
+    /// Dense numeric code for recorder samples (0 = certified greedy,
+    /// 1 = branch-and-bound, 2 = core DP, 3 = certified expanding core).
     pub const fn code(self) -> u8 {
         match self {
             SolveMethod::CertifiedGreedy => 0,
             SolveMethod::BranchAndBound => 1,
             SolveMethod::CoreDp => 2,
+            SolveMethod::ExpandingCore => 3,
         }
     }
 }
@@ -130,6 +151,19 @@ pub struct AdaptiveScratch {
     bb_best: Vec<bool>,
     /// Reusable DP tables for the core fallback.
     dp: DpScratch,
+    // Expanding-core endgame state.
+    /// Density ranks (indices into `ord`) of the core items, in core
+    /// density order.
+    core_rank: Vec<u32>,
+    /// Prefix sums of core item sizes over `core_rank` (len core+1).
+    core_csize: Vec<u64>,
+    /// Usable positions of the full core, ascending, saved so window
+    /// rebuilds (and the degenerate full-core terminal) stay cheap.
+    core_full: Vec<u32>,
+    /// Per-usable-position membership flag of the current window.
+    in_window: Vec<bool>,
+    /// Core positions (density order) still awaiting certification.
+    pending: Vec<u32>,
     /// Chosen original item indices, ascending.
     chosen: Vec<usize>,
     // Stats for the last solve.
@@ -139,6 +173,8 @@ pub struct AdaptiveScratch {
     items_fixed: usize,
     cells_touched: u64,
     nodes: u64,
+    core_rounds: u32,
+    certified: bool,
     lower_bound: f64,
     upper_bound: f64,
 }
@@ -176,8 +212,18 @@ impl AdaptiveScratch {
         self.bb_sprofit.reserve(max_items + 1);
         self.bb_current.reserve(max_items);
         self.bb_best.reserve(max_items);
+        self.core_rank.reserve(max_items);
+        self.core_csize.reserve(max_items + 1);
+        self.core_full.reserve(max_items);
+        self.in_window.reserve(max_items);
+        self.pending.reserve(max_items);
         self.chosen.reserve(max_items);
-        self.dp.reserve(max_items, max_capacity);
+        // The DP tables are deliberately *not* pre-sized here: they grow
+        // lazily to the core (or window) the terminal sweep actually
+        // visits, so steady-state memory tracks the expanded core rather
+        // than `max_items × max_capacity` — worst case (the degenerate
+        // full-instance fallback) they still grow once and stick.
+        let _ = max_capacity;
     }
 
     /// Optimal profit of the last solve (bit-identical to the full DP's).
@@ -197,8 +243,10 @@ impl AdaptiveScratch {
         self.method
     }
 
-    /// Undecided items left for the terminal solver after reduction and
-    /// variable fixing (0 when the certificate fired).
+    /// Items the terminal solver actually swept: the final (expanded)
+    /// window when the endgame certified, otherwise the undecided core
+    /// left after reduction and variable fixing (0 when a greedy
+    /// certificate fired).
     pub fn core_size(&self) -> usize {
         self.core_size
     }
@@ -209,7 +257,8 @@ impl AdaptiveScratch {
         self.items_fixed
     }
 
-    /// DP cells swept by the last solve (0 unless the core DP ran).
+    /// DP cells swept by the last solve (0 unless a DP terminal ran;
+    /// the expanding-core endgame accumulates every window sweep).
     pub fn cells_touched(&self) -> u64 {
         self.cells_touched
     }
@@ -217,6 +266,20 @@ impl AdaptiveScratch {
     /// Branch-and-bound nodes expanded by the last solve.
     pub fn nodes(&self) -> u64 {
         self.nodes
+    }
+
+    /// Expansion rounds the certified endgame ran — window solves,
+    /// counting the final full-core sweep when certification never
+    /// fired; 0 when no endgame ran at all.
+    pub fn core_rounds(&self) -> u32 {
+        self.core_rounds
+    }
+
+    /// Whether the last solve ended in a bound certificate (a greedy
+    /// certificate or the expanding-core endgame) rather than an
+    /// exhaustive sweep or search of the full core.
+    pub fn certified(&self) -> bool {
+        self.certified
     }
 
     /// The greedy lower bound the reduction worked against.
@@ -241,13 +304,24 @@ pub struct AdaptiveSolver {
     /// Largest core the branch-and-bound terminal will attempt; bigger
     /// cores go straight to the bounded DP.
     max_bb_core: usize,
+    /// Initial window width of the certified expanding-core endgame;
+    /// 0 disables the endgame (and the tied-instance certified pruning),
+    /// restoring the pre-endgame full-core / full-instance terminals.
+    initial_core: usize,
+    /// Geometric growth factor applied to the window width on each
+    /// certification failure (values below 2 behave as 2).
+    core_growth: usize,
 }
 
 impl Default for AdaptiveSolver {
+    /// `max_nodes` 4096, `max_bb_core` 48, `initial_core` 64,
+    /// `core_growth` 8.
     fn default() -> Self {
         Self {
             max_nodes: 4096,
             max_bb_core: 48,
+            initial_core: 64,
+            core_growth: 8,
         }
     }
 }
@@ -259,6 +333,25 @@ impl AdaptiveSolver {
             max_nodes,
             ..Self::default()
         }
+    }
+
+    /// Set the largest core the branch-and-bound terminal will attempt
+    /// (default 48); bigger cores go to the DP terminals.
+    pub fn with_max_bb_core(mut self, max_bb_core: usize) -> Self {
+        self.max_bb_core = max_bb_core;
+        self
+    }
+
+    /// Configure the certified expanding-core endgame: the initial
+    /// window width (default 64; 0 disables the endgame *and* the
+    /// tied-instance certified pruning, restoring the pre-endgame
+    /// full-core DP / full-instance fallback) and the geometric growth
+    /// factor applied to the window on each certification failure
+    /// (default 8; values below 2 behave as 2).
+    pub fn with_endgame(mut self, initial_core: usize, core_growth: usize) -> Self {
+        self.initial_core = initial_core;
+        self.core_growth = core_growth;
+        self
     }
 
     /// Solve `items` under `capacity` on reusable scratch. The optimal
@@ -287,6 +380,8 @@ impl AdaptiveSolver {
         scratch.chosen.clear();
         scratch.cells_touched = 0;
         scratch.nodes = 0;
+        scratch.core_rounds = 0;
+        scratch.certified = false;
 
         let mut total_usable: u64 = 0;
         let mut flat = 0.0_f64; // running profit sum in item order, as in the DP
@@ -319,7 +414,8 @@ impl AdaptiveSolver {
         // Bit-equal profits make the DP's tie resolution an accumulation
         // artifact (its strict-`>` keep bit reacts to ulp-level fold-order
         // noise between equal-value sets) that no shortcut reproduces.
-        // Detect any duplicated profit bits up front and decline to reduce.
+        // Detect any duplicated profit bits up front and decline the
+        // two-sided fixing pipeline below.
         scratch.pbits.clear();
         scratch
             .pbits
@@ -327,9 +423,21 @@ impl AdaptiveSolver {
         scratch.pbits.sort_unstable();
         let tied = scratch.pbits.windows(2).any(|w| w[0] == w[1]);
 
-        if degenerate || tied {
+        if degenerate {
             // Bit-identical by construction: run the full bounded DP.
             return self.solve_degenerate_fallback(items, capacity, scratch);
+        }
+        if tied {
+            // Duplicate profit bits rule out two-sided fixing, but one
+            // direction survives ties; see `solve_tied_certified`.
+            return self.solve_tied_certified(
+                items,
+                capacity,
+                effective,
+                total_usable,
+                flat,
+                scratch,
+            );
         }
 
         scratch.sel.clear();
@@ -342,6 +450,7 @@ impl AdaptiveSolver {
             }
             let value = finish(items, scratch);
             scratch.method = SolveMethod::CertifiedGreedy;
+            scratch.certified = true;
             scratch.core_size = 0;
             scratch.items_fixed = nu;
             scratch.lower_bound = value;
@@ -522,6 +631,7 @@ impl AdaptiveSolver {
             }
             let value = finish(items, scratch);
             scratch.method = SolveMethod::CertifiedGreedy;
+            scratch.certified = true;
             scratch.core_size = 0;
             scratch.items_fixed = nu;
             scratch.lower_bound = value;
@@ -595,6 +705,7 @@ impl AdaptiveSolver {
             }
             let value = finish(items, scratch);
             scratch.method = SolveMethod::CertifiedGreedy;
+            scratch.certified = true;
             scratch.value = value;
             return value;
         }
@@ -614,6 +725,14 @@ impl AdaptiveSolver {
             scratch.method = SolveMethod::BranchAndBound;
             scratch.value = value;
             return value;
+        }
+
+        // The certified expanding-core endgame: solve a small window
+        // around the core's Dantzig break and certify, instead of
+        // sweeping the whole core. Worst case it degenerates to exactly
+        // the full-core sweep below.
+        if self.initial_core > 0 && scratch.core_size > self.initial_core {
+            return self.expanding_core(items, effective, core_cap, margin, scratch);
         }
 
         // Bounded DP on the reduced core only.
@@ -644,10 +763,412 @@ impl AdaptiveSolver {
         scratch.cells_touched = scratch.dp.cells_touched();
         scratch.value = value;
         scratch.method = SolveMethod::CoreDp;
+        scratch.certified = false;
         scratch.core_size = scratch.usable_idx.len();
         scratch.items_fixed = 0;
         scratch.lower_bound = value;
         scratch.upper_bound = value;
+        value
+    }
+
+    /// Tied instances (duplicate profit bits) disable two-sided fixing:
+    /// the DP resolves equal-profit ties through its cell accumulation
+    /// order, and forcing an item *in* reshapes that order. Removing an
+    /// item certified to sit in **no** optimal solution, however, leaves
+    /// the DP bit-identical even under ties: along the canonical chosen
+    /// set's backtrack path every cell value is achieved by a subset
+    /// free of the removed item (so those values are unchanged f64
+    /// folds), and each keep-bit comparison pits an on-path value
+    /// (unchanged) against an off-path value (which removal can only
+    /// lower, `max` over fewer folds), so no strict-`>` decision flips
+    /// in either direction. This path prunes with that one safe
+    /// direction — the margin-strict `ub_in < lb` test of phase 4 — and
+    /// sweeps the bounded DP over the survivors only.
+    ///
+    /// Guard rails: the survivors' total size must still reach the
+    /// effective capacity (so the reduced DP clamps to the same table
+    /// width as the full sweep) and the pruning must actually remove
+    /// something; otherwise the full-instance sweep runs unchanged.
+    /// With the endgame disabled (`initial_core == 0`) the full-instance
+    /// sweep always runs — the pre-endgame behavior.
+    fn solve_tied_certified(
+        &self,
+        items: &[Item],
+        capacity: u64,
+        effective: u64,
+        total_usable: u64,
+        flat: f64,
+        scratch: &mut AdaptiveScratch,
+    ) -> f64 {
+        if self.initial_core == 0 {
+            return self.solve_degenerate_fallback(items, capacity, scratch);
+        }
+        let nu = scratch.usable_idx.len();
+        scratch.sel.clear();
+        scratch.sel.resize(nu, false);
+
+        // Every usable item fitting is tie-free even under duplicate
+        // profit bits: all profits are positive, so taking everything is
+        // the unique optimum and the DP would do exactly that.
+        if total_usable <= capacity {
+            for s in scratch.sel.iter_mut() {
+                *s = true;
+            }
+            let value = finish(items, scratch);
+            scratch.method = SolveMethod::CertifiedGreedy;
+            scratch.certified = true;
+            scratch.core_size = 0;
+            scratch.items_fixed = nu;
+            scratch.lower_bound = value;
+            scratch.upper_bound = value;
+            return value;
+        }
+
+        let margin = flat * f64::EPSILON * (nu as f64 + 4.0) * 8.0;
+
+        // Density order and prefix sums over *all* usable items. No
+        // dominance pass: it could drop one of two bit-equal profits,
+        // and that choice belongs to the DP.
+        scratch.ord.clear();
+        scratch.ord.extend(0..nu as u32);
+        {
+            let size = &scratch.usable_size;
+            let profit = &scratch.usable_profit;
+            scratch.ord.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                let da = profit[a] / size[a] as f64;
+                let db = profit[b] / size[b] as f64;
+                db.partial_cmp(&da)
+                    .expect("validated profits are never NaN")
+                    .then(a.cmp(&b))
+            });
+        }
+        scratch.ord_psize.clear();
+        scratch.ord_pprofit.clear();
+        scratch.ord_psize.push(0);
+        scratch.ord_pprofit.push(0.0);
+        for k in 0..nu {
+            let u = scratch.ord[k] as usize;
+            scratch
+                .ord_psize
+                .push(scratch.ord_psize[k] + scratch.usable_size[u]);
+            scratch
+                .ord_pprofit
+                .push(scratch.ord_pprofit[k] + scratch.usable_profit[u]);
+        }
+
+        // Greedy incumbent + best single item, valued by the
+        // ascending-index fold so it compares exactly against DP values.
+        scratch.tmp.clear();
+        scratch.tmp.resize(nu, false);
+        let mut remaining = effective;
+        for k in 0..nu {
+            let u = scratch.ord[k] as usize;
+            if scratch.usable_size[u] <= remaining {
+                remaining -= scratch.usable_size[u];
+                scratch.tmp[u] = true;
+            }
+        }
+        let mut lb = fold_flags(&scratch.usable_profit, &scratch.tmp);
+        for &p in &scratch.usable_profit {
+            if p > lb {
+                lb = p;
+            }
+        }
+        scratch.lower_bound = lb;
+        let (ub, _split) = dantzig(
+            &scratch.ord_psize,
+            &scratch.ord_pprofit,
+            &scratch.ord,
+            &scratch.usable_size,
+            &scratch.usable_profit,
+            effective,
+        );
+        scratch.upper_bound = ub;
+
+        // One-sided certification: forced-out only.
+        scratch.state.clear();
+        scratch.state.resize(nu, State::Core);
+        let mut survivor_size: u64 = 0;
+        for r in 0..nu {
+            let u = scratch.ord[r] as usize;
+            let ub_in = scratch.usable_profit[u]
+                + dantzig_excluding(
+                    &scratch.ord_psize,
+                    &scratch.ord_pprofit,
+                    &scratch.ord,
+                    &scratch.usable_size,
+                    &scratch.usable_profit,
+                    r,
+                    effective - scratch.usable_size[u],
+                );
+            if ub_in + margin < lb {
+                scratch.state[u] = State::ForcedOut;
+            } else {
+                survivor_size += scratch.usable_size[u];
+            }
+        }
+
+        // Assemble the survivors, ascending by usable position.
+        scratch.core_items.clear();
+        scratch.core_map.clear();
+        for upos in 0..nu {
+            if scratch.state[upos] == State::Core {
+                scratch.core_items.push(Item::new(
+                    scratch.usable_size[upos],
+                    scratch.usable_profit[upos],
+                ));
+                scratch.core_map.push(upos as u32);
+            }
+        }
+        let nk = scratch.core_items.len();
+        if nk == nu || survivor_size < effective {
+            // Nothing removed, or the reduced table would clamp narrower
+            // than the full one: decline to reduce.
+            return self.solve_degenerate_fallback(items, capacity, scratch);
+        }
+
+        // Bounded DP over the survivors — bit-identical to the
+        // full-instance sweep by the removal argument above.
+        DpByCapacity.solve_into(&scratch.core_items, effective, &mut scratch.dp);
+        scratch.cells_touched = scratch.dp.cells_touched();
+        for &c in scratch.dp.chosen() {
+            scratch.sel[scratch.core_map[c] as usize] = true;
+        }
+        let value = finish(items, scratch);
+        scratch.method = SolveMethod::CoreDp;
+        scratch.core_size = nk;
+        scratch.items_fixed = nu - nk;
+        scratch.value = value;
+        value
+    }
+
+    /// The certified expanding-core endgame (in the spirit of Pisinger's
+    /// minknap): solve a small window of the core around its Dantzig
+    /// break item exactly — the denser head assumed in, the sparser tail
+    /// assumed out — and *certify* both assumptions against the per-item
+    /// fractional bounds with `best = max(lb, candidate)` as incumbent:
+    /// a head item must sit in every optimal solution (`ub_out` falls
+    /// margin-strictly below `best`), a tail item in none (`ub_in`
+    /// does). Certification failures geometrically widen the window; a
+    /// window reaching the full core runs exactly the full-core sweep of
+    /// the non-endgame path, so the result stays bit-identical to
+    /// [`DpByCapacity`] by construction. Positions that certify once
+    /// stay certified (their bound was beaten by a valid incumbent);
+    /// later rounds re-test only the previous failures against the
+    /// stronger incumbent.
+    fn expanding_core(
+        &self,
+        items: &[Item],
+        effective: u64,
+        core_cap: u64,
+        margin: f64,
+        scratch: &mut AdaptiveScratch,
+    ) -> f64 {
+        let nu = scratch.usable_idx.len();
+        let nc = scratch.core_items.len();
+        let lb = scratch.lower_bound;
+
+        // Save the full core (ascending usable positions — the order
+        // `core_map` was assembled in) and derive its density order as
+        // the core's subsequence of `ord`, plus size prefix sums.
+        scratch.core_full.clear();
+        scratch.core_full.extend_from_slice(&scratch.core_map);
+        scratch.core_rank.clear();
+        for (r, &u) in scratch.ord.iter().enumerate() {
+            if scratch.state[u as usize] == State::Core {
+                scratch.core_rank.push(r as u32);
+            }
+        }
+        debug_assert_eq!(scratch.core_rank.len(), nc);
+        scratch.core_csize.clear();
+        scratch.core_csize.push(0);
+        for (k, &r) in scratch.core_rank.iter().enumerate() {
+            let u = scratch.ord[r as usize] as usize;
+            scratch
+                .core_csize
+                .push(scratch.core_csize[k] + scratch.usable_size[u]);
+        }
+        // The core's Dantzig break: the largest density prefix that fits
+        // the core capacity. The optimum deviates from the greedy prefix
+        // only near the break, so the window centers on it.
+        let mut b = 0usize;
+        let mut hi_s = nc;
+        while b < hi_s {
+            let mid = b + (hi_s - b).div_ceil(2);
+            if scratch.core_csize[mid] <= core_cap {
+                b = mid;
+            } else {
+                hi_s = mid - 1;
+            }
+        }
+
+        scratch.in_window.clear();
+        scratch.in_window.resize(nu, false);
+        scratch.pending.clear();
+        let growth = self.core_growth.max(2);
+        let mut width = self.initial_core;
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            let w = width.min(nc);
+            if w == nc {
+                break;
+            }
+            // Window [lo, hi) in core density order. Successive windows
+            // nest (`lo` only shrinks, `hi` only grows), so marking the
+            // new range is enough and the pending list stays valid.
+            let mut lo = b.saturating_sub(w / 2);
+            if lo + w > nc {
+                lo = nc - w;
+            }
+            let hi = lo + w;
+            for pos in lo..hi {
+                let u = scratch.ord[scratch.core_rank[pos] as usize] as usize;
+                scratch.in_window[u] = true;
+            }
+            // Rebuild the window into `core_items`/`core_map` in
+            // ascending usable order — exactly the shape the terminal
+            // solvers expect.
+            let mut win_items = std::mem::take(&mut scratch.core_items);
+            let mut win_map = std::mem::take(&mut scratch.core_map);
+            win_items.clear();
+            win_map.clear();
+            for &upos in &scratch.core_full {
+                let u = upos as usize;
+                if scratch.in_window[u] {
+                    win_items.push(Item::new(scratch.usable_size[u], scratch.usable_profit[u]));
+                    win_map.push(upos);
+                }
+            }
+            scratch.core_items = win_items;
+            scratch.core_map = win_map;
+            let nw = scratch.core_items.len();
+            debug_assert_eq!(nw, w);
+
+            // The head is feasible by construction (`lo ≤ break`).
+            let head_size = scratch.core_csize[lo];
+            debug_assert!(head_size <= core_cap);
+            let window_cap = core_cap - head_size;
+
+            // Solve the window exactly with the usual terminals.
+            let via_bb = nw <= self.max_bb_core && self.branch_and_bound(window_cap, scratch);
+            if !via_bb {
+                DpByCapacity.solve_into(&scratch.core_items, window_cap, &mut scratch.dp);
+                scratch.cells_touched += scratch.dp.cells_touched();
+            }
+
+            // Candidate: forced-in ∪ head ∪ the window's exact choice.
+            for upos in 0..nu {
+                scratch.sel[upos] = scratch.state[upos] == State::ForcedIn;
+            }
+            for pos in 0..lo {
+                let u = scratch.ord[scratch.core_rank[pos] as usize] as usize;
+                scratch.sel[u] = true;
+            }
+            if via_bb {
+                for (c, &upos) in scratch.core_map.iter().enumerate() {
+                    if scratch.bb_best[c] {
+                        scratch.sel[upos as usize] = true;
+                    }
+                }
+            } else {
+                for &c in scratch.dp.chosen() {
+                    scratch.sel[scratch.core_map[c] as usize] = true;
+                }
+            }
+            let z = fold_flags(&scratch.usable_profit, &scratch.sel);
+            let best = if z > lb { z } else { lb };
+
+            // Certify the outside-window assumptions.
+            if rounds == 1 {
+                scratch.pending.extend(0..lo as u32);
+                scratch.pending.extend(hi as u32..nc as u32);
+            } else {
+                scratch
+                    .pending
+                    .retain(|&pos| (pos as usize) < lo || pos as usize >= hi);
+            }
+            let mut still = 0usize;
+            for t in 0..scratch.pending.len() {
+                let pos = scratch.pending[t] as usize;
+                let r = scratch.core_rank[pos] as usize;
+                let ok = if pos < lo {
+                    // Head: in every optimal solution?
+                    let ub_out = dantzig_excluding(
+                        &scratch.ord_psize,
+                        &scratch.ord_pprofit,
+                        &scratch.ord,
+                        &scratch.usable_size,
+                        &scratch.usable_profit,
+                        r,
+                        effective,
+                    );
+                    ub_out + margin < best
+                } else {
+                    // Tail: in no optimal solution?
+                    let u = scratch.ord[r] as usize;
+                    let ub_in = scratch.usable_profit[u]
+                        + dantzig_excluding(
+                            &scratch.ord_psize,
+                            &scratch.ord_pprofit,
+                            &scratch.ord,
+                            &scratch.usable_size,
+                            &scratch.usable_profit,
+                            r,
+                            effective - scratch.usable_size[u],
+                        );
+                    ub_in + margin < best
+                };
+                if !ok {
+                    scratch.pending[still] = pos as u32;
+                    still += 1;
+                }
+            }
+            scratch.pending.truncate(still);
+
+            if scratch.pending.is_empty() {
+                // Every assumption certified: the candidate is the
+                // optimum, and `finish` re-folds it canonically.
+                let value = finish(items, scratch);
+                scratch.method = SolveMethod::ExpandingCore;
+                scratch.certified = true;
+                scratch.core_size = nw;
+                scratch.items_fixed = nu - nw;
+                scratch.core_rounds = rounds;
+                scratch.value = value;
+                return value;
+            }
+            width = w.saturating_mul(growth);
+        }
+
+        // Degenerate: rebuild the full core and run exactly the sweep
+        // the non-endgame path would have run.
+        let mut win_items = std::mem::take(&mut scratch.core_items);
+        let mut win_map = std::mem::take(&mut scratch.core_map);
+        win_items.clear();
+        win_map.clear();
+        for &upos in &scratch.core_full {
+            let u = upos as usize;
+            win_items.push(Item::new(scratch.usable_size[u], scratch.usable_profit[u]));
+            win_map.push(upos);
+        }
+        scratch.core_items = win_items;
+        scratch.core_map = win_map;
+        DpByCapacity.solve_into(&scratch.core_items, core_cap, &mut scratch.dp);
+        scratch.cells_touched += scratch.dp.cells_touched();
+        for upos in 0..nu {
+            scratch.sel[upos] = scratch.state[upos] == State::ForcedIn;
+        }
+        for &c in scratch.dp.chosen() {
+            scratch.sel[scratch.core_map[c] as usize] = true;
+        }
+        let value = finish(items, scratch);
+        scratch.method = SolveMethod::CoreDp;
+        scratch.core_size = nc;
+        scratch.items_fixed = nu - nc;
+        scratch.core_rounds = rounds;
+        scratch.value = value;
         value
     }
 
@@ -951,10 +1472,13 @@ impl Solver for AdaptiveSolver {
 mod tests {
     use super::*;
 
-    /// Assert the adaptive solve matches the full bounded DP bit-for-bit
-    /// (chosen set and profit) at every capacity in `caps`.
-    fn assert_parity(items: &[Item], caps: impl IntoIterator<Item = u64>) {
-        let solver = AdaptiveSolver::default();
+    /// Assert `solver` matches the full bounded DP bit-for-bit (chosen
+    /// set and profit) at every capacity in `caps`.
+    fn assert_parity_with(
+        solver: AdaptiveSolver,
+        items: &[Item],
+        caps: impl IntoIterator<Item = u64>,
+    ) {
         let mut adaptive = AdaptiveScratch::new();
         let mut dp = DpScratch::new();
         for cap in caps {
@@ -972,6 +1496,29 @@ mod tests {
                 adaptive.method()
             );
         }
+    }
+
+    /// [`assert_parity_with`] for the default solver.
+    fn assert_parity(items: &[Item], caps: impl IntoIterator<Item = u64>) {
+        assert_parity_with(AdaptiveSolver::default(), items, caps);
+    }
+
+    /// Deterministic pseudo-random instance shared by the endgame tests.
+    fn random_items(n: usize, seed: u64) -> Vec<Item> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..n)
+            .map(|_| {
+                let size = 1 + next() % 12;
+                let profit = (next() % 100_000) as f64 / 997.0;
+                Item::new(size, profit)
+            })
+            .collect()
     }
 
     #[test]
@@ -1132,5 +1679,132 @@ mod tests {
         assert_eq!(SolveMethod::CertifiedGreedy.code(), 0);
         assert_eq!(SolveMethod::BranchAndBound.code(), 1);
         assert_eq!(SolveMethod::CoreDp.code(), 2);
+        assert_eq!(SolveMethod::ExpandingCore.code(), 3);
+    }
+
+    #[test]
+    fn tied_instances_prune_certified_outs() {
+        // 40 dense duplicates and 40 sparse duplicates: the sparse group
+        // is certifiably out of every optimum, the dense group survives
+        // with its ties intact for the DP to resolve.
+        let mut items = Vec::new();
+        for _ in 0..40 {
+            items.push(Item::new(1, 10.0));
+        }
+        for _ in 0..40 {
+            items.push(Item::new(10, 0.001));
+        }
+        let solver = AdaptiveSolver::default();
+        let mut scratch = AdaptiveScratch::new();
+        solver.solve_into(&items, 30, &mut scratch);
+        assert_eq!(scratch.method(), SolveMethod::CoreDp);
+        assert_eq!(scratch.items_fixed(), 40, "sparse duplicates pruned");
+        assert_eq!(scratch.core_size(), 40);
+        assert_parity(&items, [0, 1, 15, 30, 39, 40, 41, 100]);
+    }
+
+    #[test]
+    fn tied_instances_with_everything_fitting_take_everything() {
+        let items = [Item::new(2, 5.0), Item::new(3, 5.0), Item::new(4, 7.0)];
+        let solver = AdaptiveSolver::default();
+        let mut scratch = AdaptiveScratch::new();
+        solver.solve_into(&items, 100, &mut scratch);
+        assert_eq!(scratch.method(), SolveMethod::CertifiedGreedy);
+        assert!(scratch.certified());
+        assert_eq!(scratch.chosen(), &[0, 1, 2]);
+        assert_parity(&items, [100]);
+    }
+
+    #[test]
+    fn expanding_core_certifies_on_separated_instances() {
+        // Distinct profits over a wide value range: fixing leaves a core
+        // bigger than the initial window, and the window certifies
+        // without reaching the full core.
+        let items = random_items(200, 42);
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        let solver = AdaptiveSolver::default()
+            .with_endgame(16, 2)
+            .with_max_bb_core(0);
+        let mut scratch = AdaptiveScratch::new();
+        let mut fired = false;
+        for cap in [total / 5, total / 4, total / 3, total / 2] {
+            solver.solve_into(&items, cap, &mut scratch);
+            if scratch.method() == SolveMethod::ExpandingCore {
+                fired = true;
+                assert!(scratch.certified());
+                assert!(scratch.core_rounds() >= 1);
+                assert!(scratch.core_size() < 200);
+            }
+        }
+        assert!(fired, "the endgame should certify at least one capacity");
+        assert_parity_with(solver, &items, [total / 5, total / 4, total / 3, total / 2]);
+    }
+
+    #[test]
+    fn tiny_initial_windows_expand_geometrically_and_stay_exact() {
+        let items = random_items(200, 0xDEAD_BEEF_0BAD_F00D);
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        let solver = AdaptiveSolver::default()
+            .with_endgame(2, 2)
+            .with_max_bb_core(0);
+        let mut scratch = AdaptiveScratch::new();
+        let mut expanded = false;
+        for cap in [total / 5, total / 3, total / 2] {
+            solver.solve_into(&items, cap, &mut scratch);
+            if scratch.core_rounds() >= 2 {
+                expanded = true;
+            }
+        }
+        assert!(
+            expanded,
+            "a 2-item window should need at least one expansion"
+        );
+        assert_parity_with(solver, &items, [total / 5, total / 3, total / 2]);
+    }
+
+    #[test]
+    fn sub_margin_profit_gaps_degenerate_to_the_full_core() {
+        // Distinct profit bits whose gaps sit far below the float
+        // margin: no bound comparison can ever be decisive, so the
+        // window expands all the way and the full-core sweep runs —
+        // still bit-identical.
+        let items: Vec<Item> = (0..100)
+            .map(|i| Item::new(2, 1.0 + i as f64 * 1e-13))
+            .collect();
+        let solver = AdaptiveSolver::default()
+            .with_endgame(8, 2)
+            .with_max_bb_core(0);
+        let mut scratch = AdaptiveScratch::new();
+        solver.solve_into(&items, 51, &mut scratch);
+        assert_eq!(scratch.method(), SolveMethod::CoreDp);
+        assert!(!scratch.certified());
+        assert!(
+            scratch.core_rounds() >= 2,
+            "window expanded before degenerating (rounds={})",
+            scratch.core_rounds()
+        );
+        assert_parity_with(solver, &items, [31, 51, 120]);
+    }
+
+    #[test]
+    fn disabling_the_endgame_restores_the_full_core_sweep() {
+        let items = random_items(300, 0x0123_4567_89AB_CDEF);
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        let off = AdaptiveSolver::default().with_endgame(0, 8);
+        let mut scratch = AdaptiveScratch::new();
+        off.solve_into(&items, total / 3, &mut scratch);
+        assert_eq!(scratch.core_rounds(), 0, "no endgame rounds when disabled");
+        assert!(!scratch.certified());
+        assert_parity_with(off, &items, [total / 4, total / 3, total / 2]);
+        // On and off agree bit-for-bit with each other too.
+        let on = AdaptiveSolver::default();
+        let mut with = AdaptiveScratch::new();
+        let mut without = AdaptiveScratch::new();
+        for cap in [0, total / 4, total / 3, total / 2, total] {
+            let a = on.solve_into(&items, cap, &mut with);
+            let b = off.solve_into(&items, cap, &mut without);
+            assert!(a == b, "cap={cap}");
+            assert_eq!(with.chosen(), without.chosen(), "cap={cap}");
+        }
     }
 }

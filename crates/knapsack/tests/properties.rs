@@ -355,6 +355,98 @@ fn lattice_profit_parity_review_probe() {
     assert!(witness_ties > 0, "stream no longer reaches the tie regime");
 }
 
+/// The expanding-core endgame — tiny initial windows forced through
+/// geometric expansion, with and without the B&B window terminal — is
+/// bit-identical to the full DP, and to itself with the endgame
+/// disabled. Certification is margin-strict, so any instance the
+/// window cannot decide uniquely degenerates to the exact sweep the
+/// endgame-off path runs; instances it can decide carry a certificate
+/// that the candidate *is* the canonical optimum.
+#[test]
+fn expanding_core_endgame_is_bit_identical_to_the_full_dp() {
+    let mut dp = DpScratch::new();
+    let mut on = AdaptiveScratch::new();
+    let mut off = AdaptiveScratch::new();
+    run_cases("expanding_core_vs_dp", 96, |_, rng| {
+        // Continuous profits (no duplicate bits) keep the instance on
+        // the untied path, and positive sizes avoid the documented
+        // free-item fold hazard — this is exactly the shape the massive
+        // round feeds the endgame.
+        let n = rng.random_range(40..=140usize);
+        let items: Vec<Item> = (0..n)
+            .map(|_| {
+                Item::new(
+                    rng.random_range(1u64..=12),
+                    rng.random_range(0.01f64..=20.0),
+                )
+            })
+            .collect();
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        let cap = rng.random_range(total / 4..=3 * total / 4);
+        let v_dp = DpByCapacity.solve_into(&items, cap, &mut dp);
+        for (initial, growth, bb) in [(2usize, 2usize, 0usize), (4, 8, 48), (16, 2, 48)] {
+            let solver = AdaptiveSolver::default()
+                .with_endgame(initial, growth)
+                .with_max_bb_core(bb);
+            let v_on = solver.solve_into(&items, cap, &mut on);
+            assert_eq!(
+                v_on.to_bits(),
+                v_dp.to_bits(),
+                "endgame ({initial},{growth},bb={bb}): profit bits diverge"
+            );
+            assert_eq!(
+                on.chosen(),
+                dp.chosen(),
+                "endgame ({initial},{growth},bb={bb}): chosen set diverges"
+            );
+            let v_off = AdaptiveSolver::default()
+                .with_endgame(0, growth)
+                .with_max_bb_core(bb)
+                .solve_into(&items, cap, &mut off);
+            assert_eq!(
+                v_off.to_bits(),
+                v_on.to_bits(),
+                "endgame ({initial},{growth},bb={bb}): on/off value bits diverge"
+            );
+            assert_eq!(
+                off.chosen(),
+                on.chosen(),
+                "endgame ({initial},{growth},bb={bb}): on/off chosen sets diverge"
+            );
+        }
+    });
+}
+
+/// Duplicate-profit instances take the tie-safe certified-pruning path
+/// (never the endgame); removing only items certified to be in *no*
+/// optimal solution must leave the DP's canonical witness untouched bit
+/// for bit — even though such instances are saturated with exact
+/// subset-sum ties.
+#[test]
+fn tied_instances_keep_certified_pruning_bit_identical() {
+    let mut dp = DpScratch::new();
+    let mut ad = AdaptiveScratch::new();
+    run_cases("tied_pruning_vs_dp", 128, |_, rng| {
+        // Profits drawn from a 5-value pool guarantee duplicate bits.
+        let pool: [f64; 5] = std::array::from_fn(|_| rng.random_range(0.1f64..=9.0));
+        let n = rng.random_range(12..=80usize);
+        let items: Vec<Item> = (0..n)
+            .map(|_| {
+                Item::new(
+                    rng.random_range(1u64..=10),
+                    pool[rng.random_range(0..pool.len())],
+                )
+            })
+            .collect();
+        let total: u64 = items.iter().map(|i| i.size()).sum();
+        let cap = rng.random_range(0..=total + 5);
+        let v_dp = DpByCapacity.solve_into(&items, cap, &mut dp);
+        let v_ad = AdaptiveSolver::default().solve_into(&items, cap, &mut ad);
+        assert_eq!(v_ad.to_bits(), v_dp.to_bits(), "value bits diverge");
+        assert_eq!(ad.chosen(), dp.chosen(), "chosen set diverges");
+    });
+}
+
 #[test]
 fn more_capacity_never_hurts() {
     run_cases("capacity_monotone", 256, |_, rng| {

@@ -235,7 +235,10 @@ pub enum Sample {
     /// forced-in/forced-out by bound-based variable fixing.
     ItemsFixed,
     /// Terminal strategy the adaptive solver used, as its dense code
-    /// (0 = certified greedy, 1 = branch-and-bound, 2 = core DP).
+    /// (0 = certified greedy, 1 = branch-and-bound, 2 = core DP,
+    /// 3 = certified expanding core). Codes 0 and 3 are certificate
+    /// exits; 2 covers both full-core sweeps and degenerate expansions,
+    /// so the certified-vs-degenerate split is `{0,3}` vs `{1,2}`.
     SolverChosen,
     /// Objects whose recency, cache state or request set changed since
     /// the previous round — the round engine's incremental-build
@@ -267,11 +270,15 @@ pub enum Sample {
     CachedUnits,
     /// Requests still parked on in-flight transfers at end of round.
     StillWaiting,
+    /// Expansion rounds the adaptive solver's certified expanding-core
+    /// endgame ran in one solve (window solves, counting a final
+    /// degenerate full-core sweep; 0 when no endgame ran).
+    CoreRounds,
 }
 
 impl Sample {
     /// Every sample id, in export order.
-    pub const ALL: [Sample; 24] = [
+    pub const ALL: [Sample; 25] = [
         Sample::BatchSize,
         Sample::PlanProfit,
         Sample::AverageScore,
@@ -296,6 +303,7 @@ impl Sample {
         Sample::WaitServeTicks,
         Sample::CachedUnits,
         Sample::StillWaiting,
+        Sample::CoreRounds,
     ];
 
     /// Number of sample ids.
@@ -334,6 +342,7 @@ impl Sample {
             Sample::WaitServeTicks => "wait_serve_ticks",
             Sample::CachedUnits => "cached_units",
             Sample::StillWaiting => "still_waiting",
+            Sample::CoreRounds => "core_rounds",
         }
     }
 }

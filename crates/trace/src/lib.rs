@@ -491,10 +491,87 @@ pub fn tier_hit_table(snapshot_text: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Summarize the adaptive solver's reduction telemetry from an obs
+/// snapshot: how much of each instance the terminal sweeps actually
+/// touched (`core_size`, `items_fixed`), how many expansion rounds the
+/// certified endgame ran (`core_rounds`), and — from the method-code
+/// distribution — how often a solve ended in a bound certificate
+/// (codes 0 and 3) rather than an exhaustive sweep or search (codes 1
+/// and 2).
+///
+/// The `solver_chosen` sample is a streaming distribution, not a
+/// histogram, so the certified share is derived: exact when every round
+/// used one method, and still exact when the observed codes stay on one
+/// side of the certificate boundary (`{2,3}` → `mean − 2`; `{0,1}` →
+/// `1 − mean`); otherwise the table reports the mean code only.
+///
+/// Errors when the snapshot carries no `solver_chosen` observations
+/// (no adaptive rounds recorded).
+pub fn adaptive_solver_table(snapshot_text: &str) -> Result<String, String> {
+    let root = parse(snapshot_text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let samples = root
+        .get("samples")
+        .and_then(Value::as_array)
+        .ok_or("missing \"samples\" array (not an obs snapshot export?)")?;
+    let find = |name: &str| -> Option<(f64, f64, f64, f64)> {
+        samples.iter().find_map(|s| {
+            let obj = s.as_object()?;
+            if obj.get("name").and_then(Value::as_str) != Some(name) {
+                return None;
+            }
+            let g = |k: &str| obj.get(k).and_then(Value::as_f64);
+            Some((g("count")?, g("mean")?, g("min")?, g("max")?))
+        })
+    };
+    let (count, mean, min, max) = find("solver_chosen")
+        .filter(|&(c, ..)| c > 0.0)
+        .ok_or("no solver_chosen observations in snapshot (no adaptive rounds?)")?;
+    use fmt::Write as _;
+    let mut out = format!(
+        "{:<14} {:>8} {:>10} {:>8} {:>8}\n",
+        "metric", "rounds", "mean", "min", "max"
+    );
+    let mut row = |label: &str, stats: Option<(f64, f64, f64, f64)>| {
+        if let Some((c, m, lo, hi)) = stats {
+            let _ = writeln!(out, "{label:<14} {c:>8.0} {m:>10.2} {lo:>8.0} {hi:>8.0}");
+        }
+    };
+    row("method_code", Some((count, mean, min, max)));
+    row("core_size", find("core_size"));
+    row("items_fixed", find("items_fixed"));
+    row("core_rounds", find("core_rounds"));
+    let certified = if min == max {
+        Some(if min == 0.0 || min == 3.0 { 1.0 } else { 0.0 })
+    } else if min >= 2.0 {
+        Some(mean - 2.0)
+    } else if max <= 1.0 {
+        Some(1.0 - mean)
+    } else {
+        None
+    };
+    match certified {
+        Some(share) => {
+            let _ = writeln!(
+                out,
+                "certified exits (codes 0/3): {:.1}% of {count:.0} solves",
+                share * 100.0
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "mixed method codes (mean {mean:.2}) — certified share indeterminate"
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// Roll a lifecycle trace and (optionally) an AoI series and an obs
 /// snapshot into one report — the `basecache-trace report` subcommand.
 /// The snapshot contributes the per-tier hit-ratio table when it
-/// carries the `serves_by_tier` channel.
+/// carries the `serves_by_tier` channel, and the adaptive-solver table
+/// when adaptive rounds were sampled.
 pub fn rollup_report(
     trace_text: &str,
     aoi_text: Option<&str>,
@@ -509,6 +586,10 @@ pub fn rollup_report(
     if let Some(snapshot) = snapshot_text {
         out.push_str("\n== per-tier hit ratios ==\n");
         out.push_str(&tier_hit_table(snapshot)?);
+        if let Ok(table) = adaptive_solver_table(snapshot) {
+            out.push_str("\n== adaptive solver ==\n");
+            out.push_str(&table);
+        }
     }
     Ok(out)
 }
@@ -840,7 +921,12 @@ mod tests {
     fn tier_snapshot() -> &'static str {
         r#"{
   "counters": {"l2_transfers": 7},
-  "samples": [],
+  "samples": [
+    {"name": "solver_chosen", "count": 10, "mean": 2.3, "std_dev": 0.46, "min": 2, "max": 3, "p95": 3},
+    {"name": "core_size", "count": 10, "mean": 710.5, "std_dev": 40.0, "min": 640, "max": 780, "p95": 778},
+    {"name": "items_fixed", "count": 10, "mean": 80000.0, "std_dev": 100.0, "min": 79900, "max": 80100, "p95": 80090},
+    {"name": "core_rounds", "count": 10, "mean": 1.2, "std_dev": 0.4, "min": 1, "max": 2, "p95": 2}
+  ],
   "spans": [],
   "attrs": [
     {"channel": "downlink_units_by_cell", "label": "cell#0", "weight": 4, "error": 0},
@@ -862,10 +948,48 @@ mod tests {
         let solo = rollup_report(&lifecycle_trace(), None, None).unwrap();
         assert!(!solo.contains("age of information"), "{solo}");
         assert!(!solo.contains("per-tier hit ratios"), "{solo}");
-        // A snapshot with tier attribution adds the hit-ratio table.
+        // A snapshot with tier attribution adds the hit-ratio table, and
+        // its solver samples add the adaptive-solver section.
         let tiered = rollup_report(&lifecycle_trace(), None, Some(tier_snapshot())).unwrap();
         assert!(tiered.contains("per-tier hit ratios"), "{tiered}");
         assert!(tiered.contains("L2 (neighbor)"), "{tiered}");
+        assert!(tiered.contains("adaptive solver"), "{tiered}");
+        assert!(tiered.contains("certified exits"), "{tiered}");
+    }
+
+    #[test]
+    fn adaptive_table_derives_the_certified_share() {
+        // Codes span {2,3}: the share is exactly mean − 2.
+        let table = adaptive_solver_table(tier_snapshot()).unwrap();
+        assert!(table.contains("method_code"), "{table}");
+        assert!(table.contains("core_rounds"), "{table}");
+        assert!(
+            table.contains("certified exits (codes 0/3): 30.0% of 10 solves"),
+            "{table}"
+        );
+        // A single observed code pins the share to 0% or 100%.
+        let all_endgame = tier_snapshot().replace(
+            r#""count": 10, "mean": 2.3, "std_dev": 0.46, "min": 2, "max": 3"#,
+            r#""count": 4, "mean": 3, "std_dev": 0, "min": 3, "max": 3"#,
+        );
+        let table = adaptive_solver_table(&all_endgame).unwrap();
+        assert!(table.contains("100.0% of 4 solves"), "{table}");
+        // Codes straddling both boundaries are indeterminate.
+        let mixed = tier_snapshot().replace(
+            r#""count": 10, "mean": 2.3, "std_dev": 0.46, "min": 2, "max": 3"#,
+            r#""count": 10, "mean": 1.4, "std_dev": 1.0, "min": 0, "max": 3"#,
+        );
+        let table = adaptive_solver_table(&mixed).unwrap();
+        assert!(table.contains("indeterminate"), "{table}");
+        // No solver samples at all: a clean error, and the rollup just
+        // skips the section.
+        let empty = r#"{"counters": {}, "samples": [], "spans": [], "attrs": [
+            {"channel": "serves_by_tier", "label": "tier#0", "weight": 1, "error": 0}]}"#;
+        assert!(adaptive_solver_table(empty)
+            .unwrap_err()
+            .contains("solver_chosen"));
+        let rolled = rollup_report(&lifecycle_trace(), None, Some(empty)).unwrap();
+        assert!(!rolled.contains("adaptive solver"), "{rolled}");
     }
 
     #[test]

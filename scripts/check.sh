@@ -155,12 +155,15 @@ for entry in 'cluster_round/sequential/1' 'cluster_round/sequential/16' \
              'planner/obs/lifecycle_event' 'planner/obs/aoi_event' \
              'planner/massive/build_full_rebuild/100000' \
              'planner/massive/build_incremental/100000' \
-             'planner/massive/round_incremental/100000'; do
+             'planner/massive/round_incremental/100000' \
+             'planner/massive/solve_only/expanding_core/100000' \
+             'planner/massive/solve_only/full_core/100000'; do
     grep -q "\"$entry\"" BENCH_planner.json \
         || { echo "error: BENCH_planner.json missing $entry" >&2; exit 1; }
 done
 # ... and the massive-scale headline keys.
 for key in 'requests_per_second' 'incremental_build_speedup' \
+           'massive_solve_speedup' \
            'cluster_parallel_path' 'coalesced_fetch_ratio' \
            'lifecycle_recorder_overhead' 'l2_origin_savings'; do
     grep -q "\"$key\"" BENCH_planner.json \
@@ -178,12 +181,30 @@ awk -v o="$overhead" 'BEGIN { exit !(o <= 1.25) }' \
     || { echo "error: lifecycle_recorder_overhead $overhead exceeds the 1.25x gate" >&2; exit 1; }
 echo "    lifecycle_recorder_overhead = ${overhead}x (gate: <= 1.25x)"
 
+echo "==> certified expanding-core solve gate (massive solve-only A/B)"
+# The certified endgame (with tied-instance certified pruning) must keep
+# the massive solve at least 5x faster than the pre-endgame full sweep;
+# below that the headline claim fails.
+solve_speedup=$(grep -o '"massive_solve_speedup": *[0-9.]*' BENCH_planner.json \
+    | grep -o '[0-9.]*$')
+test -n "$solve_speedup" \
+    || { echo "error: could not parse massive_solve_speedup" >&2; exit 1; }
+awk -v s="$solve_speedup" 'BEGIN { exit !(s >= 5) }' \
+    || { echo "error: massive_solve_speedup $solve_speedup below the 5x gate" >&2; exit 1; }
+echo "    massive_solve_speedup = ${solve_speedup}x (gate: >= 5x)"
+
 echo "==> bench regression gate (fresh run vs committed baseline)"
 # Same-machine noise on a shared container is real; the broad cross-run
 # gate is warn-only with a generous threshold. A self-diff must be
 # exactly clean — that part is a hard failure.
 cargo run -q -p basecache-trace --release -- diff \
     "$bench_baseline" BENCH_planner.json --threshold-pct 50 --warn-only
+# The massive round is now solver-bound on the certified endgame; watch
+# it across runs (warn-only: whole-round medians on a shared container
+# carry more noise than the single-solve planner/round series).
+cargo run -q -p basecache-trace --release -- diff \
+    "$bench_baseline" BENCH_planner.json --threshold-pct 50 --warn-only \
+    --only 'planner/massive/round_incremental'
 # The planner round benches are the stable hot path (single-round solves
 # under warmup-fastest calibration, observed cross-run noise well under
 # 10% on this container); slowdowns past 25% there fail the gate hard.
